@@ -1,0 +1,28 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every bench regenerates one table/figure of the paper (see DESIGN.md §4),
+prints it, and archives it under ``benchmarks/results/`` so the numbers
+survive the pytest capture. Scales follow ``REPRO_SCALE`` (``ci`` default /
+``full`` for the paper's 25 600-node, 25-seed parameters).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Print a result table and archive it under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[archived to {path}]")
+
+    return _record

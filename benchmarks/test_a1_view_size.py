@@ -1,0 +1,38 @@
+"""A1 — Vicinity view size vs convergence speed (ablation).
+
+The paper does not publish its gossip parameters; this ablation quantifies
+the view-size trade-off on the elementary ring: larger views converge in
+fewer rounds but cost proportionally more memory and bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import view_size_sweep
+from repro.experiments.harness import current_scale
+from repro.metrics.report import render_table
+
+
+def test_a1_view_size_sweep(benchmark, record_result):
+    scale = current_scale()
+    rows = benchmark.pedantic(
+        lambda: view_size_sweep(
+            view_sizes=(4, 8, 12, 16, 24), n_nodes=256, scale=scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "a1_view_size",
+        render_table(
+            ("View size", "Rounds to converge"),
+            [(size, str(stats)) for size, stats in rows],
+            title="A1: elementary ring (256 nodes) vs Vicinity view size",
+        ),
+    )
+    converged = [(size, stats) for size, stats in rows if stats.n > 0]
+    assert converged, "no view size converged at all"
+    # Bigger views never hurt by much: the largest view is at least as fast
+    # as the smallest converging one.
+    smallest = converged[0][1].mean
+    largest = converged[-1][1].mean
+    assert largest <= smallest + 2

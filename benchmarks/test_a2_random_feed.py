@@ -1,0 +1,34 @@
+"""A2 — the peer-sampling feed is load-bearing (ablation).
+
+Vicinity's subtitle is "a pinch of randomness brings out the structure":
+without the random candidate feed, the greedy overlay starves and never
+converges from a cold start. This ablation measures exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import random_feed_ablation
+from repro.experiments.harness import current_scale
+from repro.metrics.report import render_table
+
+
+def test_a2_random_feed(benchmark, record_result):
+    scale = current_scale()
+    result = benchmark.pedantic(
+        lambda: random_feed_ablation(n_nodes=256, max_rounds=40, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "a2_random_feed",
+        render_table(
+            ("Configuration", "Rounds to converge"),
+            [(name, str(stats)) for name, stats in result.items()],
+            title="A2: elementary ring (256 nodes) with/without the "
+            "peer-sampling candidate feed",
+        ),
+    )
+    assert result["with_random_feed"].failures == 0
+    assert result["without_random_feed"].n == 0, (
+        "the no-feed configuration should starve from a cold start"
+    )

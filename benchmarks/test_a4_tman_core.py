@@ -1,0 +1,37 @@
+"""A4 — T-Man as the component core protocol (ablation).
+
+The paper cites both Vicinity and T-Man as topology-construction protocols
+and uses Vicinity for its prototype. This ablation swaps T-Man in as the
+core protocol of every component and compares the full runtime's per-layer
+convergence.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import core_flavor_comparison
+from repro.experiments.harness import current_scale
+from repro.metrics.report import render_table
+
+
+def test_a4_core_flavor(benchmark, record_result):
+    scale = current_scale()
+    result = benchmark.pedantic(
+        lambda: core_flavor_comparison(n_nodes=128, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    layers = sorted(result["vicinity"])
+    record_result(
+        "a4_tman_core",
+        render_table(
+            ("Layer",) + tuple(sorted(result)),
+            [
+                (layer,) + tuple(str(result[flavor][layer]) for flavor in sorted(result))
+                for layer in layers
+            ],
+            title="A4: full runtime with Vicinity vs T-Man core protocols "
+            "(ring-of-rings, 128 nodes; rounds to converge)",
+        ),
+    )
+    for flavor in ("vicinity", "tman"):
+        assert result[flavor]["core"].failures == 0, f"{flavor} core failed"

@@ -1,0 +1,38 @@
+"""A5 — layered runtime vs the monolithic single-overlay design.
+
+The paper's motivating claim (§2.2): traditional self-organizing overlays
+"are unfortunately monolithic [...] complex combinations, such as a star of
+cliques, are more problematic". This bench quantifies the claim on exactly
+that topology: one Vicinity instance with a composite distance function
+versus the layered runtime.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import monolithic_comparison
+from repro.experiments.harness import current_scale
+from repro.metrics.report import render_table
+
+
+def test_a5_monolithic_vs_layered(benchmark, record_result):
+    scale = current_scale()
+    result = benchmark.pedantic(
+        lambda: monolithic_comparison(n_nodes=104, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(
+        "a5_monolithic",
+        render_table(
+            ("Design", "Rounds to realize all component shapes"),
+            [(name, str(stats)) for name, stats in result.items()],
+            title="A5: star-of-cliques (104 nodes) — layered runtime vs "
+            "one monolithic overlay",
+        ),
+    )
+    layered = result["layered_runtime_core"]
+    monolithic = result["monolithic_overlay"]
+    assert layered.failures == 0
+    # The monolithic design loses: slower when it converges at all (and it
+    # cannot express the links between components in any case).
+    assert monolithic.failures > 0 or monolithic.mean > layered.mean

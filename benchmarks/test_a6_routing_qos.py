@@ -1,0 +1,79 @@
+"""A6 — application QoS over the realized assembly.
+
+The paper's closing motivation: composition should "provide better Quality
+of Service [...] (better latency, load repartition)". This bench runs
+uniform random application traffic over a converged star-of-cliques and a
+ring-of-rings and reports delivery rate and hop statistics — the latency
+proxy on a round-based substrate — plus delivery under a failure wave
+(after healing).
+"""
+
+from __future__ import annotations
+
+from repro.app import MessageService
+from repro.core import Runtime
+from repro.experiments.harness import current_scale
+from repro.experiments.topologies import ring_of_rings, star_of_cliques
+from repro.metrics.report import render_table
+
+
+def run_experiment():
+    scale = current_scale()
+    seed = scale.seeds[0]
+    rows = []
+    for name, factory in (
+        ("star_of_cliques", lambda: star_of_cliques(4, 18, 8)),
+        ("ring_of_rings", lambda: ring_of_rings(8, 16)),
+    ):
+        assembly = factory()
+        deployment = Runtime(assembly, seed=seed).deploy()
+        report = deployment.run_until_converged(scale.max_rounds)
+        assert report.converged, report.rounds
+        service = MessageService(deployment)
+        healthy = service.random_traffic(200, seed=seed)
+
+        # Failure wave: kill 10% of the population, heal, re-measure.
+        rng = deployment.streams.fork("qos").stream("kill")
+        victims = rng.sample(
+            deployment.network.alive_ids(),
+            deployment.network.alive_count() // 10,
+        )
+        for victim in victims:
+            deployment.network.kill(victim)
+        deployment.rebalance()
+        deployment.run(25)
+        after = service.random_traffic(200, seed=seed + 1)
+        rows.append(
+            (
+                name,
+                f"{healthy.delivery_rate:.0%}",
+                f"{healthy.mean_hops:.2f}",
+                healthy.max_hops,
+                f"{after.delivery_rate:.0%}",
+                f"{after.mean_hops:.2f}",
+            )
+        )
+    return rows
+
+
+def test_a6_routing_qos(benchmark, record_result):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_result(
+        "a6_routing_qos",
+        render_table(
+            (
+                "Topology",
+                "Delivery",
+                "Mean hops",
+                "Max hops",
+                "Delivery (post-failure)",
+                "Mean hops (post-failure)",
+            ),
+            rows,
+            title="A6: application traffic QoS over converged assemblies "
+            "(200 random messages; 10% failure wave + healing)",
+        ),
+    )
+    for row in rows:
+        assert row[1] == "100%", f"{row[0]}: deliveries lost when healthy"
+        assert row[4] == "100%", f"{row[0]}: deliveries lost after healing"

@@ -1,0 +1,79 @@
+"""E1 (paper §4.i) — building complex real-world-like topologies.
+
+The paper's first experiment shows the framework "can actually generate
+complex topologies, comparable to those used currently in real-world
+applications". This bench converges every predefined composite assembly
+(MongoDB star-of-cliques, ring-of-rings, grid-of-rings, line-of-stars, the
+IoT composite) and reports rounds-to-converge per topology.
+"""
+
+from __future__ import annotations
+
+from repro.core import Runtime
+from repro.experiments.harness import current_scale, measure_convergence
+from repro.experiments.topologies import (
+    grid_of_rings,
+    iot_composite,
+    line_of_stars,
+    ring_of_rings,
+    star_of_cliques,
+)
+from repro.metrics.report import render_table
+
+TOPOLOGIES = [
+    ("star_of_cliques (MongoDB)", lambda: star_of_cliques(4, 18, 8)),
+    ("ring_of_rings", lambda: ring_of_rings(8, 16)),
+    ("grid_of_rings", lambda: grid_of_rings(3, 3, 12)),
+    ("line_of_stars", lambda: line_of_stars(4, 12)),
+    ("iot_composite", lambda: iot_composite(32, 15, 12, 5)),
+]
+
+
+def run_experiment():
+    scale = current_scale()
+    rows = []
+    for name, factory in TOPOLOGIES:
+        assembly = factory()
+        stats = measure_convergence(
+            assembly, assembly.total_nodes, scale.seeds, scale.max_rounds
+        )
+        slowest = max(stats.values(), key=lambda s: (s.failures, s.mean))
+        rows.append(
+            (
+                name,
+                assembly.total_nodes,
+                len(assembly.components),
+                len(assembly.links),
+                str(stats["core"]),
+                str(stats["port_connection"]),
+                str(slowest),
+            )
+        )
+    return rows
+
+
+def test_e1_complex_topologies(benchmark, record_result):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = render_table(
+        ("Topology", "Nodes", "Comps", "Links", "Core", "PortConn", "Slowest layer"),
+        rows,
+        title="E1: convergence of complex real-world-like topologies "
+        "(rounds, mean ±90% CI)",
+    )
+    record_result("e1_complex_topologies", text)
+    # Every topology must have converged in every seed (no failures).
+    for row in rows:
+        assert "failed" not in row[6], row
+
+
+def test_e1_all_layers_converge_for_mongo(benchmark):
+    """Focused check on the paper's flagship example."""
+    scale = current_scale()
+    assembly = star_of_cliques(4, 18, 8)
+
+    def run():
+        deployment = Runtime(assembly, seed=scale.seeds[0]).deploy()
+        return deployment.run_until_converged(scale.max_rounds)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.converged, report.rounds

@@ -1,0 +1,30 @@
+"""E2 (paper §4.ii) — per-sub-procedure convergence on Ring of Rings.
+
+Reports rounds-to-converge for each runtime sub-procedure (UO1, UO2, port
+selection, port connection) and the elementary monolithic baseline, on the
+paper's Ring-of-Rings topology.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ALL_SERIES, current_scale
+from repro.experiments.ring_of_rings import (
+    format_ring_of_rings,
+    run_ring_of_rings,
+)
+
+
+def test_e2_ring_of_rings(benchmark, record_result):
+    scale = current_scale()
+    result = benchmark.pedantic(
+        lambda: run_ring_of_rings(n_rings=8, ring_size=16, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("e2_ring_of_rings", format_ring_of_rings(result))
+    for series in ALL_SERIES:
+        stats = result.series[series]
+        assert stats.failures == 0, f"{series} failed to converge"
+        # Paper's qualitative claim: every sub-procedure converges fast
+        # (all series sit well under ~30 rounds at these scales).
+        assert stats.mean <= 35, f"{series} too slow: {stats}"

@@ -1,0 +1,60 @@
+"""Figure 2 — convergence time vs number of nodes (20 components).
+
+Paper: "It is fast and scales well with the number of nodes" — all five
+series stay below ~30 rounds over a logarithmic x-axis (100 → 25 600 nodes).
+This bench regenerates the series and checks the *shape*:
+
+- every series converges at every point;
+- growth over a 16× node increase is logarithmic-like, not linear: the
+  slowest point is far below 16× the fastest.
+
+``REPRO_SCALE=full`` runs the paper's exact axis (up to 25 600 nodes).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.fig2 import format_fig2, run_fig2
+from repro.experiments.harness import ALL_SERIES, current_scale
+
+
+def test_fig2_convergence_vs_nodes(benchmark, record_result):
+    scale = current_scale()
+    rows = benchmark.pedantic(
+        lambda: run_fig2(scale=scale), rounds=1, iterations=1
+    )
+    record_result("fig2_scalability_nodes", format_fig2(rows))
+
+    for row in rows:
+        for series in ALL_SERIES:
+            stats = row.series[series]
+            assert stats.failures == 0, (
+                f"{series} failed at {row.n_nodes} nodes"
+            )
+
+    # Shape check: sub-logarithmic-ish growth. Compare the largest and
+    # smallest population: rounds must grow far slower than node count.
+    smallest, largest = rows[0], rows[-1]
+    population_ratio = largest.n_nodes / smallest.n_nodes
+    for series in ALL_SERIES:
+        first = max(1.0, smallest.series[series].mean)
+        last = max(1.0, largest.series[series].mean)
+        growth = last / first
+        assert growth <= population_ratio / 2, (
+            f"{series}: rounds grew {growth:.1f}x over a "
+            f"{population_ratio:.0f}x population increase"
+        )
+        # The paper's absolute envelope: < ~30 rounds everywhere it plots.
+        budget = 30 if scale.name == "full" else 40
+        assert last <= budget, f"{series} exceeded the round envelope"
+
+    # Logarithmic trend: successive doublings add a bounded number of
+    # rounds rather than doubling them (checked on the steadiest series;
+    # the small-seed CI of the others is too wide for a per-step check).
+    series = "Same-component (UO1)"
+    means = [row.series[series].mean for row in rows]
+    increments = [b - a for a, b in zip(means, means[1:])]
+    assert max(increments) <= max(8.0, means[0] * 1.5), (
+        f"{series}: a single doubling added {max(increments):.1f} rounds"
+    )

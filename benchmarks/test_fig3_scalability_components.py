@@ -1,0 +1,46 @@
+"""Figure 3 — convergence time vs number of components (fixed population).
+
+Paper: "It is fast and increases slowly with the number of components" —
+values sit between ~2 and ~16 rounds across 1-20 components at 25 600 nodes.
+This bench regenerates the sweep at the current scale and checks:
+
+- every series converges at every component count;
+- growth with component count is slow (bounded increments, small slope).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.harness import ALL_SERIES, current_scale
+
+
+def test_fig3_convergence_vs_components(benchmark, record_result):
+    scale = current_scale()
+    rows = benchmark.pedantic(
+        lambda: run_fig3(scale=scale), rounds=1, iterations=1
+    )
+    record_result("fig3_scalability_components", format_fig3(rows))
+
+    for row in rows:
+        for series in ALL_SERIES:
+            assert row.series[series].failures == 0, (
+                f"{series} failed at {row.n_components} components"
+            )
+
+    first, last = rows[0], rows[-1]
+    component_span = last.n_components - first.n_components
+    for series in ALL_SERIES:
+        start = first.series[series].mean
+        end = last.series[series].mean
+        # "Increases slowly": bounded absolute slope — each extra component
+        # costs around a round at most, never a multiplicative blow-up.
+        # (A ratio test would be meaningless for series whose small-x
+        # baseline is trivially ~1 round, like UO2 with a single foreign
+        # component to find.)
+        slope = (end - start) / component_span
+        assert slope <= 1.5, (
+            f"{series}: {slope:.2f} extra rounds per added component "
+            f"({start:.1f} -> {end:.1f})"
+        )
+        budget = 25 if scale.name == "full" else 40
+        assert end <= budget, f"{series} exceeded the round envelope ({end})"

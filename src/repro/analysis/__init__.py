@@ -1,0 +1,28 @@
+"""Analysis and export of realized overlay topologies.
+
+The runtime's layers expose their realized neighbour relations; this package
+turns them into inspectable artifacts:
+
+- :mod:`~repro.analysis.graphs` — build ``networkx`` graphs of any layer,
+  compute structural quality metrics (connectivity, diameter, degree
+  distributions, shape accuracy);
+- :mod:`~repro.analysis.export` — serialize realized topologies to DOT or
+  edge-list text for external visualization.
+"""
+
+from repro.analysis.export import to_dot, to_edge_list
+from repro.analysis.graphs import (
+    component_subgraph,
+    realized_graph,
+    shape_accuracy,
+    topology_summary,
+)
+
+__all__ = [
+    "component_subgraph",
+    "realized_graph",
+    "shape_accuracy",
+    "to_dot",
+    "to_edge_list",
+    "topology_summary",
+]

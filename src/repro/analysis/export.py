@@ -1,0 +1,64 @@
+"""Serialization of realized topologies for external tooling."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.analysis.graphs import realized_graph
+from repro.core.layers import LAYER_CORE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Deployment
+
+#: A stable palette for per-component colouring in DOT output.
+_PALETTE = (
+    "#4e79a7",
+    "#f28e2b",
+    "#e15759",
+    "#76b7b2",
+    "#59a14f",
+    "#edc948",
+    "#b07aa1",
+    "#ff9da7",
+    "#9c755f",
+    "#bab0ac",
+)
+
+
+def to_dot(deployment: "Deployment", layer: str = LAYER_CORE) -> str:
+    """Render the realized topology as Graphviz DOT text.
+
+    Nodes are coloured per component; realized inter-component links are
+    drawn bold. Pipe into ``dot -Tsvg`` (or ``neato`` for force layout).
+    """
+    graph = realized_graph(deployment, layer)
+    components = sorted(deployment.assembly.components)
+    color_of = {
+        name: _PALETTE[index % len(_PALETTE)]
+        for index, name in enumerate(components)
+    }
+    lines: List[str] = [
+        f'graph "{deployment.assembly.name}" {{',
+        "    node [style=filled, shape=circle, fontsize=9];",
+    ]
+    for node_id, data in sorted(graph.nodes(data=True)):
+        color = color_of.get(data["component"], "#cccccc")
+        lines.append(
+            f'    n{node_id} [label="{node_id}", fillcolor="{color}", '
+            f'tooltip="{data["component"]}#{data["rank"]}"];'
+        )
+    for a, b, data in sorted(graph.edges(data=True)):
+        style = ' [penwidth=3, color="#333333"]' if data.get("kind") == "link" else ""
+        lines.append(f"    n{a} -- n{b}{style};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_edge_list(deployment: "Deployment", layer: str = LAYER_CORE) -> str:
+    """Render the realized topology as ``a b kind`` edge-list text."""
+    graph = realized_graph(deployment, layer)
+    lines = [
+        f"{a} {b} {data.get('kind', 'overlay')}"
+        for a, b, data in sorted(graph.edges(data=True))
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,33 @@
+"""Application layer: communicating over a realized assembly.
+
+The point of maintaining a topology is running traffic on it. This package
+provides the messaging surface the paper's motivation sketches — services
+composed of components exchanging requests through ports and links, plus
+the future-work idea of *opportunistic* cross-component reach through UO2's
+long-distance contacts:
+
+- :class:`~repro.app.routing.Router` — hop-by-hop routing over the realized
+  overlays, using only knowledge each node locally holds (core-protocol
+  neighbours, port bindings, UO2 contacts);
+- :class:`~repro.app.messaging.MessageService` — a request/delivery facade
+  with hop accounting, used by the examples and the QoS ablation.
+"""
+
+from repro.app.aggregation import PushSum, attach_push_sum, component_average
+from repro.app.broadcast import BroadcastResult, flood, gossip_broadcast
+from repro.app.messaging import DeliveryReport, MessageService
+from repro.app.routing import Route, Router, RoutingError
+
+__all__ = [
+    "BroadcastResult",
+    "DeliveryReport",
+    "MessageService",
+    "PushSum",
+    "Route",
+    "Router",
+    "RoutingError",
+    "attach_push_sum",
+    "component_average",
+    "flood",
+    "gossip_broadcast",
+]

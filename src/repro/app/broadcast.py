@@ -1,0 +1,136 @@
+"""Dissemination over the realized topology.
+
+Broadcast is the workload the paper's cited application classes (streaming,
+pub/sub, decentralized social networks) run on their overlays. Two
+mechanisms are provided, both operating purely on realized neighbour
+relations:
+
+- :func:`flood` — deterministic flooding along core-overlay edges and
+  realized links: every informed node forwards to all its neighbours each
+  round. Reaches everything reachable, at ``O(edges)`` message cost.
+- :func:`gossip_broadcast` — probabilistic infect-and-push: each informed
+  node pushes to ``fanout`` random neighbours per round (core ∪ UO1 ∪ link
+  ∪ UO2 contacts). The classic epidemic trade-off: ~``fanout × n`` messages
+  per round, latency logarithmic in the component size.
+
+Both return a :class:`BroadcastResult` with per-round infection counts, so
+benches can compare cost/latency — a QoS decision the paper's future work
+gestures at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Set
+
+from repro.errors import ConfigurationError
+from repro.core.layers import (
+    LAYER_CORE,
+    LAYER_PORT_CONNECTION,
+    LAYER_UO1,
+    LAYER_UO2,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Deployment
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of one dissemination."""
+
+    origin: int
+    informed: Set[int] = field(default_factory=set)
+    per_round: List[int] = field(default_factory=list)
+    messages: int = 0
+
+    @property
+    def rounds(self) -> int:
+        return len(self.per_round)
+
+    def coverage(self, population: int) -> float:
+        return len(self.informed) / population if population else 1.0
+
+
+def _neighbors_of(deployment: "Deployment", node_id: int, include_uo2: bool) -> List[int]:
+    """A node's forwarding set: core shape neighbours, realized links where
+    it is a manager, and (optionally) UO2 long-distance contacts."""
+    node = deployment.network.node(node_id)
+    out: Set[int] = set()
+    out.update(node.protocol(LAYER_CORE).neighbors())
+    out.update(node.protocol(LAYER_PORT_CONNECTION).neighbors())
+    if include_uo2:
+        out.update(node.protocol(LAYER_UO2).neighbors())
+        out.update(node.protocol(LAYER_UO1).neighbors())
+    out.discard(node_id)
+    return [other for other in out if deployment.network.is_alive(other)]
+
+
+def flood(
+    deployment: "Deployment",
+    origin: int,
+    max_rounds: int = 64,
+    include_uo2: bool = False,
+) -> BroadcastResult:
+    """Flood from ``origin`` along realized edges; returns infection trace."""
+    if not deployment.network.is_alive(origin):
+        raise ConfigurationError(f"origin {origin} is not alive")
+    result = BroadcastResult(origin=origin, informed={origin})
+    frontier = [origin]
+    for _ in range(max_rounds):
+        if not frontier:
+            break
+        next_frontier: List[int] = []
+        for node_id in frontier:
+            for neighbor in _neighbors_of(deployment, node_id, include_uo2):
+                result.messages += 1
+                if neighbor not in result.informed:
+                    result.informed.add(neighbor)
+                    next_frontier.append(neighbor)
+        result.per_round.append(len(result.informed))
+        frontier = next_frontier
+    return result
+
+
+def gossip_broadcast(
+    deployment: "Deployment",
+    origin: int,
+    fanout: int = 2,
+    max_rounds: int = 64,
+    seed: int = 0,
+    include_uo2: bool = True,
+) -> BroadcastResult:
+    """Epidemic push from ``origin``: each informed node pushes to ``fanout``
+    random neighbours per round, until a round infects nobody new (and the
+    frontier has no chance left) or the budget runs out."""
+    if fanout < 1:
+        raise ConfigurationError(f"fanout must be >= 1, got {fanout}")
+    if not deployment.network.is_alive(origin):
+        raise ConfigurationError(f"origin {origin} is not alive")
+    rng = deployment.streams.fork("broadcast").stream("push", origin, seed)
+    result = BroadcastResult(origin=origin, informed={origin})
+    population = deployment.network.alive_count()
+    stale_rounds = 0
+    for _ in range(max_rounds):
+        newly: Set[int] = set()
+        for node_id in list(result.informed):
+            neighbors = _neighbors_of(deployment, node_id, include_uo2)
+            if not neighbors:
+                continue
+            targets = (
+                neighbors
+                if len(neighbors) <= fanout
+                else rng.sample(neighbors, fanout)
+            )
+            for target in targets:
+                result.messages += 1
+                if target not in result.informed:
+                    newly.add(target)
+        result.informed.update(newly)
+        result.per_round.append(len(result.informed))
+        if len(result.informed) >= population:
+            break
+        stale_rounds = stale_rounds + 1 if not newly else 0
+        if stale_rounds >= 3:
+            break  # converged short of full coverage (partition or bad luck)
+    return result

@@ -1,0 +1,143 @@
+"""A request/delivery facade over the router.
+
+``MessageService`` is what an application embedded in the assembly would
+use: node-to-node sends, port-addressed calls ("send this to
+``storage.ingest``, whoever manages it"), and aggregate delivery statistics
+for QoS measurements (mean hops, link crossings, success rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+from repro.app.routing import Route, Router, RoutingError
+from repro.core.layers import LAYER_PORT_SELECTION
+from repro.core.link import PortRef
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Deployment
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of one send."""
+
+    source: int
+    destination: Optional[int]
+    delivered: bool
+    route: Optional[Route] = None
+    error: str = ""
+
+    @property
+    def hops(self) -> Optional[int]:
+        return self.route.hops if self.route is not None else None
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate over many deliveries."""
+
+    attempted: int
+    delivered: int
+    mean_hops: float
+    max_hops: int
+    link_crossings: int
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.attempted if self.attempted else 1.0
+
+
+class MessageService:
+    """Application messaging bound to one deployment."""
+
+    def __init__(self, deployment: "Deployment", max_hops: int = 256):
+        self.deployment = deployment
+        self.router = Router(deployment, max_hops=max_hops)
+
+    # -- sends ---------------------------------------------------------------
+
+    def send(self, source: int, destination: int) -> DeliveryReport:
+        """Route one message node-to-node."""
+        try:
+            route = self.router.route(source, destination)
+        except RoutingError as exc:
+            return DeliveryReport(
+                source=source,
+                destination=destination,
+                delivered=False,
+                error=str(exc),
+            )
+        return DeliveryReport(
+            source=source, destination=destination, delivered=True, route=route
+        )
+
+    def call(
+        self, source: int, port: Union[str, PortRef]
+    ) -> DeliveryReport:
+        """Send to *whoever currently manages* a port (``"comp.port"``).
+
+        The port manager is resolved with the **source's local knowledge**
+        when the port belongs to its own component, and with the managing
+        component's own (converged) election otherwise — mirroring how a
+        real request would be addressed through the assembly.
+        """
+        ref = PortRef.parse(port) if isinstance(port, str) else port
+        network = self.deployment.network
+        role_map = self.deployment.role_map
+        source_component = role_map.role(source).component
+        manager: Optional[int] = None
+        if source_component == ref.component:
+            selection = network.node(source).protocol(LAYER_PORT_SELECTION)
+            manager = selection.manager_of(ref.port)
+        else:
+            members = role_map.members(ref.component)
+            live = [
+                (node_id, rank)
+                for node_id, rank in members
+                if network.is_alive(node_id)
+            ]
+            selector = self.deployment.assembly.port(ref).selector
+            manager = selector.choose(live)
+        if manager is None or not network.is_alive(manager):
+            return DeliveryReport(
+                source=source,
+                destination=None,
+                delivered=False,
+                error=f"no live manager for {ref}",
+            )
+        return self.send(source, manager)
+
+    # -- aggregate traffic ---------------------------------------------------------
+
+    def run_traffic(
+        self, pairs: Sequence[Sequence[int]]
+    ) -> TrafficStats:
+        """Deliver a batch of (source, destination) pairs and aggregate."""
+        reports: List[DeliveryReport] = [
+            self.send(source, destination) for source, destination in pairs
+        ]
+        delivered = [report for report in reports if report.delivered]
+        hop_counts = [report.route.hops for report in delivered]
+        return TrafficStats(
+            attempted=len(reports),
+            delivered=len(delivered),
+            mean_hops=(sum(hop_counts) / len(hop_counts)) if hop_counts else 0.0,
+            max_hops=max(hop_counts) if hop_counts else 0,
+            link_crossings=sum(
+                report.route.link_crossings for report in delivered
+            ),
+        )
+
+    def random_traffic(self, n_messages: int, seed: int = 0) -> TrafficStats:
+        """Uniform random source/destination traffic over live nodes."""
+        import random
+
+        rng = random.Random(seed)
+        alive = self.deployment.network.alive_ids()
+        pairs = [
+            rng.sample(alive, 2)
+            for _ in range(n_messages)
+        ]
+        return self.run_traffic(pairs)

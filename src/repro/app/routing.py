@@ -1,0 +1,302 @@
+"""Hop-by-hop routing over the realized assembly.
+
+Routing uses only state the involved nodes actually hold:
+
+- **intra-component**: greedy forwarding on the component shape's metric —
+  each hop moves to the core-protocol neighbour strictly closest to the
+  destination's coordinate (the standard routing scheme on metric overlays:
+  rings, grids, tori, trees and hypercubes are all greedy-routable; cliques
+  are one hop);
+- **inter-component**: the assembly's link graph is walked component by
+  component. Within each component the message is routed to the manager of
+  the port that links toward the next component (known locally through port
+  selection), crosses the link (known through port connection), and
+  continues;
+- **opportunistic**: when no link path exists, UO2's long-distance contacts
+  are used as a direct shortcut — the paper's future-work idea of leveraging
+  "a third-party system as relays".
+
+A :class:`Route` records the node path plus which mechanism produced each
+hop, so examples and benches can report hop counts and link crossings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.core.layers import (
+    LAYER_CORE,
+    LAYER_PORT_CONNECTION,
+    LAYER_PORT_SELECTION,
+    LAYER_UO2,
+)
+from repro.core.link import PortRef
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Deployment
+
+
+class RoutingError(ReproError):
+    """No route could be constructed with the nodes' current knowledge."""
+
+
+@dataclass
+class Route:
+    """A realized path through the overlay.
+
+    ``mechanisms`` labels each hop: ``greedy`` (intra-component metric
+    descent), ``link`` (port-to-port crossing), ``uo2`` (opportunistic
+    long-distance contact).
+    """
+
+    path: List[int] = field(default_factory=list)
+    mechanisms: List[str] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+    @property
+    def link_crossings(self) -> int:
+        return sum(1 for mechanism in self.mechanisms if mechanism == "link")
+
+    def extend(self, node_id: int, mechanism: str) -> None:
+        self.path.append(node_id)
+        self.mechanisms.append(mechanism)
+
+    def __repr__(self) -> str:
+        return f"Route(hops={self.hops}, path={self.path})"
+
+
+class Router:
+    """Routes between live nodes of a converged deployment."""
+
+    def __init__(
+        self,
+        deployment: "Deployment",
+        max_hops: int = 256,
+        allow_flooding: bool = True,
+    ):
+        self.deployment = deployment
+        self.max_hops = max_hops
+        # Shapes without a routable gradient (the random graph: every pair
+        # is equidistant) fall back to bounded flooding — a BFS over the
+        # same neighbour knowledge — unless disabled.
+        self.allow_flooding = allow_flooding
+
+    # -- public API ---------------------------------------------------------
+
+    def route(self, source: int, destination: int) -> Route:
+        """A route from ``source`` to ``destination``; raises on failure."""
+        network = self.deployment.network
+        if not network.is_alive(source) or not network.is_alive(destination):
+            raise RoutingError("source and destination must be alive")
+        role_map = self.deployment.role_map
+        route = Route(path=[source], mechanisms=[])
+        if source == destination:
+            return route
+        src_component = role_map.role(source).component
+        dst_component = role_map.role(destination).component
+        if src_component == dst_component:
+            self._route_within(route, destination)
+            return route
+        component_path = self._component_path(src_component, dst_component)
+        if component_path is None:
+            self._route_opportunistic(route, dst_component)
+        else:
+            self._route_over_links(route, component_path)
+        self._route_within(route, destination)
+        return route
+
+    # -- intra-component greedy ------------------------------------------------
+
+    def _coordinate_of(self, node_id: int):
+        role = self.deployment.role_map.role(node_id)
+        shape = self.deployment.assembly.component(role.component).shape
+        return shape.coordinate(role.rank, role.comp_size), shape.metric(
+            role.comp_size
+        )
+
+    def _route_within(self, route: Route, destination: int) -> None:
+        """Greedy metric descent inside the current (= destination's) component."""
+        network = self.deployment.network
+        role_map = self.deployment.role_map
+        current = route.path[-1]
+        if current == destination:
+            return
+        target_coord, metric = self._coordinate_of(destination)
+        component = role_map.role(destination).component
+        visited = {current}
+        while current != destination:
+            if route.hops >= self.max_hops:
+                raise RoutingError(
+                    f"hop budget exhausted en route to {destination}"
+                )
+            node = network.node(current)
+            neighbors = [
+                neighbor
+                for neighbor in node.protocol(LAYER_CORE).neighbors()
+                if network.is_alive(neighbor)
+                and role_map.has_role(neighbor)
+                and role_map.role(neighbor).component == component
+            ]
+            if destination in neighbors:
+                route.extend(destination, "greedy")
+                return
+            current_role = role_map.role(current)
+            shape = self.deployment.assembly.component(component).shape
+            current_coord = shape.coordinate(
+                current_role.rank, current_role.comp_size
+            )
+            best: Optional[Tuple[float, int]] = None
+            for neighbor in neighbors:
+                if neighbor in visited:
+                    continue
+                neighbor_role = role_map.role(neighbor)
+                coord = shape.coordinate(
+                    neighbor_role.rank, neighbor_role.comp_size
+                )
+                distance = metric(coord, target_coord)
+                if best is None or distance < best[0]:
+                    best = (distance, neighbor)
+            if best is None or best[0] >= metric(current_coord, target_coord):
+                if self.allow_flooding:
+                    self._route_flood(route, destination, component)
+                    return
+                raise RoutingError(
+                    f"greedy routing stuck at node {current} "
+                    f"(component {component!r})"
+                )
+            current = best[1]
+            visited.add(current)
+            route.extend(current, "greedy")
+
+    def _route_flood(self, route: Route, destination: int, component: str) -> None:
+        """Bounded-BFS fallback over the same core/UO1 neighbour knowledge.
+
+        Models a scoped flood inside the component (the honest mechanism on
+        gradient-free shapes); the recorded path is the first discovery
+        path, each hop labelled ``flood``.
+        """
+        network = self.deployment.network
+        role_map = self.deployment.role_map
+        start = route.path[-1]
+        parents: Dict[int, int] = {}
+        queue = deque([start])
+        seen = {start}
+        found = False
+        while queue and not found:
+            current = queue.popleft()
+            node = network.node(current)
+            neighbors = list(node.protocol(LAYER_CORE).neighbors())
+            if node.has_protocol("uo1"):
+                neighbors.extend(node.protocol("uo1").neighbors())
+            for neighbor in neighbors:
+                if neighbor in seen or not network.is_alive(neighbor):
+                    continue
+                if not role_map.has_role(neighbor):
+                    continue
+                if role_map.role(neighbor).component != component:
+                    continue
+                parents[neighbor] = current
+                if neighbor == destination:
+                    found = True
+                    break
+                seen.add(neighbor)
+                queue.append(neighbor)
+        if not found:
+            raise RoutingError(
+                f"flooding from {start} did not reach {destination} "
+                f"in component {component!r}"
+            )
+        hops: List[int] = []
+        cursor = destination
+        while cursor != start:
+            hops.append(cursor)
+            cursor = parents[cursor]
+        for node_id in reversed(hops):
+            if route.hops >= self.max_hops:
+                raise RoutingError("hop budget exhausted during flood")
+            route.extend(node_id, "flood")
+
+    # -- inter-component over links ------------------------------------------------
+
+    def _component_path(
+        self, src_component: str, dst_component: str
+    ) -> Optional[List[Tuple[str, PortRef, PortRef]]]:
+        """BFS over the assembly's logical link graph.
+
+        Returns a list of ``(next_component, local_port, remote_port)``
+        crossings, or ``None`` when the components are not link-connected.
+        """
+        assembly = self.deployment.assembly
+        parents: Dict[str, Tuple[str, PortRef, PortRef]] = {}
+        queue = deque([src_component])
+        seen = {src_component}
+        while queue:
+            component = queue.popleft()
+            if component == dst_component:
+                break
+            for link in assembly.links_of(component):
+                local = link.a if link.a.component == component else link.b
+                remote = link.other(local)
+                neighbor = remote.component
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                parents[neighbor] = (component, local, remote)
+                queue.append(neighbor)
+        if dst_component not in seen:
+            return None
+        crossings: List[Tuple[str, PortRef, PortRef]] = []
+        cursor = dst_component
+        while cursor != src_component:
+            previous, local, remote = parents[cursor]
+            crossings.append((cursor, local, remote))
+            cursor = previous
+        crossings.reverse()
+        return crossings
+
+    def _route_over_links(
+        self, route: Route, crossings: List[Tuple[str, PortRef, PortRef]]
+    ) -> None:
+        network = self.deployment.network
+        for _, local_port, remote_port in crossings:
+            # 1. reach the local port's manager (greedy within component);
+            current = route.path[-1]
+            selection = network.node(current).protocol(LAYER_PORT_SELECTION)
+            manager = selection.manager_of(local_port.port)
+            if manager is None or not network.is_alive(manager):
+                raise RoutingError(f"no live manager known for {local_port}")
+            if manager != current:
+                self._route_within(route, manager)
+            # 2. cross the link through the manager's binding.
+            connection = network.node(manager).protocol(LAYER_PORT_CONNECTION)
+            remote_manager = connection.binding_for(remote_port)
+            if remote_manager is None or not network.is_alive(remote_manager):
+                raise RoutingError(f"link {local_port} -- {remote_port} not bound")
+            route.extend(remote_manager, "link")
+
+    # -- opportunistic (UO2) -----------------------------------------------------------
+
+    def _route_opportunistic(self, route: Route, dst_component: str) -> None:
+        """Shortcut into ``dst_component`` through a UO2 contact.
+
+        Walks the current component over UO1/core is unnecessary: any node
+        with a live contact in the destination component can jump directly;
+        we use the current node's own contacts, which a converged UO2 makes
+        overwhelmingly likely to exist.
+        """
+        network = self.deployment.network
+        current = route.path[-1]
+        contacts = network.node(current).protocol(LAYER_UO2).contacts(dst_component)
+        for descriptor in contacts:
+            if network.is_alive(descriptor.node_id):
+                route.extend(descriptor.node_id, "uo2")
+                return
+        raise RoutingError(
+            f"node {current} holds no live UO2 contact in {dst_component!r}"
+        )

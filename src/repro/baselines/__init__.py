@@ -1,0 +1,23 @@
+"""Baselines the paper's figures compare against.
+
+- :func:`~repro.baselines.monolithic.elementary_convergence` — the
+  "Elementary Topology" series of Figures 2 and 3: a single traditional
+  self-organizing overlay (plain Vicinity over peer sampling) building one
+  elementary shape over the whole population;
+- :class:`~repro.baselines.monolithic.MonolithicComposite` — the
+  single-distance-function attempt at a *complex* topology the paper argues
+  against ("more complex combinations, such as a star of cliques, are more
+  problematic"), used by the ablation benches to quantify that claim.
+"""
+
+from repro.baselines.monolithic import (
+    MonolithicComposite,
+    elementary_bandwidth,
+    elementary_convergence,
+)
+
+__all__ = [
+    "MonolithicComposite",
+    "elementary_bandwidth",
+    "elementary_convergence",
+]

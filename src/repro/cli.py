@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``validate FILE``
+    Parse + compile a DSL topology file; report errors with positions.
+``show FILE``
+    Print the normalized (pretty-printed) form of a topology file.
+``shapes``
+    List the shapes available in the component library.
+``run FILE``
+    Deploy the topology on the simulator, converge, and report per-layer
+    rounds, bandwidth split, and a structural summary.
+``export FILE``
+    Converge the topology and dump the realized overlay as Graphviz DOT or
+    an edge list.
+``bench {fig2,fig3,fig4,e2,e3}``
+    Regenerate one of the paper's figures/experiments at the current
+    ``REPRO_SCALE`` and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.core.runtime import Runtime
+from repro.dsl import compile_source, to_source
+from repro.shapes import available_shapes
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return compile_source(handle.read())
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    assembly = _load(args.file)
+    print(
+        f"OK: topology {assembly.name!r} — "
+        f"{len(assembly.components)} component(s), {len(assembly.links)} link(s), "
+        f"min {assembly.min_nodes()} node(s)"
+        + (f", declared nodes {assembly.total_nodes}" if assembly.total_nodes else "")
+    )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(to_source(_load(args.file)), end="")
+    return 0
+
+
+def _cmd_shapes(args: argparse.Namespace) -> int:
+    for name in available_shapes():
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    assembly = _load(args.file)
+    deployment = Runtime(assembly, seed=args.seed).deploy(args.nodes)
+    report = deployment.run_until_converged(args.max_rounds)
+    print(f"converged: {report.converged} (executed {report.executed} rounds)")
+    for layer, rounds in sorted(report.rounds.items()):
+        print(f"  {layer:>16}: {rounds}")
+    if report.executed:
+        split = deployment.bandwidth_split(report.executed)
+        population = max(1, deployment.network.alive_count())
+        print(
+            "bandwidth/node/round — baseline: "
+            f"{sum(split['baseline']) / report.executed / population:.0f} B, "
+            f"overhead: {sum(split['overhead']) / report.executed / population:.0f} B"
+        )
+    if args.summary:
+        from repro.analysis import topology_summary
+
+        print(f"summary: {topology_summary(deployment)}")
+    return 0 if report.converged else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    assembly = _load(args.file)
+    deployment = Runtime(assembly, seed=args.seed).deploy(args.nodes)
+    report = deployment.run_until_converged(args.max_rounds)
+    if not report.converged:
+        print(f"warning: not converged within {args.max_rounds} rounds", file=sys.stderr)
+    from repro.analysis import to_dot, to_edge_list
+
+    output = to_dot(deployment) if args.format == "dot" else to_edge_list(deployment)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(output)
+        print(f"wrote {args.output}")
+    else:
+        print(output, end="")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    target = args.target
+    if target == "fig2":
+        from repro.experiments.fig2 import format_fig2, run_fig2
+
+        print(format_fig2(run_fig2()))
+    elif target == "fig3":
+        from repro.experiments.fig3 import format_fig3, run_fig3
+
+        print(format_fig3(run_fig3()))
+    elif target == "fig4":
+        from repro.experiments.fig4 import format_fig4, run_fig4
+
+        print(format_fig4(run_fig4()))
+    elif target == "e2":
+        from repro.experiments.ring_of_rings import (
+            format_ring_of_rings,
+            run_ring_of_rings,
+        )
+
+        print(format_ring_of_rings(run_ring_of_rings()))
+    elif target == "e3":
+        from repro.experiments.reconfiguration import (
+            format_reconfiguration,
+            run_reconfiguration,
+        )
+
+        print(format_reconfiguration(run_reconfiguration()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Assembly-based construction of complex distributed topologies",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    validate = subparsers.add_parser("validate", help="check a DSL topology file")
+    validate.add_argument("file")
+    validate.set_defaults(func=_cmd_validate)
+
+    show = subparsers.add_parser("show", help="pretty-print a topology file")
+    show.add_argument("file")
+    show.set_defaults(func=_cmd_show)
+
+    shapes = subparsers.add_parser("shapes", help="list available shapes")
+    shapes.set_defaults(func=_cmd_shapes)
+
+    run = subparsers.add_parser("run", help="deploy a topology and converge it")
+    run.add_argument("file")
+    run.add_argument("--nodes", type=int, default=None)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--max-rounds", type=int, default=120)
+    run.add_argument("--summary", action="store_true", help="print graph metrics")
+    run.set_defaults(func=_cmd_run)
+
+    export = subparsers.add_parser("export", help="dump the realized overlay")
+    export.add_argument("file")
+    export.add_argument("--format", choices=("dot", "edges"), default="dot")
+    export.add_argument("--output", default=None)
+    export.add_argument("--nodes", type=int, default=None)
+    export.add_argument("--seed", type=int, default=1)
+    export.add_argument("--max-rounds", type=int, default=120)
+    export.set_defaults(func=_cmd_export)
+
+    bench = subparsers.add_parser("bench", help="regenerate a paper figure")
+    bench.add_argument("target", choices=("fig2", "fig3", "fig4", "e2", "e3"))
+    bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

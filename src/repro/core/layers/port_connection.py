@@ -1,0 +1,242 @@
+"""Port connection — realizing the links between ports.
+
+Paper §3.3: the last overlay handles "the connection between different ports
+according to the links specified in the target topology". Nodes gossip a
+table of *port bindings* — records ``(component, port) → (manager, age)`` —
+in two directions:
+
+- with same-component neighbours (via UO1), spreading knowledge of both the
+  local ports' managers and whatever remote bindings are known;
+- with UO2's long-distance contacts in *linked* components, which is how a
+  binding first crosses the component boundary.
+
+A link ``A.p -- B.q`` is *realized* once the manager of ``A.p`` holds a
+fresh binding for ``B.q`` and vice versa: at the node level those two
+managers are connected, which is exactly the paper's definition of a link
+("a connection between two nodes from two different components").
+
+Bindings age every round and expire, so a manager crash or a reconfiguration
+heals: the stale binding dies out while port selection elects a replacement
+whose fresh binding then propagates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.link import LinkSpec, PortRef
+from repro.core.profiles import NodeProfile
+from repro.sim.engine import RoundContext
+from repro.sim.protocol import Protocol
+
+#: A binding: who manages a port, and how stale that knowledge is.
+Binding = Tuple[int, int]  # (manager_id, age)
+
+#: Bindings older than this many rounds are discarded (failure healing).
+DEFAULT_BINDING_TTL = 16
+
+
+class PortConnection(Protocol):
+    """One node's port-connection instance.
+
+    Parameters
+    ----------
+    node_id, profile:
+        Identity and current role of the hosting node.
+    links:
+        Every link of the assembly that touches the node's component.
+    layer, selection_layer, uo1_layer, uo2_layer:
+        Attachment labels of this protocol and its helper layers.
+    binding_ttl:
+        Rounds before an unrefreshed binding is dropped.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        profile: NodeProfile,
+        links: Tuple[LinkSpec, ...],
+        layer: str = "port_connection",
+        selection_layer: str = "port_selection",
+        uo1_layer: str = "uo1",
+        uo2_layer: str = "uo2",
+        binding_ttl: int = DEFAULT_BINDING_TTL,
+    ):
+        self.node_id = node_id
+        self.profile = profile
+        self.links = tuple(links)
+        self.layer = layer
+        self.selection_layer = selection_layer
+        self.uo1_layer = uo1_layer
+        self.uo2_layer = uo2_layer
+        self.binding_ttl = binding_ttl
+        self.bindings: Dict[PortRef, Binding] = {}
+        self._relevant = self._relevant_refs()
+
+    def _relevant_refs(self) -> frozenset:
+        """The only port refs this node needs bindings for: the endpoints of
+        its component's links. Bounding the table here bounds the gossip
+        message size by the node's link degree, not the whole assembly."""
+        return frozenset(
+            ref for link in self.links for ref in link.endpoints()
+        )
+
+    # -- identity ------------------------------------------------------------------
+
+    def set_profile(self, profile: NodeProfile, links: Tuple[LinkSpec, ...]) -> None:
+        """Adopt a new role (reconfiguration): stale bindings are flushed."""
+        self.profile = profile
+        self.links = tuple(links)
+        self.bindings = {}
+        self._relevant = self._relevant_refs()
+
+    # -- queries ---------------------------------------------------------------------
+
+    def binding_for(self, ref: PortRef) -> Optional[int]:
+        """The manager currently bound to ``ref``, if known and fresh."""
+        binding = self.bindings.get(ref)
+        return binding[0] if binding else None
+
+    def realized_links(self) -> List[Tuple[LinkSpec, int, int]]:
+        """Links this node can currently resolve end-to-end.
+
+        Returns ``(link, local_manager, remote_manager)`` for every link of
+        the component whose both endpoint bindings are known here.
+        """
+        resolved = []
+        for link in self.links:
+            local_ref, remote_ref = self._orient(link)
+            if local_ref is None:
+                continue
+            local_manager = self.binding_for(local_ref)
+            remote_manager = self.binding_for(remote_ref)
+            if local_manager is not None and remote_manager is not None:
+                resolved.append((link, local_manager, remote_manager))
+        return resolved
+
+    def neighbors(self) -> List[int]:
+        """Remote managers this node is linked to, where it manages a port."""
+        out = set()
+        for link, local_manager, remote_manager in self.realized_links():
+            if local_manager == self.node_id:
+                out.add(remote_manager)
+        return sorted(out)
+
+    def forget(self, node_id: int) -> None:
+        doomed = [ref for ref, (mgr, _) in self.bindings.items() if mgr == node_id]
+        for ref in doomed:
+            del self.bindings[ref]
+
+    # -- protocol ---------------------------------------------------------------------
+
+    def step(self, ctx: RoundContext) -> None:
+        self._age_and_expire()
+        self._refresh_local_bindings(ctx)
+        if not self.links:
+            return
+        if not ctx.exchange_ok():
+            return  # this round's exchange was lost
+        partner_id = self._choose_partner(ctx)
+        if partner_id is None:
+            return
+        partner_protocol = ctx.network.node(partner_id).protocol(self.layer)
+        assert isinstance(partner_protocol, PortConnection)
+        outgoing = dict(self.bindings)
+        incoming = partner_protocol.on_gossip(ctx, outgoing)
+        ctx.transport.record_exchange(self.layer, len(outgoing), len(incoming))
+        self._merge(ctx, incoming)
+
+    def on_gossip(
+        self, ctx: RoundContext, received: Dict[PortRef, Binding]
+    ) -> Dict[PortRef, Binding]:
+        reply = dict(self.bindings)
+        self._merge(ctx, received)
+        return reply
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _orient(self, link: LinkSpec):
+        """Split a link into (my component's endpoint, the other endpoint)."""
+        if link.a.component == self.profile.component:
+            return link.a, link.b
+        if link.b.component == self.profile.component:
+            return link.b, link.a
+        return None, None
+
+    def _age_and_expire(self) -> None:
+        aged: Dict[PortRef, Binding] = {}
+        for ref, (manager_id, age) in self.bindings.items():
+            if age + 1 <= self.binding_ttl:
+                aged[ref] = (manager_id, age + 1)
+        self.bindings = aged
+
+    def _refresh_local_bindings(self, ctx: RoundContext) -> None:
+        """Re-publish the managers of this component's ports from the local
+        port-selection beliefs (age 0: authoritative at the source)."""
+        if not ctx.node.has_protocol(self.selection_layer):
+            return
+        selection = ctx.node.protocol(self.selection_layer)
+        for link in self.links:
+            local_ref, _ = self._orient(link)
+            if local_ref is None:
+                continue
+            manager_id = selection.manager_of(local_ref.port)
+            if manager_id is not None:
+                self.bindings[local_ref] = (manager_id, 0)
+
+    def _choose_partner(self, ctx: RoundContext) -> Optional[int]:
+        """Prefer a long-distance contact in a linked component (odd rounds),
+        otherwise a same-component neighbour (even rounds)."""
+        rng = ctx.rng()
+        linked = {
+            ref.component
+            for link in self.links
+            for ref in link.endpoints()
+            if ref.component != self.profile.component
+        }
+        foreign: List[int] = []
+        if ctx.node.has_protocol(self.uo2_layer):
+            uo2 = ctx.node.protocol(self.uo2_layer)
+            # Sorted: set iteration order depends on the per-process string
+            # hash seed, and candidate order feeds rng.choice — without the
+            # sort, runs would differ across processes despite fixed seeds.
+            for component in sorted(linked):
+                for descriptor in uo2.contacts(component):
+                    if ctx.network.is_alive(descriptor.node_id):
+                        foreign.append(descriptor.node_id)
+        local: List[int] = []
+        if ctx.node.has_protocol(self.uo1_layer):
+            local = [
+                node_id
+                for node_id in ctx.node.protocol(self.uo1_layer).neighbors()
+                if ctx.network.is_alive(node_id)
+            ]
+        pools = [foreign, local] if ctx.round % 2 else [local, foreign]
+        for pool in pools:
+            candidates = [
+                node_id
+                for node_id in pool
+                if ctx.network.node(node_id).has_protocol(self.layer)
+            ]
+            if candidates:
+                return rng.choice(candidates)
+        return None
+
+    def _merge(self, ctx: RoundContext, received: Dict[PortRef, Binding]) -> None:
+        """Keep the freshest binding per port; drop dead managers on sight.
+
+        Only bindings for this component's link endpoints are retained —
+        everything else is another part of the assembly's business and
+        would bloat the table (and every future message) linearly in the
+        total number of ports.
+        """
+        for ref, (manager_id, age) in received.items():
+            if ref not in self._relevant:
+                continue
+            if age > self.binding_ttl:
+                continue
+            if not ctx.network.is_alive(manager_id):
+                continue
+            mine = self.bindings.get(ref)
+            if mine is None or age < mine[1]:
+                self.bindings[ref] = (manager_id, age)

@@ -1,0 +1,199 @@
+"""UO2 — the distant-component utility overlay.
+
+Paper §3.3: the second utility overlay maintains "'long distance' connections
+between nodes from different components (for performance issues)". Each node
+keeps a small bucket of contacts *per foreign component*; the buckets are
+filled by harvesting the global random view and by gossiping contact tables
+with both same-component neighbours (spreading knowledge inside the
+component) and foreign contacts (bridging components).
+
+These long-distance contacts are what the port-connection layer routes over
+to realize links, and what applications can use for inter-component traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.profiles import NodeProfile
+from repro.gossip.descriptors import Descriptor
+from repro.gossip.views import PartialView
+from repro.sim.engine import RoundContext
+from repro.sim.protocol import Protocol
+
+
+class DistantComponentOverlay(Protocol):
+    """One node's UO2 instance.
+
+    Parameters
+    ----------
+    node_id, profile:
+        Identity and current role of the hosting node.
+    contacts_per_component:
+        Bucket capacity per foreign component.
+    gossip_contacts:
+        Maximum descriptors shipped per gossip message.
+    layer, random_layer, uo1_layer:
+        Attachment labels of this protocol, the global peer sampling, and
+        the same-component overlay used to pick intra-component partners.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        profile: NodeProfile,
+        contacts_per_component: int = 2,
+        gossip_contacts: int = 8,
+        layer: str = "uo2",
+        random_layer: str = "peer_sampling",
+        uo1_layer: str = "uo1",
+    ):
+        self.node_id = node_id
+        self.profile = profile
+        self.capacity = max(1, contacts_per_component)
+        self.gossip_contacts = max(1, gossip_contacts)
+        self.layer = layer
+        self.random_layer = random_layer
+        self.uo1_layer = uo1_layer
+        self.buckets: Dict[str, PartialView] = {}
+        self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
+
+    # -- identity -----------------------------------------------------------------
+
+    def self_descriptor(self) -> Descriptor:
+        return self._self_descriptor
+
+    def set_profile(self, profile: NodeProfile) -> None:
+        """Adopt a new role; the old component's bucket becomes foreign and a
+        bucket for the new own component is dropped."""
+        self.profile = profile
+        self._self_descriptor = Descriptor(self.node_id, age=0, profile=profile)
+        self.buckets.pop(profile.component, None)
+
+    # -- queries -------------------------------------------------------------------
+
+    def contacts(self, component: str) -> List[Descriptor]:
+        """Known live-ish contacts in ``component`` (youngest first)."""
+        bucket = self.buckets.get(component)
+        if bucket is None:
+            return []
+        return sorted(bucket.descriptors(), key=lambda d: (d.age, d.node_id))
+
+    def known_components(self) -> List[str]:
+        return sorted(name for name, bucket in self.buckets.items() if len(bucket))
+
+    def neighbors(self) -> List[int]:
+        ids: List[int] = []
+        for bucket in self.buckets.values():
+            ids.extend(bucket.ids())
+        return ids
+
+    def forget(self, node_id: int) -> None:
+        for bucket in self.buckets.values():
+            bucket.remove(node_id)
+
+    # -- protocol ---------------------------------------------------------------------
+
+    def step(self, ctx: RoundContext) -> None:
+        for bucket in self.buckets.values():
+            bucket.increase_age()
+        self._harvest(ctx)
+        if not ctx.exchange_ok():
+            return  # this round's exchange was lost
+        partner_id = self._choose_partner(ctx)
+        if partner_id is None:
+            return
+        partner_protocol = ctx.network.node(partner_id).protocol(self.layer)
+        assert isinstance(partner_protocol, DistantComponentOverlay)
+        buffer = self._make_buffer(ctx)
+        reply = partner_protocol.on_gossip(ctx, buffer)
+        ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
+        self._merge(reply)
+
+    def on_gossip(
+        self, ctx: RoundContext, received: List[Descriptor]
+    ) -> List[Descriptor]:
+        reply = self._make_buffer(ctx)
+        self._merge(received)
+        return reply
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _insert(self, descriptor: Descriptor) -> None:
+        profile = descriptor.profile
+        if not isinstance(profile, NodeProfile):
+            return
+        if descriptor.node_id == self.node_id:
+            return
+        if profile.component == self.profile.component:
+            return  # own component is UO1's job
+        bucket = self.buckets.get(profile.component)
+        if bucket is None:
+            bucket = PartialView(self.capacity)
+            self.buckets[profile.component] = bucket
+        bucket.insert(descriptor)
+
+    def _harvest(self, ctx: RoundContext) -> None:
+        """Adopt foreign-component peers from the global random view."""
+        if not ctx.node.has_protocol(self.random_layer):
+            return
+        for node_id in ctx.node.protocol(self.random_layer).neighbors():
+            if node_id == self.node_id or not ctx.network.is_alive(node_id):
+                continue
+            peer = ctx.network.node(node_id)
+            if not peer.has_protocol(self.layer):
+                continue
+            peer_protocol = peer.protocol(self.layer)
+            assert isinstance(peer_protocol, DistantComponentOverlay)
+            self._insert(peer_protocol.self_descriptor())
+
+    def _choose_partner(self, ctx: RoundContext) -> Optional[int]:
+        """Alternate between a same-component partner (spread foreign contact
+        knowledge inside the component) and a foreign contact (refresh and
+        extend cross-component knowledge)."""
+        rng = ctx.rng()
+        candidates: List[int] = []
+        if ctx.round % 2 == 0 and ctx.node.has_protocol(self.uo1_layer):
+            candidates = [
+                node_id
+                for node_id in ctx.node.protocol(self.uo1_layer).neighbors()
+                if ctx.network.is_alive(node_id)
+            ]
+        if not candidates:
+            candidates = [
+                descriptor.node_id
+                for bucket in self.buckets.values()
+                for descriptor in bucket
+                if ctx.network.is_alive(descriptor.node_id)
+            ]
+        candidates = [
+            node_id
+            for node_id in candidates
+            if ctx.network.node(node_id).has_protocol(self.layer)
+        ]
+        if not candidates:
+            return None
+        return rng.choice(candidates)
+
+    def _make_buffer(self, ctx: RoundContext) -> List[Descriptor]:
+        """Self plus the youngest contact of each known component, round-robin
+        until the message budget is reached."""
+        buffer = [self.self_descriptor()]
+        per_component = [self.contacts(name) for name in self.known_components()]
+        depth = 0
+        while len(buffer) < self.gossip_contacts:
+            added = False
+            for contacts in per_component:
+                if depth < len(contacts) and len(buffer) < self.gossip_contacts:
+                    buffer.append(contacts[depth])
+                    added = True
+            if not added:
+                break
+            depth += 1
+        return buffer
+
+    def _merge(self, received: List[Descriptor]) -> None:
+        for descriptor in received:
+            # One hop in transit: stale contacts of dead nodes age out of
+            # the buckets instead of bouncing at age 0 (see Vicinity).
+            self._insert(descriptor.aged())

@@ -1,0 +1,75 @@
+"""Links: logical connections between two component ports.
+
+The paper: "links are logical connections between two components (through
+ports) [...] at the node level, a link is a connection between two nodes
+from two different components".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblyError
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """A fully-qualified port reference, ``component.port``."""
+
+    component: str
+    port: str
+
+    def __post_init__(self) -> None:
+        if not self.component or not self.port:
+            raise AssemblyError(f"incomplete port reference {self!r}")
+
+    def __str__(self) -> str:
+        return f"{self.component}.{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "PortRef":
+        """Parse ``component.port`` surface syntax."""
+        parts = text.strip().split(".")
+        if len(parts) != 2 or not all(parts):
+            raise AssemblyError(
+                f"port reference must be 'component.port', got {text!r}"
+            )
+        return cls(parts[0], parts[1])
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An undirected link between two ports.
+
+    Links are stored in canonical order (sorted endpoints) so that the same
+    logical connection declared in either direction compares equal.
+    """
+
+    a: PortRef
+    b: PortRef
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise AssemblyError(f"link endpoints must differ, got {self.a} twice")
+        # Canonicalize: frozen dataclass, so go through object.__setattr__.
+        if (self.b.component, self.b.port) < (self.a.component, self.a.port):
+            a, b = self.b, self.a
+            object.__setattr__(self, "a", a)
+            object.__setattr__(self, "b", b)
+
+    def endpoints(self) -> tuple:
+        return (self.a, self.b)
+
+    def other(self, ref: PortRef) -> PortRef:
+        """The opposite endpoint of ``ref``."""
+        if ref == self.a:
+            return self.b
+        if ref == self.b:
+            return self.a
+        raise AssemblyError(f"{ref} is not an endpoint of {self}")
+
+    def touches(self, component: str) -> bool:
+        return component in (self.a.component, self.b.component)
+
+    def __str__(self) -> str:
+        return f"{self.a} -- {self.b}"

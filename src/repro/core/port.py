@@ -1,0 +1,175 @@
+"""Ports: logical points of contact of a component.
+
+The paper: "Ports are logical point of contact for a given component [...]
+at runtime, a port is managed by (at least) one node in the corresponding
+component", selected by "some rules to decide which node(s) will take in
+charge each port". A :class:`PortSelector` is such a rule; the port-selection
+overlay runs it as an epidemic aggregation so every member converges to the
+same manager.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import AssemblyError
+
+#: A (node_id, rank) pair describing one component member.
+Member = Tuple[int, int]
+
+
+class PortSelector(ABC):
+    """A deterministic rule electing a port manager among component members.
+
+    Two faces of the same rule:
+
+    - :meth:`choose` — the *oracle* outcome given full membership (used by
+      convergence detectors and by centralized baselines);
+    - :meth:`proposes` / :meth:`better` — the *epidemic* form: each member
+      may propose itself, and beliefs are merged pairwise with ``better``
+      until all members agree. For the rule to converge to the oracle
+      outcome, ``choose`` must equal the ``better``-maximum over proposals.
+    """
+
+    name: str = ""
+
+    @abstractmethod
+    def choose(self, members: Sequence[Member]) -> Optional[int]:
+        """The elected node id given the full membership, or ``None``."""
+
+    @abstractmethod
+    def proposes(self, node_id: int, rank: int) -> bool:
+        """Whether this member starts out proposing itself as manager."""
+
+    @abstractmethod
+    def better(self, a: Member, b: Member) -> Member:
+        """The preferred of two proposals (total order; used in gossip merge)."""
+
+    def spec(self) -> str:
+        """The DSL surface syntax for this selector."""
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PortSelector):
+            return NotImplemented
+        return self.spec() == other.spec()
+
+    def __hash__(self) -> int:
+        return hash(self.spec())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LowestIdSelector(PortSelector):
+    """Elect the member with the lowest node id (a classic leader rule)."""
+
+    name = "lowest_id"
+
+    def choose(self, members: Sequence[Member]) -> Optional[int]:
+        return min((m[0] for m in members), default=None)
+
+    def proposes(self, node_id: int, rank: int) -> bool:
+        return True
+
+    def better(self, a: Member, b: Member) -> Member:
+        return a if a[0] <= b[0] else b
+
+
+class HighestIdSelector(PortSelector):
+    """Elect the member with the highest node id."""
+
+    name = "highest_id"
+
+    def choose(self, members: Sequence[Member]) -> Optional[int]:
+        return max((m[0] for m in members), default=None)
+
+    def proposes(self, node_id: int, rank: int) -> bool:
+        return True
+
+    def better(self, a: Member, b: Member) -> Member:
+        return a if a[0] >= b[0] else b
+
+
+class RankSelector(PortSelector):
+    """Elect the member holding a specific shape rank.
+
+    ``rank(0)`` is the natural choice for shapes with a distinguished
+    position — the hub of a star, the root of a tree — and is also exposed
+    under the alias ``hub``.
+    """
+
+    def __init__(self, rank: int, alias: Optional[str] = None):
+        if rank < 0:
+            raise AssemblyError(f"port selector rank must be >= 0, got {rank}")
+        self.rank = rank
+        self.alias = alias
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.alias or f"rank({self.rank})"
+
+    def choose(self, members: Sequence[Member]) -> Optional[int]:
+        for node_id, rank in members:
+            if rank == self.rank:
+                return node_id
+        return None
+
+    def proposes(self, node_id: int, rank: int) -> bool:
+        return rank == self.rank
+
+    def better(self, a: Member, b: Member) -> Member:
+        # Both proposals claim the target rank; prefer the lower node id so
+        # the merge stays a total order even under transient rank conflicts
+        # (e.g. mid-reconfiguration).
+        target_a = a[1] == self.rank
+        target_b = b[1] == self.rank
+        if target_a != target_b:
+            return a if target_a else b
+        return a if a[0] <= b[0] else b
+
+    def spec(self) -> str:
+        return f"rank({self.rank})"
+
+    def __repr__(self) -> str:
+        return f"RankSelector({self.rank})"
+
+
+_RANK_RE = re.compile(r"^rank\(\s*(\d+)\s*\)$")
+
+
+def make_selector(spec: str) -> PortSelector:
+    """Parse a selector rule from its DSL surface syntax.
+
+    Accepted forms: ``lowest_id``, ``highest_id``, ``hub`` (alias of
+    ``rank(0)``) and ``rank(K)``.
+    """
+    spec = spec.strip()
+    if spec == "lowest_id":
+        return LowestIdSelector()
+    if spec == "highest_id":
+        return HighestIdSelector()
+    if spec == "hub":
+        return RankSelector(0, alias="hub")
+    match = _RANK_RE.match(spec)
+    if match:
+        return RankSelector(int(match.group(1)))
+    raise AssemblyError(
+        f"unknown port selector {spec!r} "
+        "(expected lowest_id, highest_id, hub, or rank(K))"
+    )
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """A declared port: a name and the rule electing its manager."""
+
+    name: str
+    selector: PortSelector = field(default_factory=LowestIdSelector)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise AssemblyError(f"port name must be an identifier, got {self.name!r}")

@@ -1,0 +1,268 @@
+"""Node-assignment rules and the resulting role map.
+
+The DSL's first element group is "a list of the basic shapes [...] and some
+rules to decide which node will be assigned to which component". An
+:class:`AssignmentRule` is such a rule: given the node population and the
+assembly's component declarations, it produces a :class:`RoleMap` giving each
+node a component and a rank within it.
+
+Rules are deterministic functions of the node-id set, so every node could
+recompute its own role locally from the membership information the gossip
+layers give it — the property that keeps the mapping "transparent to
+developers" as the paper demands.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import AssemblyError, TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.assembly import Assembly
+
+
+#: Pseudo-component for nodes beyond the assembly's fixed quotas: they idle
+#: with a minimal profile until a rebalance promotes them into a real
+#: component (e.g. to replace a crashed member).
+SPARE_COMPONENT = "_spare"
+
+
+class Role(NamedTuple):
+    """One node's place in the assembly."""
+
+    component: str
+    rank: int
+    comp_size: int
+
+    @property
+    def is_spare(self) -> bool:
+        return self.component == SPARE_COMPONENT
+
+
+class RoleMap:
+    """The assignment of every node to a (component, rank) role."""
+
+    def __init__(self, roles: Dict[int, Role]):
+        self._roles = dict(roles)
+        self._members: Dict[str, List[Tuple[int, int]]] = {}
+        for node_id, role in sorted(self._roles.items()):
+            self._members.setdefault(role.component, []).append((node_id, role.rank))
+        for members in self._members.values():
+            members.sort(key=lambda pair: pair[1])
+
+    def role(self, node_id: int) -> Role:
+        try:
+            return self._roles[node_id]
+        except KeyError:
+            raise TopologyError(f"node {node_id} has no role") from None
+
+    def has_role(self, node_id: int) -> bool:
+        return node_id in self._roles
+
+    def members(self, component: str) -> List[Tuple[int, int]]:
+        """``(node_id, rank)`` pairs of a component, ordered by rank."""
+        return list(self._members.get(component, []))
+
+    def member_ids(self, component: str) -> List[int]:
+        return [node_id for node_id, _ in self._members.get(component, [])]
+
+    def component_size(self, component: str) -> int:
+        return len(self._members.get(component, []))
+
+    def components(self) -> List[str]:
+        return sorted(self._members)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._roles)
+
+    def __len__(self) -> int:
+        return len(self._roles)
+
+    def __repr__(self) -> str:
+        sizes = {name: len(members) for name, members in self._members.items()}
+        return f"RoleMap({sizes})"
+
+
+class AssignmentRule(ABC):
+    """A deterministic node → (component, rank) mapping rule."""
+
+    name: str = ""
+
+    @abstractmethod
+    def assign(self, node_ids: Sequence[int], assembly: "Assembly") -> RoleMap:
+        """Compute the role map for ``node_ids`` under ``assembly``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AssignmentRule):
+            return NotImplemented
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self).__name__)
+
+
+def _apportion(total: int, weights: Dict[str, float]) -> Dict[str, int]:
+    """Largest-remainder apportionment of ``total`` across ``weights``.
+
+    Every key receives at least one unit; requires ``total >= len(weights)``.
+    """
+    if total < len(weights):
+        raise AssemblyError(
+            f"cannot apportion {total} node(s) across {len(weights)} component(s)"
+        )
+    total_weight = sum(weights.values())
+    shares = [(name, total * weight / total_weight) for name, weight in weights.items()]
+    floors = {name: max(1, int(share)) for name, share in shares}
+    leftover = total - sum(floors.values())
+    if leftover < 0:
+        # The max(1, ...) floors overshot; shave the largest quotas first.
+        for name, _ in sorted(shares, key=lambda s: -s[1]):
+            while leftover < 0 and floors[name] > 1:
+                floors[name] -= 1
+                leftover += 1
+    remainders = sorted(shares, key=lambda s: (s[1] - int(s[1]), s[0]), reverse=True)
+    index = 0
+    while leftover > 0 and remainders:
+        name = remainders[index % len(remainders)][0]
+        floors[name] += 1
+        leftover -= 1
+        index += 1
+    return floors
+
+
+def _component_quotas(
+    node_count: int, assembly: "Assembly"
+) -> Dict[str, int]:
+    """Split ``node_count`` nodes across components.
+
+    Components with a fixed ``size`` get exactly that many nodes; the rest
+    of the population goes to weighted components by largest-remainder
+    apportionment. Every component receives at least one node.
+
+    Graceful degradation: when the (live) population cannot satisfy the
+    fixed sizes — e.g. after a failure wave — the fixed sizes are treated as
+    relative targets and scaled down proportionally, so the assembly shrinks
+    instead of dying. Surplus nodes of an all-fixed assembly become spares
+    (handled by the callers).
+    """
+    specs = list(assembly.components.values())
+    if node_count < len(specs):
+        raise AssemblyError(
+            f"{node_count} node(s) cannot populate {len(specs)} component(s)"
+        )
+    fixed = {spec.name: spec.size for spec in specs if spec.size is not None}
+    fixed_total = sum(fixed.values())
+    weighted = [spec for spec in specs if spec.size is None]
+    remaining = node_count - fixed_total
+    if remaining < len(weighted):
+        # Degraded mode: not enough nodes for the declared sizes. Treat
+        # every declaration as a relative weight and shrink proportionally.
+        targets: Dict[str, float] = dict(fixed)
+        if weighted:
+            mean_fixed = (fixed_total / len(fixed)) if fixed else 8.0
+            for spec in weighted:
+                targets[spec.name] = mean_fixed * spec.weight
+        quotas = _apportion(node_count, targets)
+    else:
+        quotas = dict(fixed)
+        if weighted:
+            quotas.update(
+                _apportion(remaining, {spec.name: spec.weight for spec in weighted})
+            )
+    for spec in specs:
+        spec.shape.validate_size(quotas[spec.name])
+    return quotas
+
+
+def _assign_spares(roles: Dict[int, Role], leftover: Sequence[int]) -> None:
+    """Give every unassigned node a spare role (see :data:`SPARE_COMPONENT`)."""
+    for index, node_id in enumerate(leftover):
+        roles[node_id] = Role(SPARE_COMPONENT, index, len(leftover))
+
+
+class ProportionalAssignment(AssignmentRule):
+    """Contiguous split of the sorted node ids, proportional to weights.
+
+    The simplest deterministic rule: sort the population by id and deal
+    consecutive slices to components (fixed-size components first, in
+    declaration order). Ranks follow id order within each slice.
+    """
+
+    name = "proportional"
+
+    def assign(self, node_ids: Sequence[int], assembly: "Assembly") -> RoleMap:
+        ordered = sorted(set(node_ids))
+        quotas = _component_quotas(len(ordered), assembly)
+        roles: Dict[int, Role] = {}
+        cursor = 0
+        for spec in assembly.components.values():
+            quota = quotas[spec.name]
+            for rank in range(quota):
+                roles[ordered[cursor]] = Role(spec.name, rank, quota)
+                cursor += 1
+        _assign_spares(roles, ordered[cursor:])
+        return RoleMap(roles)
+
+
+class HashAssignment(AssignmentRule):
+    """Pseudo-random assignment by hashing node ids into weighted buckets.
+
+    More realistic under churn than the contiguous split: a joining node
+    lands in a component independent of its id's position in the global
+    order, so existing ranks are not reshuffled. Quotas are still respected
+    exactly — the hash orders the population, then quotas cut it — and ranks
+    follow the hash order.
+    """
+
+    name = "hash"
+
+    def __init__(self, salt: int = 0):
+        self.salt = salt
+
+    def _key(self, node_id: int) -> int:
+        material = f"{self.salt}:{node_id}".encode("utf-8")
+        return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+    def assign(self, node_ids: Sequence[int], assembly: "Assembly") -> RoleMap:
+        ordered = sorted(set(node_ids), key=lambda nid: (self._key(nid), nid))
+        quotas = _component_quotas(len(ordered), assembly)
+        roles: Dict[int, Role] = {}
+        cursor = 0
+        for spec in assembly.components.values():
+            quota = quotas[spec.name]
+            for rank in range(quota):
+                roles[ordered[cursor]] = Role(spec.name, rank, quota)
+                cursor += 1
+        _assign_spares(roles, ordered[cursor:])
+        return RoleMap(roles)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashAssignment):
+            return NotImplemented
+        return self.salt == other.salt
+
+    def __hash__(self) -> int:
+        return hash(("hash", self.salt))
+
+
+_RULES = {
+    "proportional": ProportionalAssignment,
+    "hash": HashAssignment,
+}
+
+
+def make_assignment(name: str) -> AssignmentRule:
+    """Instantiate an assignment rule from its DSL surface name."""
+    try:
+        return _RULES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise AssemblyError(
+            f"unknown assignment rule {name!r} (known: {known})"
+        ) from None

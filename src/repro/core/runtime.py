@@ -1,0 +1,411 @@
+"""The runtime: deploying an assembly onto a node population.
+
+This module wires the paper's Figure 1 into per-node protocol stacks:
+
+    global peer sampling  →  UO1 / UO2  →  core protocol
+                                     →  port selection → port connection
+
+:class:`Runtime` is the factory (assembly + configuration + seed);
+:class:`Deployment` is one live system: a network, an engine, and the
+convergence tracker producing the paper's per-layer metrics. Deployments
+support churn provisioning (joining nodes receive full stacks and roles) and
+in-place reconfiguration (see :mod:`repro.core.reconfigure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, ConvergenceTimeout
+from repro.core.assembly import Assembly
+from repro.core.convergence import ConvergenceReport, ConvergenceTracker
+from repro.core.layers import (
+    LAYER_CORE,
+    LAYER_PEER_SAMPLING,
+    LAYER_PORT_CONNECTION,
+    LAYER_PORT_SELECTION,
+    LAYER_UO1,
+    LAYER_UO2,
+)
+from repro.core.layers.core_protocol import make_core_protocol
+from repro.core.layers.port_connection import PortConnection
+from repro.core.layers.port_selection import PortSelection
+from repro.core.layers.uo1 import SameComponentOverlay
+from repro.core.layers.uo2 import DistantComponentOverlay
+from repro.core.profiles import NodeProfile
+from repro.core.roles import Role, RoleMap, SPARE_COMPONENT
+from repro.gossip.peer_sampling import PeerSampling
+from repro.shapes.random_graph import RandomGraph
+from repro.sim.config import GossipParams, TransportCosts
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.rng import RandomStreams
+from repro.sim.transport import Transport
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tuning knobs of the layered runtime.
+
+    The defaults follow the standard values of the gossip literature (view
+    sizes 12-16, buffers of half the view); the paper does not publish its
+    own parameters, so these are the documented substitution (DESIGN.md §2).
+    """
+
+    peer_sampling: GossipParams = field(
+        default_factory=lambda: GossipParams(view_size=16, gossip_size=8, healer=1, swapper=7)
+    )
+    uo1: GossipParams = field(
+        default_factory=lambda: GossipParams(view_size=10, gossip_size=5, healer=1, swapper=4)
+    )
+    core: GossipParams = field(
+        default_factory=lambda: GossipParams(view_size=12, gossip_size=6, healer=1, swapper=4)
+    )
+    uo2_contacts_per_component: int = 2
+    uo2_gossip_contacts: int = 8
+    binding_ttl: int = 16
+    core_flavor: str = "vicinity"
+    uo2_scope: str = "all"
+    loss_rate: float = 0.0
+    costs: TransportCosts = field(default_factory=TransportCosts)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if self.core_flavor not in ("vicinity", "tman"):
+            raise ConfigurationError(
+                f"core_flavor must be 'vicinity' or 'tman', got {self.core_flavor!r}"
+            )
+        if self.uo2_scope not in ("all", "linked"):
+            raise ConfigurationError(
+                f"uo2_scope must be 'all' or 'linked', got {self.uo2_scope!r}"
+            )
+        if self.uo2_contacts_per_component < 1:
+            raise ConfigurationError("uo2_contacts_per_component must be >= 1")
+        if self.binding_ttl < 2:
+            raise ConfigurationError("binding_ttl must be >= 2")
+
+
+#: The Fig. 4 split. The *baseline* is "the bandwidth needed to realize
+#: basic shapes": the per-component core protocols plus the peer-sampling
+#: substrate every self-organizing overlay requires (the monolithic
+#: elementary baseline runs exactly these two). The *overhead* is what the
+#: assembly runtime adds on top — the four sub-procedures of §3.3.
+BASELINE_LAYERS = (LAYER_CORE, LAYER_PEER_SAMPLING)
+RUNTIME_OVERHEAD_LAYERS = (
+    LAYER_UO1,
+    LAYER_UO2,
+    LAYER_PORT_SELECTION,
+    LAYER_PORT_CONNECTION,
+)
+
+
+class Runtime:
+    """Factory binding an assembly to a runtime configuration and a seed."""
+
+    def __init__(
+        self,
+        assembly: Assembly,
+        config: Optional[RuntimeConfig] = None,
+        seed: int = 0,
+    ):
+        self.assembly = assembly
+        self.config = config or RuntimeConfig()
+        self.seed = seed
+
+    def deploy(self, n_nodes: Optional[int] = None) -> "Deployment":
+        """Create a network of ``n_nodes`` and install the full stack.
+
+        ``n_nodes`` defaults to the assembly's ``total_nodes`` declaration
+        (the DSL's ``nodes N`` clause).
+        """
+        count = n_nodes if n_nodes is not None else self.assembly.total_nodes
+        if count is None:
+            raise ConfigurationError(
+                "n_nodes not given and the assembly declares no 'nodes N' clause"
+            )
+        if count < self.assembly.min_nodes():
+            raise ConfigurationError(
+                f"assembly {self.assembly.name!r} needs at least "
+                f"{self.assembly.min_nodes()} nodes, got {count}"
+            )
+        return Deployment(self, count)
+
+
+class Deployment:
+    """One live deployment of an assembly.
+
+    Attributes
+    ----------
+    network, engine, transport, streams:
+        The simulation substrate.
+    role_map:
+        The oracle node → role assignment (kept current across churn
+        rebalancing and reconfigurations).
+    tracker:
+        The per-layer convergence tracker attached as an engine observer.
+    """
+
+    def __init__(self, runtime: Runtime, n_nodes: int):
+        self.runtime = runtime
+        self.assembly = runtime.assembly
+        self.config = runtime.config
+        self.streams = RandomStreams(runtime.seed)
+        self.network = Network()
+        self.transport = Transport(self.config.costs)
+        self.network.create_nodes(n_nodes)
+        self.role_map: RoleMap = self.assembly.assign_roles(self.network.node_ids())
+        for node in self.network.nodes():
+            self._install_stack(node, self.role_map.role(node.node_id))
+        self.tracker = ConvergenceTracker(
+            assembly_provider=lambda: self.assembly,
+            role_map_provider=lambda: self.role_map,
+            uo1_view_size=self.config.uo1.view_size,
+            uo2_scope=self.config.uo2_scope,
+        )
+        self.engine = Engine(
+            self.network,
+            self.transport,
+            self.streams,
+            observers=[self.tracker],
+            loss_rate=self.config.loss_rate,
+        )
+
+    # -- stack installation ------------------------------------------------------
+
+    def _shape_for(self, role: Role):
+        if role.is_spare:
+            # Spares idle in an unstructured pseudo-component until promoted.
+            return RandomGraph(min_degree=0)
+        return self.assembly.component(role.component).shape
+
+    def _ports_for(self, role: Role):
+        if role.is_spare:
+            return ()
+        return self.assembly.component(role.component).ports
+
+    def _links_for(self, role: Role):
+        if role.is_spare:
+            return ()
+        return tuple(self.assembly.links_of(role.component))
+
+    def _profile_for(self, role: Role) -> NodeProfile:
+        shape = self._shape_for(role)
+        comp_size = max(1, role.comp_size)
+        rank = min(role.rank, comp_size - 1)
+        return NodeProfile(
+            component=role.component,
+            rank=role.rank,
+            comp_size=role.comp_size,
+            coord=shape.coordinate(rank, comp_size),
+        )
+
+    def _install_stack(self, node: Node, role: Role) -> None:
+        """Attach the full Figure-1 stack for ``role`` to ``node``."""
+        config = self.config
+        profile = self._profile_for(role)
+        node.attributes["role"] = role
+
+        peer_sampling = PeerSampling(
+            node.node_id, config.peer_sampling, layer=LAYER_PEER_SAMPLING
+        )
+        peer_sampling.bootstrap(
+            self.streams.stream("bootstrap", node.node_id), self.network
+        )
+        node.attach(LAYER_PEER_SAMPLING, peer_sampling)
+        node.attach(
+            LAYER_UO1,
+            SameComponentOverlay(node.node_id, profile, config.uo1, layer=LAYER_UO1),
+        )
+        node.attach(
+            LAYER_UO2,
+            DistantComponentOverlay(
+                node.node_id,
+                profile,
+                contacts_per_component=config.uo2_contacts_per_component,
+                gossip_contacts=config.uo2_gossip_contacts,
+                layer=LAYER_UO2,
+            ),
+        )
+        node.attach(
+            LAYER_CORE,
+            make_core_protocol(
+                node.node_id,
+                profile,
+                self._shape_for(role),
+                config.core,
+                layer=LAYER_CORE,
+                flavor=config.core_flavor,
+            ),
+        )
+        node.attach(
+            LAYER_PORT_SELECTION,
+            PortSelection(
+                node.node_id,
+                profile,
+                self._ports_for(role),
+                layer=LAYER_PORT_SELECTION,
+            ),
+        )
+        node.attach(
+            LAYER_PORT_CONNECTION,
+            PortConnection(
+                node.node_id,
+                profile,
+                self._links_for(role),
+                layer=LAYER_PORT_CONNECTION,
+                binding_ttl=config.binding_ttl,
+            ),
+        )
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, rounds: int) -> int:
+        """Run a fixed number of rounds (no early stop)."""
+        previous = self.tracker.stop_when_converged
+        self.tracker.stop_when_converged = False
+        try:
+            return self.engine.run(rounds)
+        finally:
+            self.tracker.stop_when_converged = previous
+
+    def run_until_converged(
+        self, max_rounds: int = 120, raise_on_timeout: bool = False
+    ) -> ConvergenceReport:
+        """Run until every tracked layer converges (or the budget runs out).
+
+        With ``raise_on_timeout``, a budget miss raises
+        :class:`~repro.errors.ConvergenceTimeout` naming the slowest
+        unconverged layer instead of returning a partial report.
+        """
+        self.tracker.stop_when_converged = True
+        executed = self.engine.run(max_rounds)
+        report = self.tracker.report()
+        report.executed = executed
+        if raise_on_timeout and not report.converged:
+            stuck = sorted(
+                layer
+                for layer, round_index in report.rounds.items()
+                if round_index is None
+            )
+            raise ConvergenceTimeout(", ".join(stuck), max_rounds)
+        return report
+
+    # -- churn support ------------------------------------------------------------------
+
+    def provisioner(self):
+        """A :data:`~repro.sim.churn.NodeProvisioner` for joining nodes.
+
+        Joining nodes enter as *spares*: they get the full protocol stack
+        and start mixing into the peer-sampling substrate, but no component
+        role — so a join never reshuffles existing ranks. A later
+        :meth:`rebalance` promotes spares into real roles (e.g. to refill a
+        component after crashes).
+        """
+
+        def provision(network: Network, node: Node) -> None:
+            self._install_stack(node, Role(SPARE_COMPONENT, 0, 1))
+
+        return provision
+
+    def rebalance(self) -> None:
+        """Re-run the assignment rule over the *live* population.
+
+        Crashed nodes lose their roles, so survivors (and spares) take over
+        the vacated ranks — the self-healing reaction to a failure wave.
+        """
+        self._apply_role_changes(self.assembly.assign_roles(self.network.alive_ids()))
+
+    def _apply_role_changes(
+        self,
+        new_map: RoleMap,
+        fresh_node: Optional[Node] = None,
+        old_assembly: Optional[Assembly] = None,
+    ) -> None:
+        """Point every node at its role under the (possibly new) assembly.
+
+        Nodes whose role is unchanged are normally skipped, but when the
+        *assembly* changed around them (``old_assembly`` given), their
+        component's declaration may differ even though the role tuple does
+        not — a changed shape rebuilds the core protocol, changed ports or
+        links refresh just the port layers.
+        """
+        old_map = self.role_map
+        self.role_map = new_map
+        for node in self.network.nodes():
+            if not new_map.has_role(node.node_id):
+                continue  # dead node dropped from the live assignment
+            role = new_map.role(node.node_id)
+            if fresh_node is not None and node.node_id == fresh_node.node_id:
+                self._install_stack(node, role)
+                continue
+            role_changed = (
+                not old_map.has_role(node.node_id)
+                or old_map.role(node.node_id) != role
+            )
+            if role_changed:
+                self._adopt_role(node, role)
+                continue
+            if old_assembly is None or role.is_spare:
+                continue
+            old_spec = old_assembly.components.get(role.component)
+            new_spec = self.assembly.components.get(role.component)
+            if old_spec is None or new_spec is None:
+                self._adopt_role(node, role)
+                continue
+            if old_spec.shape != new_spec.shape:
+                self._adopt_role(node, role)
+                continue
+            old_links = tuple(old_assembly.links_of(role.component))
+            if old_spec.ports != new_spec.ports or old_links != self._links_for(role):
+                profile = self._profile_for(role)
+                node.protocol(LAYER_PORT_SELECTION).set_profile(
+                    profile, self._ports_for(role)
+                )
+                node.protocol(LAYER_PORT_CONNECTION).set_profile(
+                    profile, self._links_for(role)
+                )
+
+    def _adopt_role(self, node: Node, role: Role) -> None:
+        """Point an existing stack at a new role (profile update in place)."""
+        profile = self._profile_for(role)
+        node.attributes["role"] = role
+        node.protocol(LAYER_UO1).set_profile(profile)
+        node.protocol(LAYER_UO2).set_profile(profile)
+        node.replace(
+            LAYER_CORE,
+            make_core_protocol(
+                node.node_id,
+                profile,
+                self._shape_for(role),
+                self.config.core,
+                layer=LAYER_CORE,
+                flavor=self.config.core_flavor,
+            ),
+        )
+        node.protocol(LAYER_PORT_SELECTION).set_profile(profile, self._ports_for(role))
+        node.protocol(LAYER_PORT_CONNECTION).set_profile(profile, self._links_for(role))
+
+    # -- bandwidth accounting ------------------------------------------------------------
+
+    def bandwidth_split(self, rounds: int) -> Dict[str, list]:
+        """Per-round byte series: shape-building baseline vs runtime overhead.
+
+        The Fig. 4 decomposition: ``baseline`` is the traffic any
+        self-organizing construction of the basic shapes would pay (core
+        protocols + peer sampling); ``overhead`` is what the assembly
+        runtime adds (UO1, UO2, port selection, port connection).
+        """
+        baseline = [0] * rounds
+        for layer in BASELINE_LAYERS:
+            for index, value in enumerate(self.transport.bytes_series(layer, rounds)):
+                baseline[index] += value
+        overhead = [0] * rounds
+        for layer in RUNTIME_OVERHEAD_LAYERS:
+            for index, value in enumerate(self.transport.bytes_series(layer, rounds)):
+                overhead[index] += value
+        return {"baseline": baseline, "overhead": overhead}

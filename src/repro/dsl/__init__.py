@@ -1,0 +1,41 @@
+"""The topology DSL (paper §3.2) and its programmatic twin.
+
+The paper's DSL is "a very basic [language] used to write the configuration
+file that will be interpreted by the runtime", with three element groups:
+
+1. the basic shapes (components) and node-assignment rules;
+2. each component's ports and port-assignment rules;
+3. the links between ports.
+
+This package provides both surfaces over the same :class:`~repro.core.Assembly` IR:
+
+- a *textual* front-end (:func:`parse_source` / :func:`compile_source`)::
+
+      topology Mongo {
+          nodes 56
+          assign proportional
+          component router : star(size = 8) {
+              port hub : hub
+          }
+          component shard0 : clique(size = 12) {
+              port head : lowest_id
+          }
+          link router.hub -- shard0.head
+      }
+
+- a *fluent builder* (:class:`TopologyBuilder`) for programmatic assembly,
+  plus :func:`to_source`, which pretty-prints any assembly back to DSL text
+  (the two round-trip losslessly, which the test suite checks by property).
+"""
+
+from repro.dsl.builder import TopologyBuilder
+from repro.dsl.compiler import compile_ast, compile_source, to_source
+from repro.dsl.parser import parse_source
+
+__all__ = [
+    "TopologyBuilder",
+    "compile_ast",
+    "compile_source",
+    "parse_source",
+    "to_source",
+]

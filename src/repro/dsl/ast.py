@@ -1,0 +1,79 @@
+"""Abstract syntax tree of the topology DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+#: Parameter values allowed in shape argument lists.
+Value = Any  # int | float | str | bool
+
+
+@dataclass(frozen=True)
+class Param:
+    """One ``name = value`` shape or component parameter."""
+
+    name: str
+    value: Value
+    line: int = 0
+    column: int = 0
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    """``port NAME : SELECTOR`` — selector kept as surface text."""
+
+    name: str
+    selector: str
+    line: int = 0
+    column: int = 0
+
+
+@dataclass(frozen=True)
+class ComponentDecl:
+    """``component NAME : SHAPE(params...) { ports... }``.
+
+    ``replicas`` is the replication count of ``component NAME[K] : ...``
+    sugar (``None`` for a plain component): the compiler expands one spec
+    per replica, named ``NAME0 .. NAME{K-1}``.
+    """
+
+    name: str
+    shape: str
+    params: Tuple[Param, ...] = ()
+    ports: Tuple[PortDecl, ...] = ()
+    replicas: Optional[int] = None
+    line: int = 0
+    column: int = 0
+
+
+@dataclass(frozen=True)
+class LinkDecl:
+    """``link A.p -- B.q``.
+
+    Endpoint indices support the replication sugar: ``A[2].p`` pins one
+    replica (``a_index = 2``), ``A[*].p`` fans out (``a_index = "*"``),
+    plain ``A.p`` leaves the index ``None``.
+    """
+
+    a_component: str
+    a_port: str
+    b_component: str
+    b_port: str
+    a_index: object = None  # None | int | "*"
+    b_index: object = None
+    line: int = 0
+    column: int = 0
+
+
+@dataclass(frozen=True)
+class TopologyDecl:
+    """A whole ``topology NAME { ... }`` program."""
+
+    name: str
+    components: Tuple[ComponentDecl, ...] = ()
+    links: Tuple[LinkDecl, ...] = ()
+    nodes: Optional[int] = None
+    assign: Optional[str] = None
+    line: int = 0
+    column: int = 0

@@ -1,0 +1,228 @@
+"""Compiler: DSL AST → :class:`~repro.core.Assembly`, and back to source.
+
+Semantic rules enforced here (on top of :meth:`Assembly.validate`):
+
+- shape names must be registered in the component library;
+- shape parameters must match the shape factory's signature;
+- the reserved parameters ``size`` and ``weight`` configure the component
+  itself, everything else is passed to the shape;
+- selectors must parse (``lowest_id``, ``highest_id``, ``hub``, ``rank(K)``);
+- the assignment rule, when given, must be known.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import AssemblyError, ConfigurationError, DslSemanticError
+from repro.core.assembly import Assembly
+from repro.core.component import ComponentSpec
+from repro.core.link import LinkSpec, PortRef
+from repro.core.port import PortSpec, make_selector
+from repro.core.roles import make_assignment
+from repro.dsl.ast import ComponentDecl, TopologyDecl
+from repro.dsl.parser import parse_source
+from repro.shapes.registry import make_shape
+
+
+def _located(message: str, line: int, column: int) -> DslSemanticError:
+    where = f" (line {line}, column {column})" if line else ""
+    return DslSemanticError(f"{message}{where}")
+
+
+def _expand_name(base: str, index: int) -> str:
+    return f"{base}{index}"
+
+
+def _compile_component(decl: ComponentDecl) -> ComponentSpec:
+    size = None
+    weight = 1.0
+    shape_params: Dict[str, Any] = {}
+    for param in decl.params:
+        if param.name == "size":
+            if not isinstance(param.value, int) or isinstance(param.value, bool):
+                raise _located(
+                    f"component {decl.name!r}: size must be an integer",
+                    param.line,
+                    param.column,
+                )
+            size = param.value
+        elif param.name == "weight":
+            if not isinstance(param.value, (int, float)) or isinstance(
+                param.value, bool
+            ):
+                raise _located(
+                    f"component {decl.name!r}: weight must be numeric",
+                    param.line,
+                    param.column,
+                )
+            weight = float(param.value)
+        else:
+            shape_params[param.name] = param.value
+    try:
+        shape = make_shape(decl.shape, **shape_params)
+    except ConfigurationError as exc:
+        raise _located(str(exc), decl.line, decl.column) from exc
+    ports = []
+    for port in decl.ports:
+        try:
+            selector = make_selector(port.selector)
+        except AssemblyError as exc:
+            raise _located(str(exc), port.line, port.column) from exc
+        ports.append(PortSpec(port.name, selector))
+    try:
+        return ComponentSpec(
+            name=decl.name, shape=shape, weight=weight, size=size, ports=tuple(ports)
+        )
+    except AssemblyError as exc:
+        raise _located(str(exc), decl.line, decl.column) from exc
+
+
+def _resolve_endpoint(
+    component: str,
+    index,
+    port: str,
+    replica_map: Dict[str, list],
+    decl,
+) -> list:
+    """Resolve one link endpoint to the list of concrete port refs."""
+    if component in replica_map:
+        names = replica_map[component]
+        if index == "*":
+            return [PortRef(name, port) for name in names]
+        if index is None:
+            raise _located(
+                f"{component!r} is replicated ×{len(names)}: address it as "
+                f"{component}[i].{port} or fan out with {component}[*].{port}",
+                decl.line,
+                decl.column,
+            )
+        if not 0 <= index < len(names):
+            raise _located(
+                f"replica index {component}[{index}] out of range "
+                f"(0..{len(names) - 1})",
+                decl.line,
+                decl.column,
+            )
+        return [PortRef(names[index], port)]
+    if index is not None:
+        raise _located(
+            f"{component!r} is not replicated; drop the [{index}] index",
+            decl.line,
+            decl.column,
+        )
+    return [PortRef(component, port)]
+
+
+def compile_ast(tree: TopologyDecl) -> Assembly:
+    """Lower a parsed topology declaration to a validated assembly.
+
+    Replication sugar is expanded here: ``component shard[4] : …`` becomes
+    components ``shard0 .. shard3``; a link endpoint ``shard[*].head`` fans
+    the link out to every replica.
+    """
+    components = []
+    replica_map: Dict[str, list] = {}
+    for decl in tree.components:
+        spec = _compile_component(decl)
+        if decl.replicas is None:
+            components.append(spec)
+            continue
+        names = [_expand_name(decl.name, index) for index in range(decl.replicas)]
+        replica_map[decl.name] = names
+        for name in names:
+            components.append(
+                ComponentSpec(
+                    name=name,
+                    shape=spec.shape,
+                    weight=spec.weight,
+                    size=spec.size,
+                    ports=spec.ports,
+                )
+            )
+    links = []
+    for decl in tree.links:
+        a_refs = _resolve_endpoint(
+            decl.a_component, decl.a_index, decl.a_port, replica_map, decl
+        )
+        b_refs = _resolve_endpoint(
+            decl.b_component, decl.b_index, decl.b_port, replica_map, decl
+        )
+        if len(a_refs) > 1 and len(b_refs) > 1:
+            raise _located(
+                "at most one side of a link may fan out with [*]",
+                decl.line,
+                decl.column,
+            )
+        try:
+            for a_ref in a_refs:
+                for b_ref in b_refs:
+                    links.append(LinkSpec(a_ref, b_ref))
+        except AssemblyError as exc:
+            raise _located(str(exc), decl.line, decl.column) from exc
+    assignment = None
+    if tree.assign is not None:
+        try:
+            assignment = make_assignment(tree.assign)
+        except AssemblyError as exc:
+            raise _located(str(exc), tree.line, tree.column) from exc
+    try:
+        return Assembly(
+            name=tree.name,
+            components=components,
+            links=links,
+            assignment=assignment,
+            total_nodes=tree.nodes,
+        )
+    except AssemblyError as exc:
+        raise _located(str(exc), tree.line, tree.column) from exc
+
+
+def compile_source(source: str) -> Assembly:
+    """Parse and compile DSL text in one step."""
+    return compile_ast(parse_source(source))
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def to_source(assembly: Assembly, indent: str = "    ") -> str:
+    """Pretty-print an assembly back to DSL text.
+
+    The output re-parses to an equal assembly (round-trip property), which
+    makes DSL files a faithful serialization format for topologies built
+    with the :class:`~repro.dsl.builder.TopologyBuilder`.
+    """
+    lines = [f"topology {assembly.name} {{"]
+    if assembly.total_nodes is not None:
+        lines.append(f"{indent}nodes {assembly.total_nodes}")
+    if assembly.assignment.name:
+        lines.append(f"{indent}assign {assembly.assignment.name}")
+    for spec in assembly.components.values():
+        params = []
+        if spec.size is not None:
+            params.append(f"size = {spec.size}")
+        elif spec.weight != 1.0:
+            params.append(f"weight = {_format_value(spec.weight)}")
+        for name, value in sorted(spec.shape.params().items()):
+            params.append(f"{name} = {_format_value(value)}")
+        header = f"{indent}component {spec.name} : {spec.shape.name}"
+        if params:
+            header += f"({', '.join(params)})"
+        if spec.ports:
+            lines.append(header + " {")
+            for port in spec.ports:
+                lines.append(f"{indent}{indent}port {port.name} : {port.selector.spec()}")
+            lines.append(f"{indent}}}")
+        else:
+            lines.append(header)
+    for link in assembly.links:
+        lines.append(f"{indent}link {link.a} -- {link.b}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,161 @@
+"""Hand-written lexer for the topology DSL.
+
+Recognizes identifiers, integer and float literals, double-quoted strings,
+punctuation, the ``--`` link arrow, and both ``#`` and ``//`` line comments.
+Every token carries its 1-based source position for error reporting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import DslSyntaxError
+from repro.dsl.tokens import Token, TokenType
+
+_PUNCTUATION = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "*": TokenType.STAR,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    "=": TokenType.EQUALS,
+    ".": TokenType.DOT,
+}
+
+
+class Lexer:
+    """Tokenizes one DSL source text."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- character helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self) -> str:
+        char = self.source[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _error(self, message: str) -> DslSyntaxError:
+        return DslSyntaxError(message, self.line, self.column)
+
+    # -- scanning ------------------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        """Scan the whole source; returns the token list ending with EOF."""
+        out: List[Token] = []
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+                continue
+            if char == "#" or (char == "/" and self._peek(1) == "/"):
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if char == "-" and self._peek(1) == "-":
+                out.append(Token(TokenType.LINK_ARROW, "--", self.line, self.column))
+                self._advance()
+                self._advance()
+                continue
+            if char in _PUNCTUATION:
+                out.append(Token(_PUNCTUATION[char], char, self.line, self.column))
+                self._advance()
+                continue
+            if char == '"':
+                out.append(self._string())
+                continue
+            if char.isdigit() or (char == "-" and self._peek(1).isdigit()):
+                out.append(self._number())
+                continue
+            if char.isalpha() or char == "_":
+                out.append(self._identifier())
+                continue
+            raise self._error(f"unexpected character {char!r}")
+        out.append(Token(TokenType.EOF, None, self.line, self.column))
+        return out
+
+    def _string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise DslSyntaxError("unterminated string literal", line, column)
+            char = self._advance()
+            if char == '"':
+                break
+            if char == "\n":
+                raise DslSyntaxError("newline in string literal", line, column)
+            if char == "\\":
+                escape = self._advance() if self.pos < len(self.source) else ""
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    raise DslSyntaxError(
+                        f"unknown escape sequence \\{escape}", self.line, self.column
+                    )
+                chars.append(mapping[escape])
+                continue
+            chars.append(char)
+        return Token(TokenType.STRING, "".join(chars), line, column)
+
+    def _number(self) -> Token:
+        line, column = self.line, self.column
+        chars: List[str] = []
+        if self._peek() == "-":
+            chars.append(self._advance())
+        is_float = False
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char.isdigit():
+                chars.append(self._advance())
+            elif char == "." and self._peek(1).isdigit() and not is_float:
+                is_float = True
+                chars.append(self._advance())
+            else:
+                break
+        text = "".join(chars)
+        if is_float:
+            return Token(TokenType.FLOAT, float(text), line, column)
+        return Token(TokenType.INT, int(text), line, column)
+
+    def _identifier(self) -> Token:
+        line, column = self.line, self.column
+        chars: List[str] = []
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            chars.append(self._advance())
+        word = "".join(chars)
+        value: object = word
+        if word == "true":
+            value = True
+        elif word == "false":
+            value = False
+        token_type = TokenType.IDENT if isinstance(value, str) else TokenType.IDENT
+        if isinstance(value, bool):
+            # Booleans are represented as IDENT tokens with bool values; the
+            # parser treats them as literal values where a value is expected.
+            return Token(TokenType.IDENT, value, line, column)
+        return Token(token_type, word, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokens()

@@ -1,0 +1,244 @@
+"""Recursive-descent parser for the topology DSL.
+
+Grammar (EBNF)::
+
+    topology   = "topology" IDENT "{" clause* "}" EOF
+    clause     = component | link | nodes | assign
+    component  = "component" IDENT [ "[" INT "]" ] ":" IDENT
+                 [ "(" params ")" ] [ block ]
+    params     = param { "," param }
+    param      = IDENT "=" value
+    value      = INT | FLOAT | STRING | IDENT
+    block      = "{" port* "}"
+    port       = "port" IDENT ":" selector
+    selector   = IDENT [ "(" INT ")" ]
+    link       = "link" portref "--" portref
+    portref    = IDENT [ "[" (INT | "*") "]" ] "." IDENT
+    nodes      = "nodes" INT
+    assign     = "assign" IDENT
+
+``component NAME[K]`` declares K identically-shaped replicas (expanded to
+``NAME0 .. NAME{K-1}``); in links, ``NAME[i].port`` addresses one replica
+and ``NAME[*].port`` fans the link out to all of them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import DslSyntaxError
+from repro.dsl.ast import ComponentDecl, LinkDecl, Param, PortDecl, TopologyDecl
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import KEYWORDS, Token, TokenType
+
+
+class Parser:
+    """Parses one DSL source into a :class:`TopologyDecl`."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> DslSyntaxError:
+        token = token or self._peek()
+        return DslSyntaxError(message, token.line, token.column)
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise self._error(f"expected {what}, found {token}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise self._error(f"expected {word!r}, found {token}")
+        return self._advance()
+
+    def _expect_name(self, what: str) -> Token:
+        """An IDENT that is not a reserved keyword."""
+        token = self._expect(TokenType.IDENT, what)
+        if token.value in KEYWORDS:
+            raise self._error(f"{token} is a reserved word, expected {what}", token)
+        return token
+
+    # -- grammar ------------------------------------------------------------------------
+
+    def parse(self) -> TopologyDecl:
+        start = self._expect_keyword("topology")
+        name = self._expect_name("a topology name")
+        self._expect(TokenType.LBRACE, "'{'")
+        components: List[ComponentDecl] = []
+        links: List[LinkDecl] = []
+        nodes: Optional[int] = None
+        assign: Optional[str] = None
+        while not self._peek().type is TokenType.RBRACE:
+            token = self._peek()
+            if token.is_keyword("component"):
+                components.append(self._component())
+            elif token.is_keyword("link"):
+                links.append(self._link())
+            elif token.is_keyword("nodes"):
+                if nodes is not None:
+                    raise self._error("duplicate 'nodes' clause")
+                self._advance()
+                nodes = int(self._expect(TokenType.INT, "a node count").value)
+            elif token.is_keyword("assign"):
+                if assign is not None:
+                    raise self._error("duplicate 'assign' clause")
+                self._advance()
+                assign = str(self._expect_name("an assignment rule").value)
+            elif token.type is TokenType.EOF:
+                raise self._error("unexpected end of input, expected '}'")
+            else:
+                raise self._error(
+                    f"expected component, link, nodes or assign, found {token}"
+                )
+        self._expect(TokenType.RBRACE, "'}'")
+        self._expect(TokenType.EOF, "end of input")
+        return TopologyDecl(
+            name=str(name.value),
+            components=tuple(components),
+            links=tuple(links),
+            nodes=nodes,
+            assign=assign,
+            line=start.line,
+            column=start.column,
+        )
+
+    def _component(self) -> ComponentDecl:
+        start = self._expect_keyword("component")
+        name = self._expect_name("a component name")
+        replicas = None
+        if self._peek().type is TokenType.LBRACKET:
+            self._advance()
+            count = self._expect(TokenType.INT, "a replica count")
+            if count.value < 1:
+                raise self._error("replica count must be >= 1", count)
+            replicas = int(count.value)
+            self._expect(TokenType.RBRACKET, "']'")
+        self._expect(TokenType.COLON, "':'")
+        shape = self._expect_name("a shape name")
+        params: Tuple[Param, ...] = ()
+        if self._peek().type is TokenType.LPAREN:
+            params = self._params()
+        ports: Tuple[PortDecl, ...] = ()
+        if self._peek().type is TokenType.LBRACE:
+            ports = self._port_block()
+        return ComponentDecl(
+            name=str(name.value),
+            shape=str(shape.value),
+            params=params,
+            ports=ports,
+            replicas=replicas,
+            line=start.line,
+            column=start.column,
+        )
+
+    def _params(self) -> Tuple[Param, ...]:
+        self._expect(TokenType.LPAREN, "'('")
+        params: List[Param] = []
+        if self._peek().type is not TokenType.RPAREN:
+            while True:
+                name = self._expect_name("a parameter name")
+                self._expect(TokenType.EQUALS, "'='")
+                params.append(
+                    Param(
+                        name=str(name.value),
+                        value=self._value(),
+                        line=name.line,
+                        column=name.column,
+                    )
+                )
+                if self._peek().type is TokenType.COMMA:
+                    self._advance()
+                    continue
+                break
+        self._expect(TokenType.RPAREN, "')'")
+        return tuple(params)
+
+    def _value(self):
+        token = self._peek()
+        if token.type in (TokenType.INT, TokenType.FLOAT, TokenType.STRING):
+            return self._advance().value
+        if token.type is TokenType.IDENT:
+            return self._advance().value  # bare word or boolean
+        raise self._error(f"expected a value, found {token}")
+
+    def _port_block(self) -> Tuple[PortDecl, ...]:
+        self._expect(TokenType.LBRACE, "'{'")
+        ports: List[PortDecl] = []
+        while self._peek().is_keyword("port"):
+            start = self._advance()
+            name = self._expect_name("a port name")
+            self._expect(TokenType.COLON, "':'")
+            ports.append(
+                PortDecl(
+                    name=str(name.value),
+                    selector=self._selector(),
+                    line=start.line,
+                    column=start.column,
+                )
+            )
+        self._expect(TokenType.RBRACE, "'}' to close the port block")
+        return tuple(ports)
+
+    def _selector(self) -> str:
+        name = self._expect_name("a selector rule")
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            argument = self._expect(TokenType.INT, "a selector argument")
+            self._expect(TokenType.RPAREN, "')'")
+            return f"{name.value}({argument.value})"
+        return str(name.value)
+
+    def _link(self) -> LinkDecl:
+        start = self._expect_keyword("link")
+        a_component, a_index, a_port = self._portref()
+        self._expect(TokenType.LINK_ARROW, "'--'")
+        b_component, b_index, b_port = self._portref()
+        return LinkDecl(
+            a_component=a_component,
+            a_port=a_port,
+            b_component=b_component,
+            b_port=b_port,
+            a_index=a_index,
+            b_index=b_index,
+            line=start.line,
+            column=start.column,
+        )
+
+    def _portref(self) -> Tuple[str, object, str]:
+        component = self._expect_name("a component name")
+        index: object = None
+        if self._peek().type is TokenType.LBRACKET:
+            self._advance()
+            token = self._peek()
+            if token.type is TokenType.STAR:
+                self._advance()
+                index = "*"
+            elif token.type is TokenType.INT:
+                self._advance()
+                index = int(token.value)
+            else:
+                raise self._error("expected a replica index or '*'")
+            self._expect(TokenType.RBRACKET, "']'")
+        self._expect(TokenType.DOT, "'.'")
+        port = self._expect_name("a port name")
+        return str(component.value), index, str(port.value)
+
+
+def parse_source(source: str) -> TopologyDecl:
+    """Parse DSL text into its AST."""
+    return Parser(source).parse()

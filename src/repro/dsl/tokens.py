@@ -1,0 +1,51 @@
+"""Token model of the topology DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Any
+
+
+class TokenType(Enum):
+    """Lexical categories of the DSL."""
+
+    IDENT = auto()
+    INT = auto()
+    FLOAT = auto()
+    STRING = auto()
+    LBRACE = auto()       # {
+    RBRACE = auto()       # }
+    LPAREN = auto()       # (
+    RPAREN = auto()       # )
+    LBRACKET = auto()     # [
+    RBRACKET = auto()     # ]
+    STAR = auto()         # *
+    COLON = auto()        # :
+    COMMA = auto()        # ,
+    EQUALS = auto()       # =
+    DOT = auto()          # .
+    LINK_ARROW = auto()   # --
+    EOF = auto()
+
+
+#: Reserved words; lexed as IDENT, classified by the parser.
+KEYWORDS = frozenset({"topology", "component", "port", "link", "nodes", "assign"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line and column)."""
+
+    type: TokenType
+    value: Any
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.IDENT and self.value == word
+
+    def __str__(self) -> str:
+        if self.type is TokenType.EOF:
+            return "end of input"
+        return repr(str(self.value))

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` framework.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch framework failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes, DSL syntax errors, and runtime
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the framework."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter value or an inconsistent configuration object."""
+
+
+class SimulationError(ReproError):
+    """A violation of the simulator's execution model (e.g. stepping a dead node)."""
+
+
+class TopologyError(ReproError):
+    """An assembly or shape that cannot be realized (e.g. empty component)."""
+
+
+class AssemblyError(TopologyError):
+    """An invalid assembly description (unknown ports, dangling links, ...)."""
+
+
+class DslError(ReproError):
+    """Base class for DSL front-end failures."""
+
+
+class DslSyntaxError(DslError):
+    """A lexical or grammatical error in a DSL source text.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token in the source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class DslSemanticError(DslError):
+    """A well-formed DSL program that violates a semantic rule."""
+
+
+class ConvergenceTimeout(ReproError):
+    """An experiment did not converge within its round budget."""
+
+    def __init__(self, layer: str, rounds: int):
+        super().__init__(f"layer {layer!r} did not converge within {rounds} rounds")
+        self.layer = layer
+        self.rounds = rounds

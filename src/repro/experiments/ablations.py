@@ -1,0 +1,300 @@
+"""Ablation studies of the design choices the paper leaves open (DESIGN.md §4).
+
+- **A1 view size** — Vicinity's view capacity trades memory/bandwidth for
+  convergence speed;
+- **A2 random feed** — the peer-sampling candidate feed (Vicinity's "pinch
+  of randomness") is load-bearing: without it the greedy overlay starves;
+- **A3 churn** — convergence under continuous churn and recovery from a
+  catastrophic correlated failure (self-healing);
+- **A4 core flavor** — Vicinity vs T-Man as the component core protocol;
+- **A5 monolithic** — one distance function for the whole assembly (the
+  design the paper argues against) vs the layered runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.monolithic import MonolithicComposite
+from repro.core.convergence import core_score
+from repro.core.runtime import Runtime, RuntimeConfig
+from repro.experiments import harness
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.topologies import ring_of_rings, star_of_cliques
+from repro.metrics.stats import Stats, summarize
+from repro.shapes.ring import Ring
+from repro.sim.churn import CatastrophicFailure, RandomChurn
+from repro.sim.config import GossipParams
+
+
+def view_size_sweep(
+    view_sizes: Sequence[int] = (4, 8, 12, 16, 24),
+    n_nodes: int = 256,
+    seeds: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> List[Tuple[int, Stats]]:
+    """A1: elementary ring convergence vs Vicinity view size."""
+    scale = scale or harness.current_scale()
+    seeds = tuple(seeds or scale.seeds)
+    max_rounds = max_rounds or scale.max_rounds
+    rows = []
+    for view_size in view_sizes:
+        params = GossipParams(
+            view_size=view_size,
+            gossip_size=max(2, view_size // 2),
+            healer=1,
+            swapper=min(4, view_size - 1),
+        )
+        stats = harness.measure_elementary(
+            Ring(), n_nodes, seeds, max_rounds, params=params
+        )
+        rows.append((view_size, stats))
+    return rows
+
+
+def random_feed_ablation(
+    n_nodes: int = 256,
+    seeds: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> Dict[str, Stats]:
+    """A2: elementary ring convergence with and without the random feed."""
+    scale = scale or harness.current_scale()
+    seeds = tuple(seeds or scale.seeds)
+    max_rounds = max_rounds or scale.max_rounds
+    return {
+        "with_random_feed": harness.measure_elementary(
+            Ring(), n_nodes, seeds, max_rounds, random_feed=True
+        ),
+        "without_random_feed": harness.measure_elementary(
+            Ring(), n_nodes, seeds, max_rounds, random_feed=False
+        ),
+    }
+
+
+@dataclass
+class ChurnResult:
+    """A3 outcome: convergence under churn and post-catastrophe recovery."""
+
+    crash_rate: float
+    converged_runs: int
+    total_runs: int
+    rounds: Stats
+    health_after_catastrophe: float
+    health_after_recovery: float
+
+
+def churn_study(
+    crash_rate: float = 0.01,
+    catastrophe_fraction: float = 0.5,
+    n_nodes: int = 192,
+    seeds: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[RuntimeConfig] = None,
+) -> ChurnResult:
+    """A3: the runtime under continuous churn, then a catastrophic failure.
+
+    Phase 1: converge a ring-of-rings while ``crash_rate`` of the population
+    crashes every round (with joins replacing them). Phase 2: kill
+    ``catastrophe_fraction`` of the nodes at once and measure the core
+    layer's health score before and after a recovery window.
+    """
+    scale = scale or harness.current_scale()
+    seeds = tuple(seeds or scale.seeds)
+    max_rounds = max_rounds or scale.max_rounds
+
+    n_rings = 6
+    ring_size = max(4, n_nodes // n_rings)
+    total = n_rings * ring_size
+    assembly = ring_of_rings(n_rings=n_rings, ring_size=ring_size)
+
+    rounds_samples: List[Optional[float]] = []
+    health_drop = 0.0
+    health_recovered = 0.0
+    for seed in seeds:
+        deployment = Runtime(assembly, config=config, seed=seed).deploy(total)
+        churn = RandomChurn(
+            deployment.streams.fork("churn").stream("crash"),
+            crash_rate=crash_rate,
+            join_count=max(1, int(total * crash_rate)),
+            provisioner=deployment.provisioner(),
+            min_population=total // 2,
+        )
+        deployment.engine.add_control(churn)
+        # Churn reshapes roles continuously; track the core layer only (the
+        # port layers chase a moving oracle under heavy churn).
+        deployment.tracker.layers = ["core", "uo1"]
+        deployment.tracker.reset()
+        report = deployment.run_until_converged(max_rounds)
+        rounds_samples.append(report.slowest)
+
+        # Phase 2: catastrophic correlated failure, then a recovery window.
+        deployment.engine.controls.remove(churn)
+        catastrophe = CatastrophicFailure(
+            deployment.streams.fork("catastrophe").stream("kill"),
+            at_round=deployment.engine.round,
+            fraction=catastrophe_fraction,
+        )
+        deployment.engine.add_control(catastrophe)
+        deployment.run(1)
+        deployment.rebalance()  # surviving nodes take over the vacated ranks
+        health_drop += core_score(
+            deployment.network, deployment.role_map, deployment.assembly
+        )
+        deployment.run(30)
+        health_recovered += core_score(
+            deployment.network, deployment.role_map, deployment.assembly
+        )
+
+    n_seeds = len(seeds)
+    stats = summarize(rounds_samples)
+    return ChurnResult(
+        crash_rate=crash_rate,
+        converged_runs=stats.n,
+        total_runs=n_seeds,
+        rounds=stats,
+        health_after_catastrophe=health_drop / n_seeds,
+        health_after_recovery=health_recovered / n_seeds,
+    )
+
+
+def core_flavor_comparison(
+    n_nodes: int = 128,
+    seeds: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> Dict[str, Dict[str, Stats]]:
+    """A4: the full runtime with Vicinity vs T-Man core protocols."""
+    scale = scale or harness.current_scale()
+    seeds = tuple(seeds or scale.seeds)
+    max_rounds = max_rounds or scale.max_rounds
+    n_rings = 8
+    ring_size = max(2, n_nodes // n_rings)
+    assembly = ring_of_rings(n_rings=n_rings, ring_size=ring_size)
+    total = n_rings * ring_size
+    out = {}
+    for flavor in ("vicinity", "tman"):
+        config = RuntimeConfig(core_flavor=flavor)
+        out[flavor] = harness.measure_convergence(
+            assembly, total, seeds, max_rounds, config
+        )
+    return out
+
+
+def loss_tolerance_sweep(
+    loss_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+    n_nodes: int = 128,
+    seeds: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> List[Tuple[float, Dict[str, Stats]]]:
+    """A7: full-runtime convergence under message loss.
+
+    Gossip's probabilistic resilience claim, quantified: a fraction of all
+    active exchanges is dropped each round (lost requests/replies) and the
+    runtime must still converge — just more slowly.
+    """
+    scale = scale or harness.current_scale()
+    seeds = tuple(seeds or scale.seeds)
+    max_rounds = max_rounds or scale.max_rounds
+    n_rings = 8
+    ring_size = max(2, n_nodes // n_rings)
+    assembly = ring_of_rings(n_rings=n_rings, ring_size=ring_size)
+    total = n_rings * ring_size
+    rows = []
+    for loss_rate in loss_rates:
+        config = RuntimeConfig(loss_rate=loss_rate)
+        rows.append(
+            (
+                loss_rate,
+                harness.measure_convergence(
+                    assembly, total, seeds, max_rounds, config
+                ),
+            )
+        )
+    return rows
+
+
+def heterogeneity_study(
+    n_nodes: int = 160,
+    seeds: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> Dict[str, Dict[str, Stats]]:
+    """A8: uniform vs heavily skewed component sizes.
+
+    Real assemblies are not uniform (the paper's MongoDB example has one
+    small router and large shards). This study compares the runtime on a
+    balanced 8×20 ring-of-rings against a skewed assembly — one giant ring
+    holding half the population plus seven small ones — at equal node count
+    and link structure.
+    """
+    scale = scale or harness.current_scale()
+    seeds = tuple(seeds or scale.seeds)
+    max_rounds = max_rounds or scale.max_rounds
+
+    from repro.dsl import TopologyBuilder
+
+    def skewed_assembly() -> "object":
+        builder = TopologyBuilder("SkewedRings")
+        sizes = [n_nodes // 2] + [max(2, (n_nodes // 2) // 7)] * 7
+        total = sum(sizes)
+        for index, size in enumerate(sizes):
+            east = max(1, size // 2)
+            builder.component(f"ring{index}", "ring", size=size).port(
+                "west", "rank(0)"
+            ).port("east", f"rank({east})")
+        for index in range(len(sizes)):
+            builder.link(
+                (f"ring{index}", "east"),
+                (f"ring{(index + 1) % len(sizes)}", "west"),
+            )
+        return builder.nodes(total).build(), total
+
+    balanced = ring_of_rings(n_rings=8, ring_size=n_nodes // 8)
+    skewed, skewed_total = skewed_assembly()
+    return {
+        "balanced": harness.measure_convergence(
+            balanced, n_nodes, seeds, max_rounds
+        ),
+        "skewed": harness.measure_convergence(
+            skewed, skewed_total, seeds, max_rounds
+        ),
+    }
+
+
+def monolithic_comparison(
+    n_nodes: int = 104,
+    seeds: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> Dict[str, Stats]:
+    """A5: layered runtime vs one monolithic overlay on a star of cliques.
+
+    The monolithic baseline is only asked to realize the component shapes
+    (it cannot express links at all); the layered runtime's number is its
+    core-layer convergence, so the comparison is apples-to-apples.
+    """
+    scale = scale or harness.current_scale()
+    seeds = tuple(seeds or scale.seeds)
+    max_rounds = max_rounds or scale.max_rounds
+    shard_size = max(3, (n_nodes - max(4, n_nodes // 13)) // 4)
+    router_size = n_nodes - 4 * shard_size
+    assembly = star_of_cliques(
+        n_shards=4, shard_size=shard_size, router_size=router_size
+    )
+    layered_samples: List[Optional[float]] = []
+    monolithic_samples: List[Optional[float]] = []
+    for seed in seeds:
+        deployment = Runtime(assembly, seed=seed).deploy(n_nodes)
+        report = deployment.run_until_converged(max_rounds)
+        layered_samples.append(report.round_of("core"))
+        monolithic = MonolithicComposite(assembly, n_nodes, seed)
+        monolithic_samples.append(monolithic.run(max_rounds))
+    return {
+        "layered_runtime_core": summarize(layered_samples),
+        "monolithic_overlay": summarize(monolithic_samples),
+    }

@@ -1,0 +1,95 @@
+"""Figure 2 — convergence time vs total node count (20 components).
+
+Paper: "Convergence time of the various sub-procedures for a system of 20
+components. It is fast and scales well with the number of nodes." The x-axis
+is logarithmic (100 → 25 600 nodes); all five series stay below ~30 rounds
+and grow roughly logarithmically.
+
+The assembly is a ring of 20 rings (the paper's recurring example of a
+complex topology); the five series are the five runtime sub-procedures:
+the per-component core protocols ("Elementary Topology"), UO1, UO2, port
+selection, and port connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.runtime import RuntimeConfig
+from repro.experiments import harness
+from repro.experiments.harness import (
+    ALL_SERIES,
+    SERIES_TO_LAYER,
+    ExperimentScale,
+)
+from repro.experiments.topologies import ring_of_rings
+from repro.metrics.report import render_table
+from repro.metrics.stats import Stats
+
+
+@dataclass
+class Fig2Row:
+    """One x-axis point: a node count with its per-series statistics."""
+
+    n_nodes: int
+    series: Dict[str, Stats]
+
+
+def run_fig2(
+    node_counts: Optional[Sequence[int]] = None,
+    n_components: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[RuntimeConfig] = None,
+) -> List[Fig2Row]:
+    """Run the Figure 2 sweep; parameters default to the current scale."""
+    scale = scale or harness.current_scale()
+    node_counts = tuple(node_counts or scale.fig2_node_counts)
+    n_components = n_components or scale.fig2_components
+    seeds = tuple(seeds or scale.seeds)
+    max_rounds = max_rounds or scale.max_rounds
+
+    rows: List[Fig2Row] = []
+    for n_nodes in node_counts:
+        ring_size = max(2, n_nodes // n_components)
+        assembly = ring_of_rings(n_rings=n_components, ring_size=ring_size)
+        total = n_components * ring_size
+        layer_stats = harness.measure_convergence(
+            assembly, total, seeds, max_rounds, config
+        )
+        series: Dict[str, Stats] = {
+            name: layer_stats[layer] for name, layer in SERIES_TO_LAYER.items()
+        }
+        rows.append(Fig2Row(n_nodes=total, series=series))
+    return rows
+
+
+def format_fig2(rows: Sequence[Fig2Row]) -> str:
+    """Render the Figure 2 series as the paper plots them (table + sketch)."""
+    from repro.metrics.plot import ascii_chart
+
+    headers: Tuple = ("# of Nodes",) + ALL_SERIES
+    table = []
+    for row in rows:
+        cells = [row.n_nodes]
+        for name in ALL_SERIES:
+            cells.append(str(row.series[name]))
+        table.append(cells)
+    rendered = render_table(
+        headers,
+        table,
+        title=(
+            "Figure 2: rounds to converge vs number of nodes "
+            "(ring-of-rings, 20 components; mean ±90% CI over seeds)"
+        ),
+    )
+    chart = ascii_chart(
+        {name: [row.series[name].mean for row in rows] for name in ALL_SERIES},
+        width=48,
+        height=12,
+        y_label="rounds",
+        x_label="# of nodes (log axis) ->",
+    )
+    return f"{rendered}\n\n{chart}"

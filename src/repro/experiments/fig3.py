@@ -1,0 +1,94 @@
+"""Figure 3 — convergence time vs component count (fixed population).
+
+Paper: "Convergence time of the various sub-procedures for a system of
+25,600 nodes. It is fast and increases slowly with the number of
+components." The x-axis is 0 → 20 components, values stay within ~2-16
+rounds, growing slowly (roughly linearly).
+
+Same assembly family as Figure 2 — a ring of *k* rings over a fixed node
+budget — so the two figures are two cuts of the same parameter plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.runtime import RuntimeConfig
+from repro.experiments import harness
+from repro.experiments.harness import (
+    ALL_SERIES,
+    SERIES_TO_LAYER,
+    ExperimentScale,
+)
+from repro.experiments.topologies import ring_of_rings
+from repro.metrics.report import render_table
+from repro.metrics.stats import Stats
+
+
+@dataclass
+class Fig3Row:
+    """One x-axis point: a component count with its per-series statistics."""
+
+    n_components: int
+    n_nodes: int
+    series: Dict[str, Stats]
+
+
+def run_fig3(
+    component_counts: Optional[Sequence[int]] = None,
+    n_nodes: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    max_rounds: Optional[int] = None,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[RuntimeConfig] = None,
+) -> List[Fig3Row]:
+    """Run the Figure 3 sweep; parameters default to the current scale."""
+    scale = scale or harness.current_scale()
+    component_counts = tuple(component_counts or scale.fig3_component_counts)
+    n_nodes = n_nodes or scale.fig3_node_count
+    seeds = tuple(seeds or scale.seeds)
+    max_rounds = max_rounds or scale.max_rounds
+
+    rows: List[Fig3Row] = []
+    for n_components in component_counts:
+        ring_size = max(2, n_nodes // n_components)
+        assembly = ring_of_rings(n_rings=n_components, ring_size=ring_size)
+        total = n_components * ring_size
+        layer_stats = harness.measure_convergence(
+            assembly, total, seeds, max_rounds, config
+        )
+        series: Dict[str, Stats] = {
+            name: layer_stats[layer] for name, layer in SERIES_TO_LAYER.items()
+        }
+        rows.append(Fig3Row(n_components=n_components, n_nodes=total, series=series))
+    return rows
+
+
+def format_fig3(rows: Sequence[Fig3Row]) -> str:
+    """Render the Figure 3 series as the paper plots them (table + sketch)."""
+    from repro.metrics.plot import ascii_chart
+
+    headers: Tuple = ("# of Components", "# of Nodes") + ALL_SERIES
+    table = []
+    for row in rows:
+        cells = [row.n_components, row.n_nodes]
+        for name in ALL_SERIES:
+            cells.append(str(row.series[name]))
+        table.append(cells)
+    rendered = render_table(
+        headers,
+        table,
+        title=(
+            "Figure 3: rounds to converge vs number of components "
+            "(ring-of-rings, fixed node budget; mean ±90% CI over seeds)"
+        ),
+    )
+    chart = ascii_chart(
+        {name: [row.series[name].mean for row in rows] for name in ALL_SERIES},
+        width=48,
+        height=12,
+        y_label="rounds",
+        x_label="# of components ->",
+    )
+    return f"{rendered}\n\n{chart}"

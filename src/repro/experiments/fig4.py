@@ -1,0 +1,105 @@
+"""Figure 4 — bandwidth of the runtime vs the core-protocol baseline.
+
+Paper: "Comparison of bandwidth consumption (in bytes) between the core
+protocol and our runtime's sub-procedures, for a system of 20 components and
+25,600 nodes. Both follow the same pattern, and both are very small." The
+plot shows two per-round series, each under ~1 000 bytes per node per round.
+
+We run the 20-component ring-of-rings for a fixed number of rounds and split
+the transport's byte accounting into the core-protocol *baseline* and the
+runtime *overhead* (peer sampling + UO1 + UO2 + port selection + port
+connection), averaged per node and over seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.runtime import Runtime, RuntimeConfig
+from repro.experiments import harness
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.topologies import ring_of_rings
+from repro.metrics.bandwidth import total_split
+from repro.metrics.report import render_table
+
+
+@dataclass
+class Fig4Result:
+    """Per-round byte series (per node, seed-averaged)."""
+
+    n_nodes: int
+    n_components: int
+    rounds: int
+    baseline: List[float]
+    overhead: List[float]
+
+
+def run_fig4(
+    n_nodes: Optional[int] = None,
+    n_components: Optional[int] = None,
+    rounds: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[RuntimeConfig] = None,
+) -> Fig4Result:
+    """Run the Figure 4 measurement; parameters default to the current scale."""
+    scale = scale or harness.current_scale()
+    n_nodes = n_nodes or scale.fig4_node_count
+    n_components = n_components or scale.fig4_components
+    rounds = rounds or scale.fig4_rounds
+    seeds = tuple(seeds or scale.seeds)
+
+    ring_size = max(2, n_nodes // n_components)
+    assembly = ring_of_rings(n_rings=n_components, ring_size=ring_size)
+    total = n_components * ring_size
+
+    baseline_acc = [0.0] * rounds
+    overhead_acc = [0.0] * rounds
+    for seed in seeds:
+        deployment = Runtime(assembly, config=config, seed=seed).deploy(total)
+        deployment.run(rounds)
+        split = total_split(deployment.transport, rounds, total)
+        for index in range(rounds):
+            baseline_acc[index] += split["baseline"][index]
+            overhead_acc[index] += split["overhead"][index]
+    n_seeds = len(seeds)
+    return Fig4Result(
+        n_nodes=total,
+        n_components=n_components,
+        rounds=rounds,
+        baseline=[value / n_seeds for value in baseline_acc],
+        overhead=[value / n_seeds for value in overhead_acc],
+    )
+
+
+def format_fig4(result: Fig4Result) -> str:
+    """Render the Figure 4 series as the paper plots them (table + sketch)."""
+    from repro.metrics.plot import ascii_chart
+
+    rows = [
+        (
+            round_index,
+            f"{result.baseline[round_index]:.0f}",
+            f"{result.overhead[round_index]:.0f}",
+        )
+        for round_index in range(result.rounds)
+    ]
+    table = render_table(
+        ("Round", "Baseline (bytes/node)", "Overhead (bytes/node)"),
+        rows,
+        title=(
+            f"Figure 4: per-node bandwidth per round "
+            f"({result.n_components} components, {result.n_nodes} nodes; "
+            "baseline = core protocols + peer sampling, "
+            "overhead = UO1 + UO2 + port selection + port connection)"
+        ),
+    )
+    chart = ascii_chart(
+        {"Baseline": result.baseline, "Overhead": result.overhead},
+        width=min(64, max(16, result.rounds * 3)),
+        height=12,
+        y_label="bytes/node/round",
+        x_label="rounds ->",
+    )
+    return f"{table}\n\n{chart}"

@@ -1,0 +1,172 @@
+"""Multi-seed experiment harness and scale control.
+
+The paper runs every experiment at up to 25 600 nodes, averaged over 25
+seeds. A pure-Python substrate cannot do that inside a CI test budget, so
+the harness supports two scales selected by the ``REPRO_SCALE`` environment
+variable:
+
+- ``ci`` (default) — reduced node counts and seed counts; every trend the
+  paper reports is already visible here;
+- ``full`` — the paper's parameters (25 600 nodes, 25 seeds); identical
+  code, just bigger sweeps. Expect hours of wall clock.
+
+Every experiment driver takes its parameters from
+:func:`current_scale`, so EXPERIMENTS.md documents exactly one code path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.baselines.monolithic import elementary_convergence
+from repro.core.assembly import Assembly
+from repro.core.convergence import ConvergenceTracker
+from repro.core.runtime import Runtime, RuntimeConfig
+from repro.metrics.stats import Stats, summarize
+from repro.shapes.base import Shape
+from repro.sim.config import GossipParams
+
+#: Series names as they appear in the paper's figure legends. The five
+#: series of Figures 2 and 3 are the five *sub-procedures* of the runtime:
+#: "Elementary Topology" is the per-component core protocol realizing the
+#: basic shapes, the other four are UO1, UO2, port selection and port
+#: connection (§3.3 / Figure 1).
+SERIES_ELEMENTARY = "Elementary Topology"
+SERIES_UO1 = "Same-component (UO1)"
+SERIES_UO2 = "Distant-component (UO2)"
+SERIES_PORT_SELECTION = "Port Selection"
+SERIES_PORT_CONNECTION = "Port Connection"
+
+#: Map from figure series to convergence-tracker layer keys.
+SERIES_TO_LAYER = {
+    SERIES_ELEMENTARY: "core",
+    SERIES_UO1: "uo1",
+    SERIES_UO2: "uo2",
+    SERIES_PORT_SELECTION: "port_selection",
+    SERIES_PORT_CONNECTION: "port_connection",
+}
+
+ALL_SERIES = (
+    SERIES_ELEMENTARY,
+    SERIES_UO1,
+    SERIES_UO2,
+    SERIES_PORT_SELECTION,
+    SERIES_PORT_CONNECTION,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """The knobs that differ between CI and paper-scale runs."""
+
+    name: str
+    seeds: Tuple[int, ...]
+    fig2_node_counts: Tuple[int, ...]
+    fig2_components: int
+    fig3_node_count: int
+    fig3_component_counts: Tuple[int, ...]
+    fig4_node_count: int
+    fig4_components: int
+    fig4_rounds: int
+    max_rounds: int
+
+
+_CI_SCALE = ExperimentScale(
+    name="ci",
+    seeds=(1, 2),
+    fig2_node_counts=(100, 200, 400, 800, 1600),
+    fig2_components=20,
+    fig3_node_count=640,
+    fig3_component_counts=(2, 4, 8, 12, 16, 20),
+    fig4_node_count=640,
+    fig4_components=20,
+    fig4_rounds=20,
+    max_rounds=120,
+)
+
+_FULL_SCALE = ExperimentScale(
+    name="full",
+    seeds=tuple(range(1, 26)),
+    fig2_node_counts=(100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600),
+    fig2_components=20,
+    fig3_node_count=25600,
+    fig3_component_counts=(1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20),
+    fig4_node_count=25600,
+    fig4_components=20,
+    fig4_rounds=20,
+    max_rounds=200,
+)
+
+
+def current_scale() -> ExperimentScale:
+    """The scale selected by ``REPRO_SCALE`` (``ci`` default, or ``full``)."""
+    name = os.environ.get("REPRO_SCALE", "ci").strip().lower()
+    if name == "full":
+        return _FULL_SCALE
+    return _CI_SCALE
+
+
+def measure_convergence(
+    assembly: Assembly,
+    n_nodes: int,
+    seeds: Sequence[int],
+    max_rounds: int = 120,
+    config: Optional[RuntimeConfig] = None,
+) -> Dict[str, Stats]:
+    """Per-layer rounds-to-converge of the full runtime, averaged over seeds.
+
+    Returns a mapping from tracker layer name (``core``, ``uo1``, ``uo2``,
+    ``port_selection``, ``port_connection``) to :class:`Stats`; seeds that
+    miss the budget count as failures, never as numbers.
+    """
+    per_layer: Dict[str, list] = {
+        layer: [] for layer in ConvergenceTracker.ALL_LAYERS
+    }
+    for seed in seeds:
+        runtime = Runtime(assembly, config=config, seed=seed)
+        deployment = runtime.deploy(n_nodes)
+        report = deployment.run_until_converged(max_rounds)
+        for layer in per_layer:
+            per_layer[layer].append(report.round_of(layer))
+    return {layer: summarize(samples) for layer, samples in per_layer.items()}
+
+
+def measure_elementary(
+    shape: Shape,
+    n_nodes: int,
+    seeds: Sequence[int],
+    max_rounds: int = 120,
+    params: Optional[GossipParams] = None,
+    random_feed: bool = True,
+) -> Stats:
+    """Rounds-to-converge of the monolithic elementary baseline."""
+    samples = [
+        elementary_convergence(
+            shape,
+            n_nodes,
+            seed,
+            max_rounds=max_rounds,
+            params=params,
+            random_feed=random_feed,
+        ).rounds_to_converge
+        for seed in seeds
+    ]
+    return summarize(samples)
+
+
+def series_table(
+    rows: Iterable[Tuple[object, Dict[str, Stats]]],
+    x_label: str,
+) -> Tuple[list, list]:
+    """Arrange sweep results as (headers, rows) for the report renderer."""
+    headers = [x_label] + [series for series in ALL_SERIES]
+    table = []
+    for x_value, cells in rows:
+        row = [x_value]
+        for series in ALL_SERIES:
+            stat = cells.get(series)
+            row.append("n/a" if stat is None else f"{stat.mean:.1f}")
+        table.append(row)
+    return headers, table

@@ -1,0 +1,144 @@
+"""The complex assemblies of the paper's experiment (i).
+
+"Building various topologies comparable to those used in real world
+applications" — each builder here returns a validated
+:class:`~repro.core.Assembly` modelled on a system the paper cites:
+
+- :func:`star_of_cliques` — the MongoDB sharded cluster ("MongoDB relies on
+  a star of cliques"): a router star whose hub links to the head of every
+  shard replica-set clique;
+- :func:`ring_of_rings` — the hierarchical ring used by the paper's
+  convergence experiment (ii), a Scatter/Overnesia-style super-ring of
+  replica rings;
+- :func:`grid_of_rings` — a geo-distributed mesh of replica rings (Riak-style
+  multi-datacenter arrangement);
+- :func:`line_of_stars` — a staged pipeline whose stages are star-shaped
+  worker pools (stream-processing style);
+- :func:`iot_composite` — the heterogeneous IoT scenario of the paper's
+  future-work section: sensors (random pool), an aggregation tree, a storage
+  ring and a gateway clique, linked opportunistically.
+"""
+
+from __future__ import annotations
+
+from repro.core.assembly import Assembly
+from repro.dsl.builder import TopologyBuilder
+
+
+def star_of_cliques(
+    n_shards: int = 4,
+    shard_size: int = 12,
+    router_size: int = 8,
+    name: str = "StarOfCliques",
+) -> Assembly:
+    """A MongoDB-style sharded cluster: router star + shard cliques."""
+    builder = TopologyBuilder(name)
+    builder.component("router", "star", size=router_size).port("hub", "hub")
+    for index in range(n_shards):
+        shard = f"shard{index}"
+        builder.component(shard, "clique", size=shard_size).port(
+            "head", "lowest_id"
+        )
+        builder.link(("router", "hub"), (shard, "head"))
+    return builder.nodes(router_size + n_shards * shard_size).build()
+
+
+def ring_of_rings(
+    n_rings: int = 8,
+    ring_size: int = 16,
+    name: str = "RingOfRings",
+) -> Assembly:
+    """A super-ring of rings: ring *i*'s east port links to ring *i+1*'s west.
+
+    Each ring exposes a ``west`` port at rank 0 and an ``east`` port at the
+    diametrically opposite rank, so the inter-ring links traverse each ring.
+    """
+    builder = TopologyBuilder(name)
+    east_rank = max(1, ring_size // 2) if ring_size > 1 else 0
+    for index in range(n_rings):
+        builder.component(f"ring{index}", "ring", size=ring_size).port(
+            "west", "rank(0)"
+        ).port("east", f"rank({east_rank})")
+    if n_rings > 1:
+        for index in range(n_rings):
+            builder.link(
+                (f"ring{index}", "east"),
+                (f"ring{(index + 1) % n_rings}", "west"),
+            )
+    return builder.nodes(n_rings * ring_size).build()
+
+
+def grid_of_rings(
+    rows: int = 3,
+    cols: int = 3,
+    ring_size: int = 12,
+    name: str = "GridOfRings",
+) -> Assembly:
+    """A ``rows × cols`` mesh of replica rings (multi-datacenter style)."""
+    builder = TopologyBuilder(name)
+    for row in range(rows):
+        for col in range(cols):
+            builder.component(f"dc_{row}_{col}", "ring", size=ring_size).port(
+                "peer", "lowest_id"
+            )
+    for row in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                builder.link(
+                    (f"dc_{row}_{col}", "peer"), (f"dc_{row}_{col + 1}", "peer")
+                )
+            if row + 1 < rows:
+                builder.link(
+                    (f"dc_{row}_{col}", "peer"), (f"dc_{row + 1}_{col}", "peer")
+                )
+    return builder.nodes(rows * cols * ring_size).build()
+
+
+def line_of_stars(
+    n_stages: int = 4,
+    stage_size: int = 10,
+    name: str = "LineOfStars",
+) -> Assembly:
+    """A staged pipeline: each stage a star pool, hubs chained by links."""
+    builder = TopologyBuilder(name)
+    for index in range(n_stages):
+        builder.component(f"stage{index}", "star", size=stage_size).port(
+            "hub", "hub"
+        )
+    for index in range(n_stages - 1):
+        builder.link((f"stage{index}", "hub"), (f"stage{index + 1}", "hub"))
+    return builder.nodes(n_stages * stage_size).build()
+
+
+def iot_composite(
+    n_sensors: int = 32,
+    tree_size: int = 15,
+    storage_size: int = 12,
+    gateway_size: int = 5,
+    name: str = "IotComposite",
+) -> Assembly:
+    """The paper's IoT motivation: heterogeneous sub-systems composed.
+
+    Sensors form an unstructured pool; an aggregation tree collects their
+    readings; a storage ring persists aggregates; a gateway clique exposes
+    the system. Links wire pool → tree root → storage → gateway.
+    """
+    builder = TopologyBuilder(name)
+    builder.component("sensors", "random", size=n_sensors, min_degree=3).port(
+        "uplink", "lowest_id"
+    )
+    builder.component("aggregation", "tree", size=tree_size).port(
+        "root", "rank(0)"
+    ).port("sink", "highest_id")
+    builder.component("storage", "ring", size=storage_size).port(
+        "ingest", "lowest_id"
+    ).port("serve", "highest_id")
+    builder.component("gateway", "clique", size=gateway_size).port(
+        "south", "lowest_id"
+    )
+    builder.link(("sensors", "uplink"), ("aggregation", "root"))
+    builder.link(("aggregation", "sink"), ("storage", "ingest"))
+    builder.link(("storage", "serve"), ("gateway", "south"))
+    return builder.nodes(
+        n_sensors + tree_size + storage_size + gateway_size
+    ).build()

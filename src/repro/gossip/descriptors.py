@@ -1,0 +1,64 @@
+"""Node descriptors — the records gossip messages carry.
+
+A descriptor advertises a node to its peers: its identity, a logical *age*
+(rounds since the descriptor was created, the staleness signal the
+peer-sampling healer uses), and a layer-specific *profile* (the coordinate a
+proximity function ranks on — a ring position, a component name + rank, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Descriptor:
+    """An immutable advertisement of one node at one layer.
+
+    Immutability keeps views safe to share between protocol buffers: aging a
+    descriptor produces a new record (:meth:`aged`) rather than mutating one
+    that may sit in a peer's in-flight message.
+    """
+
+    __slots__ = ("node_id", "age", "profile")
+
+    def __init__(self, node_id: int, age: int = 0, profile: Any = None):
+        object.__setattr__(self, "node_id", int(node_id))
+        object.__setattr__(self, "age", int(age))
+        object.__setattr__(self, "profile", profile)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Descriptor is immutable")
+
+    def aged(self, increment: int = 1) -> "Descriptor":
+        """A copy of this descriptor, ``increment`` rounds older."""
+        return Descriptor(self.node_id, self.age + increment, self.profile)
+
+    def fresh(self) -> "Descriptor":
+        """A copy with age reset to zero (a node advertising itself)."""
+        return Descriptor(self.node_id, 0, self.profile)
+
+    def with_profile(self, profile: Any) -> "Descriptor":
+        """A copy carrying a different profile (used on reconfiguration)."""
+        return Descriptor(self.node_id, self.age, profile)
+
+    # Equality is identity + freshness; the profile rides along (two
+    # descriptors for the same node at the same layer carry equal profiles).
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Descriptor):
+            return NotImplemented
+        return self.node_id == other.node_id and self.age == other.age
+
+    def __hash__(self) -> int:
+        return hash((self.node_id, self.age))
+
+    def __repr__(self) -> str:
+        return f"Descriptor(node={self.node_id}, age={self.age}, profile={self.profile!r})"
+
+
+def youngest(a: Optional[Descriptor], b: Optional[Descriptor]) -> Optional[Descriptor]:
+    """Of two descriptors for the same node, the fresher one (lower age)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a.age <= b.age else b

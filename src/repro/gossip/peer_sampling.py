@@ -1,0 +1,178 @@
+"""Gossip-based peer sampling (Jelasity et al., ACM TOCS 2007).
+
+The bottom layer of the paper's runtime (Figure 1, "Global peer sampling"):
+maintains, at each node, a small uniformly random sample of the live
+population. The implementation follows the generic framework of the TOCS
+paper — push-pull view exchange with the *healer* (H) and *swapper* (S)
+parameters — with tail (oldest-first) peer selection, the configuration shown
+there to give the best self-healing behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.gossip.descriptors import Descriptor
+from repro.gossip.views import PartialView
+from repro.sim.config import GossipParams
+from repro.sim.engine import RoundContext
+from repro.sim.network import Network
+from repro.sim.protocol import Protocol
+
+
+class PeerSampling(Protocol):
+    """One node's instance of the peer-sampling service.
+
+    Parameters
+    ----------
+    node_id:
+        The hosting node's identity (advertised in gossip).
+    params:
+        View size *C*, buffer size, healer *H* and swapper *S*.
+    layer:
+        Transport accounting label; also the name under which the protocol is
+        attached, so that upper layers can find it via ``node.protocol``.
+    select_tail:
+        If true (default), gossip with the oldest view entry; otherwise with
+        a uniformly random one.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        params: Optional[GossipParams] = None,
+        layer: str = "peer_sampling",
+        select_tail: bool = True,
+    ):
+        self.node_id = node_id
+        self.params = params or GossipParams()
+        self.layer = layer
+        self.select_tail = select_tail
+        self.view = PartialView(self.params.view_size)
+        self._self_descriptor = Descriptor(node_id, age=0, profile=None)
+
+    # -- descriptor of the hosting node ---------------------------------------
+
+    def self_descriptor(self) -> Descriptor:
+        return self._self_descriptor
+
+    # -- protocol interface -----------------------------------------------------
+
+    def neighbors(self) -> List[int]:
+        return self.view.ids()
+
+    def forget(self, node_id: int) -> None:
+        self.view.remove(node_id)
+
+    def step(self, ctx: RoundContext) -> None:
+        """One active round: pick a partner, push-pull buffers, select view."""
+        self.view.increase_age()
+        if not ctx.exchange_ok():
+            return  # this round's exchange was lost (see RoundContext.exchange_ok)
+        partner = self._choose_partner(ctx)
+        if partner is None:
+            return
+        partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
+        assert isinstance(partner_protocol, PeerSampling)
+        buffer = self._make_buffer(ctx)
+        reply = partner_protocol.on_gossip(ctx, buffer)
+        ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
+        self._apply(ctx, sent=buffer, received=reply)
+
+    def on_gossip(
+        self, ctx: RoundContext, received: List[Descriptor]
+    ) -> List[Descriptor]:
+        """Passive side of an exchange: reply with a buffer, then merge."""
+        reply = self._make_buffer(ctx)
+        self._apply(ctx, sent=reply, received=received)
+        return reply
+
+    # -- bootstrap -----------------------------------------------------------------
+
+    def bootstrap(self, rng: random.Random, network: Network, count: int = 0) -> None:
+        """Fill the view with up to ``count`` random live peers.
+
+        The equivalent of PeerSim's ``WireKOut`` initializer: without it the
+        initial knowledge graph can partition into isolated islands that
+        gossip can never bridge. The runtime calls this at deployment and
+        for every joining node.
+        """
+        count = count or self.params.view_size
+        candidates = [nid for nid in network.alive_ids() if nid != self.node_id]
+        if not candidates:
+            return
+        for node_id in rng.sample(candidates, min(count, len(candidates))):
+            self.view.insert(Descriptor(node_id, age=0, profile=None))
+
+    # -- internals -----------------------------------------------------------------
+
+    def _choose_partner(self, ctx: RoundContext) -> Optional[Descriptor]:
+        """Partner selection with dead-peer healing and oracle bootstrap."""
+        while len(self.view):
+            candidate = (
+                self.view.oldest() if self.select_tail else self.view.random(ctx.rng())
+            )
+            if candidate is None:
+                break
+            if ctx.network.is_alive(candidate.node_id):
+                return candidate
+            # A failed exchange acts as a failure detection: drop the entry.
+            self.view.remove(candidate.node_id)
+        # Empty view: re-bootstrap through the membership oracle (models a
+        # node rejoining via the bootstrap service after losing all links).
+        self.bootstrap(ctx.rng(), ctx.network, self.params.gossip_size)
+        candidate = self.view.random(ctx.rng())
+        if candidate is not None and ctx.network.node(candidate.node_id).has_protocol(
+            self.layer
+        ):
+            return candidate
+        return None
+
+    def _make_buffer(self, ctx: RoundContext) -> List[Descriptor]:
+        """Own fresh descriptor plus a random slice of the view."""
+        buffer = [self.self_descriptor()]
+        buffer.extend(self.view.sample(ctx.rng(), self.params.gossip_size - 1))
+        return buffer
+
+    def _apply(
+        self,
+        ctx: RoundContext,
+        sent: List[Descriptor],
+        received: List[Descriptor],
+    ) -> None:
+        """The framework's ``select`` step (TOCS 2007, Fig. 8).
+
+        Merge the received buffer into an unbounded pool, then trim the
+        overflow in three waves: the H oldest entries (healer), up to S of
+        the entries we just shipped (swapper), then uniformly at random.
+        """
+        params = self.params
+        pool = {d.node_id: d for d in self.view}
+        for descriptor in received:
+            if descriptor.node_id == self.node_id:
+                continue
+            current = pool.get(descriptor.node_id)
+            if current is None or descriptor.age < current.age:
+                pool[descriptor.node_id] = descriptor
+
+        def excess() -> int:
+            return len(pool) - params.view_size
+
+        if excess() > 0 and params.healer > 0:
+            by_age = sorted(pool.values(), key=lambda d: (-d.age, d.node_id))
+            for descriptor in by_age[: min(params.healer, excess())]:
+                del pool[descriptor.node_id]
+        if excess() > 0 and params.swapper > 0:
+            swaps = min(params.swapper, excess())
+            for descriptor in sent:
+                if swaps <= 0:
+                    break
+                if descriptor.node_id == self.node_id:
+                    continue
+                if pool.pop(descriptor.node_id, None) is not None:
+                    swaps -= 1
+        while excess() > 0:
+            victim = ctx.rng().choice(list(pool.keys()))
+            del pool[victim]
+        self.view.replace(pool.values())

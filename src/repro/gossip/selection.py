@@ -1,0 +1,95 @@
+"""Proximity functions and descriptor-selection helpers.
+
+Vicinity and T-Man are *generic* greedy optimizers: the target topology is
+entirely encoded in a user-supplied proximity (or ranking) function. This
+module defines that interface and the ranking helpers shared by the overlay
+protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List
+
+from repro.gossip.descriptors import Descriptor, youngest
+
+#: Profiles are opaque to the gossip layer; shapes and the runtime define them.
+Profile = Any
+
+
+class Proximity:
+    """A proximity function over layer profiles.
+
+    ``distance(a, b)`` must be non-negative; smaller means "prefer as a
+    neighbour". ``eligible(a, b)`` filters descriptors a node may keep at all
+    (the layered runtime uses this to restrict, e.g., a component's core
+    overlay to same-component descriptors).
+
+    The default implementation delegates to a plain callable, so simple
+    metrics can be passed as functions.
+    """
+
+    def __init__(self, distance: Callable[[Profile, Profile], float]):
+        self._distance = distance
+
+    def distance(self, a: Profile, b: Profile) -> float:
+        return self._distance(a, b)
+
+    def eligible(self, a: Profile, b: Profile) -> bool:
+        return True
+
+
+class FilteredProximity(Proximity):
+    """A proximity with an eligibility predicate."""
+
+    def __init__(
+        self,
+        distance: Callable[[Profile, Profile], float],
+        eligible: Callable[[Profile, Profile], bool],
+    ):
+        super().__init__(distance)
+        self._eligible = eligible
+
+    def eligible(self, a: Profile, b: Profile) -> bool:
+        return self._eligible(a, b)
+
+
+def dedupe_youngest(descriptors: Iterable[Descriptor]) -> List[Descriptor]:
+    """Collapse duplicates by node id, keeping the youngest copy of each."""
+    best: Dict[int, Descriptor] = {}
+    for descriptor in descriptors:
+        best[descriptor.node_id] = youngest(best.get(descriptor.node_id), descriptor)
+    return list(best.values())
+
+
+def rank_by_distance(
+    descriptors: Iterable[Descriptor],
+    reference: Profile,
+    proximity: Proximity,
+) -> List[Descriptor]:
+    """Sort descriptors by increasing distance to ``reference`` (stable)."""
+    return sorted(
+        descriptors,
+        key=lambda d: (proximity.distance(reference, d.profile), d.node_id),
+    )
+
+
+def select_closest(
+    descriptors: Iterable[Descriptor],
+    reference: Profile,
+    proximity: Proximity,
+    k: int,
+    exclude_id: int = -1,
+) -> List[Descriptor]:
+    """The ``k`` eligible descriptors closest to ``reference``.
+
+    Deduplicates by node id (youngest wins), applies the proximity's
+    eligibility filter, and never returns ``exclude_id`` (a node must not
+    select itself as its own neighbour).
+    """
+    pool = [
+        descriptor
+        for descriptor in dedupe_youngest(descriptors)
+        if descriptor.node_id != exclude_id
+        and proximity.eligible(reference, descriptor.profile)
+    ]
+    return rank_by_distance(pool, reference, proximity)[:k]

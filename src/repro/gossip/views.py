@@ -1,0 +1,177 @@
+"""Bounded partial views over node descriptors.
+
+A partial view holds at most one descriptor per node id (always the youngest
+seen) and at most ``capacity`` descriptors in total. It is the state of every
+gossip protocol in the framework and the structure the convergence metrics
+are evaluated on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.gossip.descriptors import Descriptor
+
+
+class PartialView:
+    """A capacity-bounded set of descriptors, keyed by node id.
+
+    Invariants (exercised by the property-based test suite):
+
+    - at most ``capacity`` entries;
+    - at most one entry per node id;
+    - of two descriptors seen for the same node, the younger one is kept.
+
+    When an insertion overflows the capacity, the *oldest* descriptor is
+    evicted by default (the healer-friendly policy); callers can supply a
+    different eviction key.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int, entries: Iterable[Descriptor] = ()):
+        if capacity < 1:
+            raise ConfigurationError(f"view capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: Dict[int, Descriptor] = {}
+        for descriptor in entries:
+            self.insert(descriptor)
+
+    # -- basic container protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    def __iter__(self) -> Iterator[Descriptor]:
+        return iter(self._entries.values())
+
+    def get(self, node_id: int) -> Optional[Descriptor]:
+        return self._entries.get(node_id)
+
+    def ids(self) -> List[int]:
+        return list(self._entries.keys())
+
+    def descriptors(self) -> List[Descriptor]:
+        return list(self._entries.values())
+
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, descriptor: Descriptor) -> bool:
+        """Insert ``descriptor``, keeping the youngest copy per node.
+
+        Returns ``True`` if the view changed. On overflow the oldest entry is
+        evicted; if the incoming descriptor is itself the oldest, it is not
+        inserted.
+        """
+        existing = self._entries.get(descriptor.node_id)
+        if existing is not None:
+            if descriptor.age < existing.age:
+                self._entries[descriptor.node_id] = descriptor
+                return True
+            return False
+        if len(self._entries) < self.capacity:
+            self._entries[descriptor.node_id] = descriptor
+            return True
+        oldest_id, oldest = max(self._entries.items(), key=lambda item: item[1].age)
+        if descriptor.age >= oldest.age:
+            return False
+        del self._entries[oldest_id]
+        self._entries[descriptor.node_id] = descriptor
+        return True
+
+    def merge(self, descriptors: Iterable[Descriptor]) -> int:
+        """Insert many descriptors; return how many changed the view."""
+        return sum(1 for descriptor in descriptors if self.insert(descriptor))
+
+    def remove(self, node_id: int) -> bool:
+        """Drop the entry for ``node_id``; return whether one existed."""
+        return self._entries.pop(node_id, None) is not None
+
+    def discard_where(self, predicate: Callable[[Descriptor], bool]) -> int:
+        """Remove every descriptor matching ``predicate``; return the count."""
+        doomed = [d.node_id for d in self._entries.values() if predicate(d)]
+        for node_id in doomed:
+            del self._entries[node_id]
+        return len(doomed)
+
+    def increase_age(self) -> None:
+        """Age every descriptor by one round (start of a gossip step)."""
+        self._entries = {
+            node_id: descriptor.aged()
+            for node_id, descriptor in self._entries.items()
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def replace(self, descriptors: Iterable[Descriptor]) -> None:
+        """Atomically replace the contents (used by select-style protocols)."""
+        self._entries.clear()
+        for descriptor in descriptors:
+            self.insert(descriptor)
+
+    # -- selection ---------------------------------------------------------------
+
+    def oldest(self) -> Optional[Descriptor]:
+        """The entry with the highest age (ties broken by lowest node id)."""
+        if not self._entries:
+            return None
+        return max(self._entries.values(), key=lambda d: (d.age, -d.node_id))
+
+    def youngest(self) -> Optional[Descriptor]:
+        if not self._entries:
+            return None
+        return min(self._entries.values(), key=lambda d: (d.age, d.node_id))
+
+    def random(self, rng: random.Random) -> Optional[Descriptor]:
+        if not self._entries:
+            return None
+        return self._entries[rng.choice(list(self._entries.keys()))]
+
+    def sample(self, rng: random.Random, k: int) -> List[Descriptor]:
+        """Up to ``k`` distinct entries, uniformly at random."""
+        values = list(self._entries.values())
+        if k >= len(values):
+            return values
+        return rng.sample(values, k)
+
+    def closest(
+        self, k: int, key: Callable[[Descriptor], float]
+    ) -> List[Descriptor]:
+        """The ``k`` entries minimizing ``key`` (stable tie-break on node id)."""
+        ranked = sorted(self._entries.values(), key=lambda d: (key(d), d.node_id))
+        return ranked[:k]
+
+    def truncate_closest(self, k: int, key: Callable[[Descriptor], float]) -> None:
+        """Keep only the ``k`` entries minimizing ``key``."""
+        if len(self._entries) <= k:
+            return
+        keep = self.closest(k, key)
+        self._entries = {descriptor.node_id: descriptor for descriptor in keep}
+
+    def drop_oldest(self, count: int) -> None:
+        """Remove the ``count`` oldest entries (peer-sampling healer step)."""
+        if count <= 0:
+            return
+        ranked = sorted(
+            self._entries.values(), key=lambda d: (-d.age, d.node_id)
+        )
+        for descriptor in ranked[:count]:
+            del self._entries[descriptor.node_id]
+
+    def drop_random(self, rng: random.Random, count: int) -> None:
+        """Remove ``count`` uniformly random entries."""
+        count = min(count, len(self._entries))
+        for descriptor in rng.sample(list(self._entries.values()), count):
+            del self._entries[descriptor.node_id]
+
+    def __repr__(self) -> str:
+        return f"PartialView(capacity={self.capacity}, size={len(self)})"

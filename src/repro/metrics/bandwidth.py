@@ -1,0 +1,60 @@
+"""Bandwidth extraction — the Fig. 4 measurement.
+
+Fig. 4 plots, per round, "bandwidth consumption (in bytes) between the core
+protocol and our runtime's sub-procedures" for a fixed system — i.e. the
+average bytes a node spends per round on (a) the shape-building core
+protocols (the *baseline*: what realizing the elementary shapes costs by
+itself) and (b) everything the assembly runtime adds (the *overhead*).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.runtime import BASELINE_LAYERS, RUNTIME_OVERHEAD_LAYERS
+from repro.core.layers import LAYER_CORE
+from repro.sim.transport import Transport
+
+
+def per_node_series(
+    transport: Transport, layer: str, rounds: int, n_nodes: int
+) -> List[float]:
+    """Average bytes per node per round for one layer."""
+    if n_nodes <= 0:
+        return [0.0] * rounds
+    return [value / n_nodes for value in transport.bytes_series(layer, rounds)]
+
+
+def total_split(
+    transport: Transport, rounds: int, n_nodes: int
+) -> Dict[str, List[float]]:
+    """The Fig. 4 decomposition: per-node byte series, baseline vs overhead.
+
+    Baseline = core protocols + peer sampling (what a monolithic
+    construction of the basic shapes would also pay); overhead = the four
+    assembly sub-procedures (UO1, UO2, port selection, port connection).
+    """
+    baseline = [0.0] * rounds
+    for layer in BASELINE_LAYERS:
+        for index, value in enumerate(
+            per_node_series(transport, layer, rounds, n_nodes)
+        ):
+            baseline[index] += value
+    overhead = [0.0] * rounds
+    for layer in RUNTIME_OVERHEAD_LAYERS:
+        for index, value in enumerate(
+            per_node_series(transport, layer, rounds, n_nodes)
+        ):
+            overhead[index] += value
+    return {"baseline": baseline, "overhead": overhead}
+
+
+def layer_breakdown(
+    transport: Transport, rounds: int, n_nodes: int
+) -> Dict[str, List[float]]:
+    """Per-layer per-node byte series for all runtime layers (diagnostics)."""
+    layers = tuple(BASELINE_LAYERS) + tuple(RUNTIME_OVERHEAD_LAYERS)
+    return {
+        layer: per_node_series(transport, layer, rounds, n_nodes)
+        for layer in layers
+    }

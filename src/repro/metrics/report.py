@@ -1,0 +1,38 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * width for width in widths]))
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def render_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], x_label: str = "x"
+) -> str:
+    """Render one (x, y) series as a two-column table."""
+    return render_table([x_label, name], zip(xs, ys))

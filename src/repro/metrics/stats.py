@@ -1,0 +1,94 @@
+"""Multi-seed statistics: means, deviations, 90% confidence intervals.
+
+The paper: "All measures were averaged over 25 runs [...] We computed 90%
+confidence intervals but they were negligible". We reproduce the same
+aggregation — Student-t confidence intervals over per-seed samples — so
+EXPERIMENTS.md can report both the mean and the interval half-width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+try:  # scipy is available in the reference environment, but stay honest.
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_stats = None
+
+#: Two-sided 90% normal quantile, the fallback when scipy is unavailable.
+_Z90 = 1.6448536269514722
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sample set."""
+    if not samples:
+        raise ConfigurationError("mean of an empty sample set")
+    return sum(samples) / len(samples)
+
+
+def std(samples: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0.0 for n < 2."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((x - mu) ** 2 for x in samples) / (n - 1))
+
+
+def _t_quantile(confidence: float, dof: int) -> float:
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    return _Z90 if abs(confidence - 0.90) < 1e-9 else _Z90  # pragma: no cover
+
+
+def confidence_half_width(
+    samples: Sequence[float], confidence: float = 0.90
+) -> float:
+    """Half-width of the two-sided ``confidence`` interval on the mean."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    return _t_quantile(confidence, n - 1) * std(samples) / math.sqrt(n)
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary of one metric across seeds."""
+
+    mean: float
+    std: float
+    ci90: float
+    n: int
+    failures: int = 0
+
+    def __str__(self) -> str:
+        if self.n == 0:
+            return "n/a"
+        suffix = f" ({self.failures} failed)" if self.failures else ""
+        return f"{self.mean:.1f} ±{self.ci90:.1f}{suffix}"
+
+
+def summarize(
+    samples: Sequence[Optional[float]], confidence: float = 0.90
+) -> Stats:
+    """Aggregate per-seed samples, tolerating ``None`` (non-converged runs).
+
+    ``None`` entries are counted as failures and excluded from the moments —
+    the honest treatment for timeout runs (they would otherwise silently
+    bias the mean toward the budget).
+    """
+    values = [float(x) for x in samples if x is not None]
+    failures = len(samples) - len(values)
+    if not values:
+        return Stats(mean=float("nan"), std=0.0, ci90=0.0, n=0, failures=failures)
+    return Stats(
+        mean=mean(values),
+        std=std(values),
+        ci90=confidence_half_width(values, confidence),
+        n=len(values),
+        failures=failures,
+    )

@@ -1,0 +1,47 @@
+"""The elementary topology shapes of the component library.
+
+The paper's component library "contains a predefined set of components
+implementing a range of elementary topologies (a ring, a tree, a torus)".
+Each :class:`~repro.shapes.base.Shape` packages everything the runtime needs
+to realize one such topology with a Vicinity/T-Man core protocol:
+
+- a *coordinate* assignment for each member rank;
+- a *metric* over coordinates (the proximity function driving the overlay);
+- a *target-neighbour oracle* (which ranks should end up adjacent), used by
+  the convergence detectors that produce the paper's figures.
+
+Shapes are looked up by name through :func:`~repro.shapes.registry.make_shape`
+— the hook the DSL compiler uses (``component foo : ring(...)``).
+"""
+
+from repro.shapes.base import Shape
+from repro.shapes.clique import Clique
+from repro.shapes.grid import Grid
+from repro.shapes.hypercube import Hypercube
+from repro.shapes.kring import KRegularRing
+from repro.shapes.line import Line
+from repro.shapes.random_graph import RandomGraph
+from repro.shapes.registry import available_shapes, make_shape, register_shape
+from repro.shapes.ring import Ring
+from repro.shapes.star import Star
+from repro.shapes.torus import Torus
+from repro.shapes.tree import BinaryTree
+from repro.shapes.wheel import Wheel
+
+__all__ = [
+    "BinaryTree",
+    "Clique",
+    "Grid",
+    "Hypercube",
+    "KRegularRing",
+    "Line",
+    "RandomGraph",
+    "Ring",
+    "Shape",
+    "Star",
+    "Torus",
+    "Wheel",
+    "available_shapes",
+    "make_shape",
+    "register_shape",
+]

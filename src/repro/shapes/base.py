@@ -1,0 +1,135 @@
+"""The shape interface: everything a component needs to realize a topology."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, ClassVar, Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+
+from repro.errors import TopologyError
+
+#: A rank's coordinate in the shape's profile space (int, tuple, ...).
+Coord = Any
+
+#: A metric over coordinates; smaller means "should be closer in the overlay".
+Metric = Callable[[Coord, Coord], float]
+
+
+class Shape(ABC):
+    """An elementary topology over ``size`` member ranks ``0 .. size-1``.
+
+    A shape is *stateless with respect to deployment*: the same instance can
+    drive components of different sizes (the size is passed to every method),
+    which is what lets one DSL component declaration be re-deployed at
+    different scales.
+    """
+
+    #: Registry name (``ring``, ``star``, ...), set by each concrete shape.
+    name: ClassVar[str] = ""
+
+    # -- validation -------------------------------------------------------------
+
+    def validate_size(self, size: int) -> None:
+        """Raise :class:`TopologyError` if the shape cannot host ``size`` ranks."""
+        if size < 1:
+            raise TopologyError(f"{self.name}: size must be >= 1, got {size}")
+
+    # -- geometry -----------------------------------------------------------------
+
+    def coordinate(self, rank: int, size: int) -> Coord:
+        """The coordinate advertised by ``rank``'s descriptors (default: rank)."""
+        self._check_rank(rank, size)
+        return rank
+
+    @abstractmethod
+    def metric(self, size: int) -> Metric:
+        """The distance over coordinates that makes Vicinity build this shape."""
+
+    @abstractmethod
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        """The ranks that must be adjacent to ``rank`` in the converged shape."""
+
+    # -- derived helpers -------------------------------------------------------------
+
+    def degree(self, size: int) -> int:
+        """Maximum target degree over all ranks (drives view sizing)."""
+        self.validate_size(size)
+        if size == 1:
+            return 0
+        return max(len(self.target_neighbors(rank, size)) for rank in range(size))
+
+    def rank_degree(self, rank: int, size: int) -> int:
+        """Target degree of one specific rank."""
+        return len(self.target_neighbors(rank, size))
+
+    def view_size(self, size: int, base: int) -> int:
+        """Recommended Vicinity view capacity for a component of ``size``.
+
+        Must hold the full target neighbourhood of the highest-degree rank,
+        with a little slack so the greedy search does not thrash.
+        """
+        return max(base, self.degree(size) + 2)
+
+    def target_edges(self, size: int) -> Set[Tuple[int, int]]:
+        """All undirected target edges, as ordered ``(low, high)`` rank pairs."""
+        self.validate_size(size)
+        edges: Set[Tuple[int, int]] = set()
+        for rank in range(size):
+            for other in self.target_neighbors(rank, size):
+                edges.add((rank, other) if rank < other else (other, rank))
+        return edges
+
+    def converged(
+        self, adjacency: Mapping[int, Iterable[int]], size: int
+    ) -> bool:
+        """Whether a realized adjacency (rank -> neighbour ranks) covers the shape.
+
+        The convergence criterion of the paper's figures: every target edge
+        must be *known on both sides* — each rank's realized neighbourhood
+        contains all of its target neighbours.
+        """
+        self.validate_size(size)
+        for rank in range(size):
+            wanted = self.target_neighbors(rank, size)
+            if not wanted:
+                continue
+            realized = set(adjacency.get(rank, ()))
+            if not wanted <= realized:
+                return False
+        return True
+
+    def missing_edges(
+        self, adjacency: Mapping[int, Iterable[int]], size: int
+    ) -> Set[Tuple[int, int]]:
+        """Directed target adjacencies not yet realized (diagnostics)."""
+        missing: Set[Tuple[int, int]] = set()
+        for rank in range(size):
+            realized = set(adjacency.get(rank, ()))
+            for other in self.target_neighbors(rank, size):
+                if other not in realized:
+                    missing.add((rank, other))
+        return missing
+
+    # -- parameters & identity ----------------------------------------------------------
+
+    def params(self) -> Dict[str, Any]:
+        """Constructor parameters (used by DSL round-tripping); default none."""
+        return {}
+
+    def _check_rank(self, rank: int, size: int) -> None:
+        self.validate_size(size)
+        if not 0 <= rank < size:
+            raise TopologyError(
+                f"{self.name}: rank {rank} out of range for size {size}"
+            )
+
+    def __repr__(self) -> str:
+        parameters = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params().items()))
+        return f"{type(self).__name__}({parameters})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Shape):
+            return NotImplemented
+        return type(self) is type(other) and self.params() == other.params()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.params().items()))))

@@ -1,0 +1,38 @@
+"""The clique shape — every member adjacent to every other.
+
+Cliques model fully-replicated groups: MongoDB replica sets (the paper's
+star-of-cliques example), consensus groups, state-machine-replication cells.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.shapes.base import Metric, Shape
+
+
+class Clique(Shape):
+    """A complete graph over the component's members.
+
+    All pairs are equally desirable (distance 1), so the overlay converges
+    as soon as every member has discovered every other; the view must hold
+    ``size - 1`` entries, which bounds practical clique sizes — exactly the
+    regime the paper targets (small replica groups inside a larger assembly).
+    """
+
+    name = "clique"
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+
+        def uniform(a: int, b: int) -> float:
+            return 0.0 if a == b else 1.0
+
+        return uniform
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        return frozenset(r for r in range(size) if r != rank)
+
+    def view_size(self, size: int, base: int) -> int:
+        return max(base, size + 1)

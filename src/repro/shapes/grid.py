@@ -1,0 +1,79 @@
+"""The 2-D grid shape."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.shapes.base import Coord, Metric, Shape
+
+
+def grid_dimensions(size: int, rows: Optional[int] = None) -> Tuple[int, int]:
+    """Choose grid dimensions for ``size`` cells.
+
+    With explicit ``rows``, ``size`` must divide evenly. Otherwise the most
+    square factorization ``rows × cols = size`` is used (rows <= cols).
+    """
+    if size < 1:
+        raise TopologyError(f"grid: size must be >= 1, got {size}")
+    if rows is not None:
+        if rows < 1 or size % rows != 0:
+            raise TopologyError(f"grid: {rows} rows do not divide size {size}")
+        return rows, size // rows
+    best = 1
+    for candidate in range(1, int(math.isqrt(size)) + 1):
+        if size % candidate == 0:
+            best = candidate
+    return best, size // best
+
+
+class Grid(Shape):
+    """An open ``rows × cols`` mesh with 4-neighbour (von Neumann) adjacency.
+
+    Parameters
+    ----------
+    rows:
+        Optional fixed row count; by default the most square factorization
+        of the deployed size is chosen.
+    """
+
+    name = "grid"
+
+    def __init__(self, rows: Optional[int] = None):
+        self.rows = rows
+
+    def params(self) -> Dict[str, Any]:
+        return {} if self.rows is None else {"rows": self.rows}
+
+    def validate_size(self, size: int) -> None:
+        super().validate_size(size)
+        grid_dimensions(size, self.rows)  # raises on mismatch
+
+    def coordinate(self, rank: int, size: int) -> Coord:
+        self._check_rank(rank, size)
+        _, cols = grid_dimensions(size, self.rows)
+        return (rank // cols, rank % cols)
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+
+        def manhattan(a: Coord, b: Coord) -> float:
+            return float(abs(a[0] - b[0]) + abs(a[1] - b[1]))
+
+        return manhattan
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        rows, cols = grid_dimensions(size, self.rows)
+        row, col = rank // cols, rank % cols
+        neighbors = set()
+        if row > 0:
+            neighbors.add(rank - cols)
+        if row < rows - 1:
+            neighbors.add(rank + cols)
+        if col > 0:
+            neighbors.add(rank - 1)
+        if col < cols - 1:
+            neighbors.add(rank + 1)
+        return frozenset(neighbors)

@@ -1,0 +1,40 @@
+"""The hypercube shape."""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.errors import TopologyError
+from repro.shapes.base import Metric, Shape
+
+
+class Hypercube(Shape):
+    """A binary hypercube: ranks adjacent iff their ids differ in one bit.
+
+    The paper cites hypercubes among the topologies self-organizing overlays
+    can reach ("from a random network to a ring or torus to an hypercube").
+    The metric is Hamming distance over rank ids; the size must be a power
+    of two so every vertex exists.
+    """
+
+    name = "hypercube"
+
+    def validate_size(self, size: int) -> None:
+        super().validate_size(size)
+        if size & (size - 1):
+            raise TopologyError(
+                f"hypercube: size must be a power of two, got {size}"
+            )
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+
+        def hamming(a: int, b: int) -> float:
+            return float(bin(a ^ b).count("1"))
+
+        return hamming
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        dimensions = size.bit_length() - 1
+        return frozenset(rank ^ (1 << bit) for bit in range(dimensions))

@@ -1,0 +1,33 @@
+"""The line (chain) shape."""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.shapes.base import Metric, Shape
+
+
+class Line(Shape):
+    """An open chain: rank *r* is adjacent to *r-1* and *r+1* (no wrap).
+
+    Useful as a pipeline backbone (e.g. a staged stream-processing assembly).
+    """
+
+    name = "line"
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+
+        def linear(a: int, b: int) -> float:
+            return float(abs(a - b))
+
+        return linear
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        neighbors = set()
+        if rank > 0:
+            neighbors.add(rank - 1)
+        if rank < size - 1:
+            neighbors.add(rank + 1)
+        return frozenset(neighbors)

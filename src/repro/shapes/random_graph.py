@@ -1,0 +1,59 @@
+"""The random-graph "shape" — no structural preference.
+
+A component with this shape only requires connectivity through random links,
+i.e. exactly what the peer-sampling substrate maintains. It exists so an
+assembly can include unstructured service pools (worker fleets, caches)
+alongside structured components, and as the "random network" endpoint of the
+paper's shape spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Mapping
+
+from repro.errors import TopologyError
+from repro.shapes.base import Metric, Shape
+
+
+class RandomGraph(Shape):
+    """An unstructured component: any ``min_degree`` live neighbours will do.
+
+    ``target_neighbors`` is empty (no specific adjacency is required);
+    convergence instead demands that every member knows at least
+    ``min_degree`` other members.
+    """
+
+    name = "random"
+
+    def __init__(self, min_degree: int = 3):
+        if min_degree < 0:
+            raise TopologyError(f"random: min_degree must be >= 0, got {min_degree}")
+        self.min_degree = min_degree
+
+    def params(self) -> Dict[str, Any]:
+        return {"min_degree": self.min_degree}
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+
+        def indifferent(a: int, b: int) -> float:
+            return 0.0 if a == b else 1.0
+
+        return indifferent
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        return frozenset()
+
+    def degree(self, size: int) -> int:
+        self.validate_size(size)
+        return min(self.min_degree, size - 1)
+
+    def converged(
+        self, adjacency: Mapping[int, Iterable[int]], size: int
+    ) -> bool:
+        self.validate_size(size)
+        needed = min(self.min_degree, size - 1)
+        return all(
+            len(set(adjacency.get(rank, ()))) >= needed for rank in range(size)
+        )

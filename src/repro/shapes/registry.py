@@ -1,0 +1,73 @@
+"""Name-based shape lookup — the hook the DSL compiler resolves through."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.shapes.base import Shape
+
+_REGISTRY: Dict[str, Callable[..., Shape]] = {}
+
+
+def register_shape(name: str, factory: Callable[..., Shape]) -> None:
+    """Register a shape factory under ``name`` (extends the component library).
+
+    Registering an existing name replaces the previous factory, which lets
+    applications override a stock shape with a tuned variant.
+    """
+    if not name or not name.isidentifier():
+        raise ConfigurationError(f"shape name must be an identifier, got {name!r}")
+    _REGISTRY[name] = factory
+
+
+def make_shape(name: str, **params: Any) -> Shape:
+    """Instantiate the shape registered under ``name`` with ``params``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown shape {name!r} (known shapes: {known})"
+        ) from None
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad parameters for shape {name!r}: {exc}") from exc
+
+
+def available_shapes() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    # Imported here to avoid import cycles at package-load time.
+    from repro.shapes.clique import Clique
+    from repro.shapes.grid import Grid
+    from repro.shapes.hypercube import Hypercube
+    from repro.shapes.kring import KRegularRing
+    from repro.shapes.line import Line
+    from repro.shapes.random_graph import RandomGraph
+    from repro.shapes.ring import Ring
+    from repro.shapes.star import Star
+    from repro.shapes.torus import Torus
+    from repro.shapes.tree import BinaryTree
+    from repro.shapes.wheel import Wheel
+
+    for shape_class in (
+        Ring,
+        Line,
+        Star,
+        Clique,
+        Grid,
+        Torus,
+        BinaryTree,
+        Hypercube,
+        RandomGraph,
+        KRegularRing,
+        Wheel,
+    ):
+        register_shape(shape_class.name, shape_class)
+
+
+_register_builtins()

@@ -1,0 +1,35 @@
+"""The ring shape — the canonical self-organizing overlay target."""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.shapes.base import Metric, Shape
+
+
+class Ring(Shape):
+    """A bidirectional ring: rank *r* is adjacent to *r±1 (mod size)*.
+
+    The metric is circular distance on ranks, the classic T-Man/Vicinity
+    ring example; the greedy overlay converges to each node holding its two
+    ring successors/predecessors at the top of its view.
+    """
+
+    name = "ring"
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+
+        def circular(a: int, b: int) -> float:
+            delta = abs(a - b) % size
+            return float(min(delta, size - delta))
+
+        return circular
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        if size == 1:
+            return frozenset()
+        if size == 2:
+            return frozenset({1 - rank})
+        return frozenset({(rank - 1) % size, (rank + 1) % size})

@@ -1,0 +1,56 @@
+"""The star shape — one hub, ``size - 1`` leaves.
+
+The paper's flagship composite, the MongoDB-style sharded cluster, is "a star
+of cliques": a router component shaped as a star whose hub fans out to shard
+cliques.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.shapes.base import Coord, Metric, Shape
+
+#: Rank 0 is the hub by convention (port selectors can address it as such).
+HUB_RANK = 0
+
+
+class Star(Shape):
+    """A star: rank 0 (the hub) is adjacent to every other rank.
+
+    The metric makes every leaf prefer the hub (distance 1) over other
+    leaves (distance 2), and the hub prefer leaves uniformly; with a view
+    large enough for the hub's degree, the greedy overlay converges to the
+    star.
+    """
+
+    name = "star"
+
+    def coordinate(self, rank: int, size: int) -> Coord:
+        self._check_rank(rank, size)
+        return ("hub",) if rank == HUB_RANK else ("leaf", rank)
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+
+        def starwise(a: Coord, b: Coord) -> float:
+            if a == b:
+                return 0.0
+            if a[0] == "hub" or b[0] == "hub":
+                return 1.0
+            return 2.0
+
+        return starwise
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        if size == 1:
+            return frozenset()
+        if rank == HUB_RANK:
+            return frozenset(range(1, size))
+        return frozenset({HUB_RANK})
+
+    def view_size(self, size: int, base: int) -> int:
+        # The hub must be able to hold every leaf; leaves stay small, but the
+        # protocol instance is shared per component, so size for the worst rank.
+        return max(base, size + 1)

@@ -1,0 +1,59 @@
+"""The 2-D torus shape (a grid with wraparound)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional
+
+from repro.shapes.base import Coord, Metric, Shape
+from repro.shapes.grid import grid_dimensions
+
+
+class Torus(Shape):
+    """A ``rows × cols`` torus: 4-neighbour adjacency with wraparound.
+
+    One of the elementary shapes the paper names explicitly ("a ring or
+    torus [22, 11]"). The metric is Manhattan distance on the torus; the
+    wraparound terms are baked into the metric closure, so coordinates stay
+    plain ``(row, col)`` pairs.
+    """
+
+    name = "torus"
+
+    def __init__(self, rows: Optional[int] = None):
+        self.rows = rows
+
+    def params(self) -> Dict[str, Any]:
+        return {} if self.rows is None else {"rows": self.rows}
+
+    def validate_size(self, size: int) -> None:
+        super().validate_size(size)
+        grid_dimensions(size, self.rows)
+
+    def coordinate(self, rank: int, size: int) -> Coord:
+        self._check_rank(rank, size)
+        _, cols = grid_dimensions(size, self.rows)
+        return (rank // cols, rank % cols)
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+        rows, cols = grid_dimensions(size, self.rows)
+
+        def toroidal(a: Coord, b: Coord) -> float:
+            dr = abs(a[0] - b[0])
+            dc = abs(a[1] - b[1])
+            return float(min(dr, rows - dr) + min(dc, cols - dc))
+
+        return toroidal
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        rows, cols = grid_dimensions(size, self.rows)
+        row, col = rank // cols, rank % cols
+        neighbors = {
+            ((row - 1) % rows) * cols + col,
+            ((row + 1) % rows) * cols + col,
+            row * cols + (col - 1) % cols,
+            row * cols + (col + 1) % cols,
+        }
+        neighbors.discard(rank)  # degenerate 1-wide dimensions
+        return frozenset(neighbors)

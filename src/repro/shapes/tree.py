@@ -1,0 +1,66 @@
+"""The binary tree shape."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.shapes.base import Metric, Shape
+
+
+def _tree_path_length(a: int, b: int) -> int:
+    """Path length between positions ``a`` and ``b`` of a complete binary tree.
+
+    Positions are heap indices (root 0, children of *i* at *2i+1*, *2i+2*);
+    the path length is the number of edges via the lowest common ancestor.
+    """
+    # Convert to 1-based heap indices, whose binary representations encode
+    # the root-to-node paths.
+    a += 1
+    b += 1
+    depth_a = a.bit_length() - 1
+    depth_b = b.bit_length() - 1
+    hops = 0
+    while depth_a > depth_b:
+        a >>= 1
+        depth_a -= 1
+        hops += 1
+    while depth_b > depth_a:
+        b >>= 1
+        depth_b -= 1
+        hops += 1
+    while a != b:
+        a >>= 1
+        b >>= 1
+        hops += 2
+    return hops
+
+
+class BinaryTree(Shape):
+    """A complete binary tree over ranks laid out as heap indices.
+
+    The metric is exact tree-path length, so the greedy overlay pulls each
+    node toward its parent and children (the distance-1 positions). Trees are
+    the natural shape for aggregation and dissemination sub-systems.
+    """
+
+    name = "tree"
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+
+        def tree_distance(a: int, b: int) -> float:
+            return float(_tree_path_length(a, b))
+
+        return tree_distance
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        neighbors: List[int] = []
+        if rank > 0:
+            neighbors.append((rank - 1) // 2)
+        left, right = 2 * rank + 1, 2 * rank + 2
+        if left < size:
+            neighbors.append(left)
+        if right < size:
+            neighbors.append(right)
+        return frozenset(neighbors)

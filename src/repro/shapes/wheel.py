@@ -1,0 +1,60 @@
+"""The wheel shape — a hub inside a rim ring."""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.shapes.base import Coord, Metric, Shape
+
+#: Rank 0 is the hub, ranks 1..size-1 form the rim ring.
+HUB_RANK = 0
+
+
+class Wheel(Shape):
+    """A wheel: rank 0 (hub) adjacent to every rim node; the rim is a ring.
+
+    Models broker-plus-peers arrangements (a coordinator that must reach
+    everyone, while workers keep a resilient peer ring among themselves).
+    The metric places the hub at distance 1 from every rim node and rim
+    nodes at their circular rim distance scaled to keep ring neighbours
+    (distance 1) as attractive as the hub.
+    """
+
+    name = "wheel"
+
+    def coordinate(self, rank: int, size: int) -> Coord:
+        self._check_rank(rank, size)
+        return ("hub",) if rank == HUB_RANK else ("rim", rank - 1)
+
+    def metric(self, size: int) -> Metric:
+        self.validate_size(size)
+        rim = max(1, size - 1)
+
+        def wheelwise(a: Coord, b: Coord) -> float:
+            if a == b:
+                return 0.0
+            if a[0] == "hub" or b[0] == "hub":
+                return 1.0
+            delta = abs(a[1] - b[1]) % rim
+            return float(min(delta, rim - delta))
+
+        return wheelwise
+
+    def target_neighbors(self, rank: int, size: int) -> FrozenSet[int]:
+        self._check_rank(rank, size)
+        if size == 1:
+            return frozenset()
+        if rank == HUB_RANK:
+            return frozenset(range(1, size))
+        rim = size - 1
+        neighbors = {HUB_RANK}
+        if rim >= 2:
+            position = rank - 1
+            neighbors.add(1 + (position - 1) % rim)
+            neighbors.add(1 + (position + 1) % rim)
+        neighbors.discard(rank)
+        return frozenset(neighbors)
+
+    def view_size(self, size: int, base: int) -> int:
+        # The hub must hold the whole rim.
+        return max(base, size + 1)

@@ -1,0 +1,113 @@
+"""Failure and churn injection.
+
+The paper stresses that the runtime must cope with "nodes failing, leaving or
+joining the system (a common occurrence in public clouds)". These controls
+inject exactly those events at round boundaries:
+
+- :class:`RandomChurn` — memoryless per-round crash and join rates;
+- :class:`CatastrophicFailure` — kill a fraction of the population at one
+  round (the Polystyrene-style catastrophic scenario [4] cited by the paper);
+- :class:`NodeProvisioner` — the callback protocol used to equip joining
+  nodes with a full protocol stack.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.controls import Control
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+# A provisioner receives the network and the fresh node and attaches its
+# protocol stack (the runtime supplies one bound to the current assembly).
+NodeProvisioner = Callable[[Network, Node], None]
+
+
+class RandomChurn(Control):
+    """Memoryless churn: each round, each live node crashes with probability
+    ``crash_rate`` and ``join_count`` provisioned nodes join.
+
+    Parameters
+    ----------
+    crash_rate:
+        Per-node, per-round crash probability in ``[0, 1)``.
+    join_count:
+        Number of nodes added each round (0 disables joins).
+    provisioner:
+        Required when ``join_count > 0``; attaches protocol stacks to the
+        joining nodes.
+    rng:
+        Dedicated random stream (keeps churn decisions independent of
+        protocol randomness).
+    min_population:
+        Crashes are suppressed when they would push the live population
+        below this floor (a run with zero nodes is meaningless).
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        crash_rate: float = 0.0,
+        join_count: int = 0,
+        provisioner: Optional[NodeProvisioner] = None,
+        min_population: int = 8,
+    ):
+        if not 0.0 <= crash_rate < 1.0:
+            raise ConfigurationError(f"crash_rate must be in [0, 1), got {crash_rate}")
+        if join_count < 0:
+            raise ConfigurationError(f"join_count must be >= 0, got {join_count}")
+        if join_count > 0 and provisioner is None:
+            raise ConfigurationError("join_count > 0 requires a provisioner")
+        self.rng = rng
+        self.crash_rate = crash_rate
+        self.join_count = join_count
+        self.provisioner = provisioner
+        self.min_population = min_population
+        self.crashed: List[int] = []
+        self.joined: List[int] = []
+
+    def before_round(self, network: Network, round_index: int) -> None:
+        if self.crash_rate > 0.0:
+            for node_id in list(network.alive_ids()):
+                if network.alive_count() <= self.min_population:
+                    break
+                if self.rng.random() < self.crash_rate:
+                    network.kill(node_id)
+                    self.crashed.append(node_id)
+        for _ in range(self.join_count):
+            node = network.create_node()
+            assert self.provisioner is not None  # guaranteed by __init__
+            self.provisioner(network, node)
+            self.joined.append(node.node_id)
+
+
+class CatastrophicFailure(Control):
+    """Kills ``fraction`` of the live population at the start of ``at_round``.
+
+    Models the catastrophic-failure scenario of self-healing overlay work:
+    a large correlated crash from which the remaining overlay must recover.
+    """
+
+    def __init__(self, rng: random.Random, at_round: int, fraction: float):
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
+        if at_round < 0:
+            raise ConfigurationError(f"at_round must be >= 0, got {at_round}")
+        self.rng = rng
+        self.at_round = at_round
+        self.fraction = fraction
+        self.fired = False
+        self.victims: List[int] = []
+
+    def before_round(self, network: Network, round_index: int) -> None:
+        if self.fired or round_index < self.at_round:
+            return
+        self.fired = True
+        alive = list(network.alive_ids())
+        n_victims = int(len(alive) * self.fraction)
+        self.victims = self.rng.sample(alive, n_victims)
+        for node_id in self.victims:
+            network.kill(node_id)

@@ -1,0 +1,97 @@
+"""Round-boundary hooks: controls (mutate) and observers (measure).
+
+These mirror PeerSim's ``Control`` components. Controls run before the node
+steps of a round and may mutate the population or protocol state (churn,
+reconfiguration triggers); observers run after the node steps and record
+measurements, optionally requesting an early stop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.sim.network import Network
+
+
+class Control:
+    """Mutating round-boundary hook; override either method."""
+
+    def before_round(self, network: Network, round_index: int) -> None:
+        """Called before the node steps of ``round_index``."""
+
+    def after_round(self, network: Network, round_index: int) -> None:
+        """Called after the node steps (and observers) of ``round_index``."""
+
+
+class Observer:
+    """Measuring hook; ``observe`` may return ``True`` to stop the run."""
+
+    def observe(self, network: Network, round_index: int) -> bool:
+        """Record measurements for ``round_index``; return ``True`` to stop."""
+        return False
+
+
+class CallbackControl(Control):
+    """Wraps a plain callable as a before-round control."""
+
+    def __init__(self, callback: Callable[[Network, int], None]):
+        self._callback = callback
+
+    def before_round(self, network: Network, round_index: int) -> None:
+        self._callback(network, round_index)
+
+
+class ScheduledControl(Control):
+    """Fires a callback exactly once, at the start of a given round.
+
+    Used by the reconfiguration experiment (paper §4.iii): at round *t*, the
+    assembly is rewritten and the runtime must re-converge.
+    """
+
+    def __init__(self, at_round: int, callback: Callable[[Network, int], None]):
+        self.at_round = at_round
+        self._callback = callback
+        self.fired = False
+
+    def before_round(self, network: Network, round_index: int) -> None:
+        if not self.fired and round_index >= self.at_round:
+            self.fired = True
+            self._callback(network, round_index)
+
+
+class SeriesObserver(Observer):
+    """Records one numeric sample per round from a metric function."""
+
+    def __init__(self, name: str, metric: Callable[[Network, int], float]):
+        self.name = name
+        self._metric = metric
+        self.samples: List[float] = []
+
+    def observe(self, network: Network, round_index: int) -> bool:
+        self.samples.append(self._metric(network, round_index))
+        return False
+
+
+class GraphObserver(Observer):
+    """Snapshots the realized overlay graph of one protocol layer each round.
+
+    The realized graph of a layer is the union of every live node's
+    :meth:`~repro.sim.protocol.Protocol.neighbors` relation — the structure
+    the figures' convergence metric is defined on.
+    """
+
+    def __init__(self, layer: str, keep_history: bool = False):
+        self.layer = layer
+        self.keep_history = keep_history
+        self.current: Dict[int, List[int]] = {}
+        self.history: List[Dict[int, List[int]]] = []
+
+    def observe(self, network: Network, round_index: int) -> bool:
+        snapshot: Dict[int, List[int]] = {}
+        for node in network.alive_nodes():
+            if node.has_protocol(self.layer):
+                snapshot[node.node_id] = list(node.protocol(self.layer).neighbors())
+        self.current = snapshot
+        if self.keep_history:
+            self.history.append(snapshot)
+        return False

@@ -1,0 +1,159 @@
+"""The round (cycle) scheduler.
+
+Reproduces PeerSim's cycle-driven execution model used by the paper's
+evaluation: each round, every live node executes one active step of each
+protocol in its stack, in a freshly shuffled node order; controls (churn,
+initializers) run at round boundaries; observers measure after each round and
+may stop the run early (e.g. once every layer has converged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+from repro.sim.transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.controls import Control, Observer
+    from repro.sim.node import Node
+
+
+@dataclass
+class RoundContext:
+    """Everything a protocol step may touch, bundled for one (node, round).
+
+    Protocols draw randomness through :meth:`rng`, which returns the stream
+    named ``(layer, node_id)`` — deterministic per node and layer.
+    """
+
+    node: "Node"
+    network: Network
+    transport: Transport
+    streams: RandomStreams
+    round: int
+    layer: str = ""
+    loss_rate: float = 0.0
+
+    def rng(self):
+        """The random stream for the current (layer, node) pair."""
+        return self.streams.stream(self.layer, self.node.node_id)
+
+    def exchange_ok(self) -> bool:
+        """Whether this round's gossip exchange goes through.
+
+        Models message loss / transient timeouts: with probability
+        ``loss_rate`` the active exchange of this (node, layer, round) is
+        dropped — the protocol skips its turn, exactly what a lost request
+        or reply causes in a real deployment. Gossip protocols are designed
+        to tolerate this (they merely converge more slowly), which ablation
+        A7 quantifies.
+        """
+        if self.loss_rate <= 0.0:
+            return True
+        return self.streams.stream("loss", self.layer, self.node.node_id).random() >= self.loss_rate
+
+
+class Engine:
+    """Drives a simulation round by round.
+
+    Parameters
+    ----------
+    network, transport, streams:
+        The simulation substrate; the engine takes no ownership and several
+        engines may share a network sequentially (used by reconfiguration
+        experiments).
+    controls:
+        Round-boundary hooks run *before* the node steps of each round
+        (churn models, workload generators).
+    observers:
+        Measurement hooks run *after* the node steps of each round. An
+        observer's :meth:`~repro.sim.controls.Observer.observe` may return
+        ``True`` to request an early stop (e.g. "all layers converged").
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        transport: Optional[Transport] = None,
+        streams: Optional[RandomStreams] = None,
+        controls: Iterable["Control"] = (),
+        observers: Iterable["Observer"] = (),
+        loss_rate: float = 0.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.network = network
+        self.transport = transport or Transport()
+        self.streams = streams or RandomStreams(0)
+        self.controls: List["Control"] = list(controls)
+        self.observers: List["Observer"] = list(observers)
+        self.loss_rate = loss_rate
+        self.round = 0
+
+    def add_control(self, control: "Control") -> None:
+        self.controls.append(control)
+
+    def add_observer(self, observer: "Observer") -> None:
+        self.observers.append(observer)
+
+    # -- execution ------------------------------------------------------------
+
+    def run_round(self) -> bool:
+        """Execute one round; return ``True`` if an observer requested a stop."""
+        self.transport.begin_round(self.round)
+        for control in self.controls:
+            control.before_round(self.network, self.round)
+
+        order = list(self.network.alive_ids())
+        self.streams.stream("engine", "order").shuffle(order)
+        for node_id in order:
+            if not self.network.has_node(node_id):
+                continue  # removed by a control or by cascading churn
+            node = self.network.node(node_id)
+            if not node.alive:
+                continue  # killed earlier in this same round
+            ctx = RoundContext(
+                node=node,
+                network=self.network,
+                transport=self.transport,
+                streams=self.streams,
+                round=self.round,
+                loss_rate=self.loss_rate,
+            )
+            for layer, protocol in node.stack():
+                ctx.layer = layer
+                protocol.step(ctx)
+
+        stop = False
+        for observer in self.observers:
+            if observer.observe(self.network, self.round):
+                stop = True
+        for control in self.controls:
+            control.after_round(self.network, self.round)
+        self.round += 1
+        return stop
+
+    def run(
+        self,
+        max_rounds: int,
+        stop_when: Optional[Callable[[Network, int], bool]] = None,
+    ) -> int:
+        """Run up to ``max_rounds`` rounds; return the number executed.
+
+        Stops early when an observer or the ``stop_when`` predicate asks to.
+        """
+        if max_rounds < 0:
+            raise SimulationError(f"max_rounds must be >= 0, got {max_rounds}")
+        executed = 0
+        for _ in range(max_rounds):
+            stop = self.run_round()
+            executed += 1
+            if stop:
+                break
+            if stop_when is not None and stop_when(self.network, self.round - 1):
+                break
+        return executed

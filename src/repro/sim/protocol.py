@@ -1,0 +1,38 @@
+"""The protocol interface executed by the round engine."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import RoundContext
+
+
+class Protocol(ABC):
+    """One layer of a node's protocol stack.
+
+    The engine calls :meth:`step` once per round per live node (the *active
+    thread* of a gossip protocol). Passive behaviour — answering a partner's
+    gossip — is modelled as a direct method call on the partner's protocol
+    instance, exactly as PeerSim's cycle-driven mode does; the transport is
+    still informed of both message directions for bandwidth accounting.
+    """
+
+    @abstractmethod
+    def step(self, ctx: "RoundContext") -> None:
+        """Execute one active round on behalf of ``ctx.node``."""
+
+    def neighbors(self) -> Iterable[int]:
+        """Node ids this protocol currently considers its overlay neighbours.
+
+        Used by observers to materialize the realized overlay graph; the
+        default is an empty relation for protocols that do not define one.
+        """
+        return ()
+
+    def on_join(self, ctx: "RoundContext") -> None:
+        """Hook invoked when the hosting node (re)joins the network."""
+
+    def forget(self, node_id: int) -> None:
+        """Drop any state referring to ``node_id`` (failure detector signal)."""

@@ -1,0 +1,80 @@
+"""Synchronous transport with per-layer byte accounting.
+
+Gossip exchanges in the cycle-driven model are synchronous request/response
+pairs. The transport does not route payloads (protocol instances talk
+directly, as in PeerSim); its job is the *measurement* the paper's Fig. 4
+needs: bytes and messages per protocol layer per round, so the runtime's
+overhead can be compared against the core-protocol baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.sim.config import TransportCosts
+
+
+class Transport:
+    """Records every message of the simulation, bucketed by layer and round."""
+
+    def __init__(self, costs: Optional[TransportCosts] = None):
+        self.costs = costs or TransportCosts()
+        self._bytes: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        self._messages: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        self.round = 0
+
+    def begin_round(self, round_index: int) -> None:
+        """Called by the engine at each round boundary."""
+        self.round = round_index
+
+    # -- accounting -----------------------------------------------------------
+
+    def record_message(self, layer: str, n_descriptors: int) -> int:
+        """Account one message of ``n_descriptors`` entries on ``layer``.
+
+        Returns the number of bytes charged.
+        """
+        size = self.costs.message_bytes(n_descriptors)
+        self._bytes[layer][self.round] += size
+        self._messages[layer][self.round] += 1
+        return size
+
+    def record_exchange(
+        self, layer: str, request_descriptors: int, response_descriptors: int
+    ) -> int:
+        """Account one push-pull exchange (a request and its response)."""
+        total = self.record_message(layer, request_descriptors)
+        total += self.record_message(layer, response_descriptors)
+        return total
+
+    # -- queries -------------------------------------------------------------
+
+    def layers(self) -> List[str]:
+        return sorted(self._bytes)
+
+    def bytes_for(self, layer: str, round_index: int) -> int:
+        return self._bytes.get(layer, {}).get(round_index, 0)
+
+    def messages_for(self, layer: str, round_index: int) -> int:
+        return self._messages.get(layer, {}).get(round_index, 0)
+
+    def total_bytes(self, layer: Optional[str] = None) -> int:
+        if layer is not None:
+            return sum(self._bytes.get(layer, {}).values())
+        return sum(sum(per_round.values()) for per_round in self._bytes.values())
+
+    def total_messages(self, layer: Optional[str] = None) -> int:
+        if layer is not None:
+            return sum(self._messages.get(layer, {}).values())
+        return sum(sum(per_round.values()) for per_round in self._messages.values())
+
+    def bytes_series(self, layer: str, rounds: int) -> List[int]:
+        """Per-round byte counts for ``layer`` over ``range(rounds)``."""
+        per_round = self._bytes.get(layer, {})
+        return [per_round.get(r, 0) for r in range(rounds)]
+
+    def reset(self) -> None:
+        self._bytes.clear()
+        self._messages.clear()
+        self.round = 0

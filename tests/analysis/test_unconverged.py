@@ -1,0 +1,47 @@
+"""Analysis behaviour on fresh (unconverged) deployments — no crashes,
+honest numbers."""
+
+from __future__ import annotations
+
+from repro.analysis import realized_graph, shape_accuracy, topology_summary
+from repro.core import Runtime
+from repro.experiments.topologies import star_of_cliques
+
+
+def fresh_deployment():
+    return Runtime(star_of_cliques(2, 8, 6), seed=111).deploy()
+
+
+class TestFreshDeployment:
+    def test_graph_has_all_nodes_few_edges(self):
+        deployment = fresh_deployment()
+        graph = realized_graph(deployment)
+        assert graph.number_of_nodes() == 22
+        # Views start empty: almost nothing is realized at round 0.
+        assert graph.number_of_edges() <= 22
+
+    def test_accuracy_low_then_one(self):
+        deployment = fresh_deployment()
+        before = shape_accuracy(deployment, "shard0")
+        deployment.run_until_converged(80)
+        after = shape_accuracy(deployment, "shard0")
+        assert before < after == 1.0
+
+    def test_summary_reports_disconnection_honestly(self):
+        deployment = fresh_deployment()
+        summary = topology_summary(deployment)
+        assert summary["connected"] is False
+        assert summary["links"] == 0
+        assert summary["diameter"] is not None  # of the largest island
+
+    def test_summary_after_total_failure_of_component(self):
+        deployment = fresh_deployment()
+        deployment.run_until_converged(80)
+        for node_id in deployment.role_map.member_ids("shard1"):
+            deployment.network.kill(node_id)
+        summary = topology_summary(deployment)
+        assert summary["n_nodes"] == 22 - 8
+        # Accuracy is measured against the *declared* shape: a fully dead
+        # component realizes none of it.
+        assert summary["accuracy"]["shard1"] == 0.0
+        assert summary["accuracy"]["shard0"] == 1.0

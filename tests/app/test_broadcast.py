@@ -1,0 +1,111 @@
+"""Tests for dissemination over realized topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.broadcast import BroadcastResult, flood, gossip_broadcast
+from repro.core import Runtime
+from repro.errors import ConfigurationError
+from repro.experiments.topologies import ring_of_rings, star_of_cliques
+
+
+@pytest.fixture(scope="module")
+def mongo():
+    deployment = Runtime(star_of_cliques(3, 10, 6), seed=19).deploy()
+    assert deployment.run_until_converged(80).converged
+    return deployment
+
+
+@pytest.fixture(scope="module")
+def rings():
+    deployment = Runtime(ring_of_rings(4, 12), seed=20).deploy()
+    assert deployment.run_until_converged(80).converged
+    return deployment
+
+
+class TestFlood:
+    def test_full_coverage_from_any_origin(self, mongo):
+        population = mongo.network.alive_count()
+        for origin in (0, 17, 35):
+            result = flood(mongo, origin)
+            assert result.coverage(population) == 1.0
+
+    def test_per_round_monotone(self, mongo):
+        result = flood(mongo, 0)
+        assert result.per_round == sorted(result.per_round)
+
+    def test_latency_bounded_by_diameter(self, rings):
+        """Flood rounds == eccentricity of the origin <= diameter."""
+        import networkx as nx
+
+        from repro.analysis import realized_graph
+
+        graph = realized_graph(rings)
+        diameter = nx.diameter(graph)
+        result = flood(rings, 0)
+        # The last productive round is when the farthest node was reached.
+        productive = sum(
+            1
+            for before, after in zip([1] + result.per_round, result.per_round)
+            if after > before
+        )
+        assert productive <= diameter
+
+    def test_dead_origin_rejected(self, mongo):
+        victim = mongo.network.alive_ids()[-1]
+        mongo.network.kill(victim)
+        try:
+            with pytest.raises(ConfigurationError):
+                flood(mongo, victim)
+        finally:
+            mongo.network.revive(victim)
+
+    def test_message_cost_counts_every_forward(self, mongo):
+        result = flood(mongo, 0)
+        assert result.messages >= len(result.informed) - 1
+
+
+class TestGossipBroadcast:
+    def test_reaches_everyone_with_uo2(self, mongo):
+        population = mongo.network.alive_count()
+        result = gossip_broadcast(mongo, 0, fanout=3, seed=1)
+        assert result.coverage(population) == 1.0
+
+    def test_fanout_validation(self, mongo):
+        with pytest.raises(ConfigurationError):
+            gossip_broadcast(mongo, 0, fanout=0)
+
+    def test_deterministic_per_seed(self, mongo):
+        first = gossip_broadcast(mongo, 0, fanout=2, seed=9)
+        second = gossip_broadcast(mongo, 0, fanout=2, seed=9)
+        assert first.per_round == second.per_round
+        assert first.messages == second.messages
+
+    def test_higher_fanout_is_faster(self, rings):
+        slow = gossip_broadcast(rings, 0, fanout=1, seed=3)
+        fast = gossip_broadcast(rings, 0, fanout=4, seed=3)
+        population = rings.network.alive_count()
+        if slow.coverage(population) == fast.coverage(population) == 1.0:
+            assert fast.rounds <= slow.rounds
+
+    def test_flood_cheaper_in_rounds_gossip_cheaper_in_messages(self, rings):
+        """The classic trade-off the QoS layer would arbitrate."""
+        population = rings.network.alive_count()
+        flooded = flood(rings, 0, include_uo2=True)
+        gossiped = gossip_broadcast(rings, 0, fanout=2, seed=4)
+        assert flooded.coverage(population) == 1.0
+        # Flood never loses on latency; per-round gossip messages are lower.
+        if gossiped.coverage(population) == 1.0:
+            assert flooded.rounds <= gossiped.rounds
+            assert (
+                gossiped.messages / max(1, gossiped.rounds)
+                <= flooded.messages / max(1, flooded.rounds) * 2
+            )
+
+
+class TestBroadcastResult:
+    def test_coverage_empty_population(self):
+        result = BroadcastResult(origin=0, informed={0})
+        assert result.coverage(0) == 1.0
+        assert result.rounds == 0

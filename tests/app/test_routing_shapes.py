@@ -1,0 +1,80 @@
+"""Greedy routability of every shape's metric.
+
+Each shape's metric doubles as a routing gradient: from any node, greedily
+stepping to the realized neighbour closest to the destination must reach it
+(possibly via the flooding fallback only for the gradient-free random
+graph). This suite converges one single-component deployment per shape and
+routes between sampled pairs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.app import Router
+from repro.core import Runtime
+from repro.dsl import TopologyBuilder
+
+#: (shape, size, shape kwargs, max hops expected between any pair)
+SHAPE_CASES = [
+    ("ring", 24, {}, 12),
+    ("line", 24, {}, 23),
+    ("kring", 24, {"k": 2}, 6),
+    ("star", 16, {}, 2),
+    ("wheel", 16, {}, 2),
+    ("clique", 12, {}, 1),
+    ("grid", 16, {}, 6),
+    ("torus", 16, {}, 4),
+    ("tree", 15, {}, 6),
+    ("hypercube", 16, {}, 4),
+    ("random", 16, {"min_degree": 3}, 15),
+]
+
+
+@pytest.mark.parametrize(
+    "shape,size,kwargs,hop_bound",
+    SHAPE_CASES,
+    ids=[case[0] for case in SHAPE_CASES],
+)
+def test_greedy_routing_reaches_all_sampled_pairs(shape, size, kwargs, hop_bound):
+    builder = TopologyBuilder("RouteTest")
+    builder.component("only", shape, size=size, **kwargs)
+    deployment = Runtime(builder.nodes(size).build(), seed=103).deploy()
+    report = deployment.run_until_converged(max_rounds=100)
+    assert report.converged, f"{shape}: {report.rounds}"
+
+    router = Router(deployment)
+    members = deployment.role_map.member_ids("only")
+    rng = random.Random(7)
+    pairs = [rng.sample(members, 2) for _ in range(15)]
+    for source, destination in pairs:
+        route = router.route(source, destination)
+        assert route.path[-1] == destination
+        assert route.hops <= hop_bound, (
+            f"{shape}: {route.hops} hops {source}->{destination} "
+            f"(bound {hop_bound}): {route.path}"
+        )
+
+
+def test_greedy_matches_shortest_path_on_torus():
+    """On the torus, greedy routing is optimal (Manhattan geodesics)."""
+    import networkx as nx
+
+    from repro.analysis import realized_graph
+
+    builder = TopologyBuilder("TorusOpt")
+    builder.component("only", "torus", size=16)
+    deployment = Runtime(builder.nodes(16).build(), seed=104).deploy()
+    assert deployment.run_until_converged(100).converged
+    router = Router(deployment)
+    graph = realized_graph(deployment, include_links=False)
+    members = deployment.role_map.member_ids("only")
+    for source in members[:4]:
+        lengths = nx.single_source_shortest_path_length(graph, source)
+        for destination in members:
+            if destination == source:
+                continue
+            route = router.route(source, destination)
+            assert route.hops == lengths[destination]

@@ -1,0 +1,68 @@
+"""Tests for the monolithic overlay baselines."""
+
+from __future__ import annotations
+
+from repro.baselines.monolithic import (
+    MonolithicComposite,
+    elementary_bandwidth,
+    elementary_convergence,
+)
+from repro.experiments.topologies import star_of_cliques
+from repro.shapes import make_shape
+
+
+class TestElementary:
+    def test_ring_converges(self):
+        result = elementary_convergence(make_shape("ring"), 64, seed=1, max_rounds=60)
+        assert result.rounds_to_converge is not None
+        assert result.rounds_to_converge <= 20
+        assert result.executed == result.rounds_to_converge
+
+    def test_bandwidth_series_recorded(self):
+        result = elementary_convergence(make_shape("ring"), 48, seed=2, max_rounds=60)
+        assert len(result.bytes_per_node_per_round) == result.executed
+        assert all(value > 0 for value in result.bytes_per_node_per_round)
+
+    def test_deterministic(self):
+        first = elementary_convergence(make_shape("ring"), 48, seed=3, max_rounds=60)
+        second = elementary_convergence(make_shape("ring"), 48, seed=3, max_rounds=60)
+        assert first.rounds_to_converge == second.rounds_to_converge
+
+    def test_without_random_feed_starves(self):
+        """The A2 ablation: no peer-sampling feed, no convergence."""
+        result = elementary_convergence(
+            make_shape("ring"), 48, seed=4, max_rounds=25, random_feed=False
+        )
+        assert result.rounds_to_converge is None
+
+    def test_elementary_bandwidth_runs_fixed_rounds(self):
+        series = elementary_bandwidth(make_shape("ring"), 32, seed=5, rounds=8)
+        assert len(series) == 8
+
+    def test_star_needs_bigger_view_but_converges(self):
+        result = elementary_convergence(make_shape("star"), 24, seed=6, max_rounds=60)
+        assert result.rounds_to_converge is not None
+
+
+class TestMonolithicComposite:
+    def test_structurally_sound(self):
+        assembly = star_of_cliques(n_shards=2, shard_size=8, router_size=6)
+        monolithic = MonolithicComposite(assembly, 22, seed=1)
+        assert monolithic.network.size() == 22
+        assert monolithic.role_map.component_size("router") == 6
+
+    def test_slower_than_layered_runtime(self):
+        """The paper's core claim: the monolithic design struggles on
+        composite topologies that the layered runtime handles quickly."""
+        from repro.core import Runtime
+
+        assembly = star_of_cliques(n_shards=3, shard_size=10, router_size=6)
+        total = 36
+        layered = Runtime(assembly, seed=7).deploy(total)
+        layered_report = layered.run_until_converged(60)
+        assert layered_report.round_of("core") is not None
+
+        monolithic = MonolithicComposite(assembly, total, seed=7)
+        monolithic_rounds = monolithic.run(max_rounds=60)
+        if monolithic_rounds is not None:
+            assert monolithic_rounds > layered_report.round_of("core")

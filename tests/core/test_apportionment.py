@@ -1,0 +1,89 @@
+"""Property tests for quota apportionment and degraded-mode sizing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblyError
+from repro.core.assembly import Assembly
+from repro.core.component import ComponentSpec
+from repro.core.roles import ProportionalAssignment, _apportion, _component_quotas
+from repro.shapes import make_shape
+
+
+class TestApportion:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        total=st.integers(1, 500),
+        weights=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=12),
+    )
+    def test_exact_partition_with_minimum_one(self, total, weights):
+        named = {f"c{i}": weight for i, weight in enumerate(weights)}
+        if total < len(named):
+            with pytest.raises(AssemblyError):
+                _apportion(total, named)
+            return
+        quotas = _apportion(total, named)
+        assert sum(quotas.values()) == total
+        assert all(quota >= 1 for quota in quotas.values())
+
+    @settings(max_examples=60, deadline=None)
+    @given(total=st.integers(4, 400))
+    def test_equal_weights_split_evenly(self, total):
+        quotas = _apportion(total, {"a": 1.0, "b": 1.0})
+        assert abs(quotas["a"] - quotas["b"]) <= 1
+
+    def test_proportionality(self):
+        quotas = _apportion(100, {"big": 3.0, "small": 1.0})
+        assert quotas == {"big": 75, "small": 25}
+
+    def test_deterministic(self):
+        weights = {"x": 1.7, "y": 2.3, "z": 0.9}
+        assert _apportion(37, weights) == _apportion(37, weights)
+
+
+class TestDegradedQuotas:
+    def _assembly(self, sizes):
+        return Assembly(
+            "D",
+            [
+                ComponentSpec(name=name, shape=make_shape("ring"), size=size)
+                for name, size in sizes.items()
+            ],
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(2, 40), min_size=1, max_size=6),
+        shrink=st.floats(0.3, 1.0),
+    )
+    def test_degraded_mode_partitions_whatever_is_available(self, sizes, shrink):
+        named = {f"c{i}": size for i, size in enumerate(sizes)}
+        assembly = self._assembly(named)
+        available = max(len(named), int(sum(sizes) * shrink))
+        quotas = _component_quotas(available, assembly)
+        if available <= sum(sizes):
+            assert sum(quotas.values()) == available
+        else:
+            assert quotas == named  # surplus becomes spares elsewhere
+        assert all(quota >= 1 for quota in quotas.values())
+
+    def test_degradation_preserves_proportions(self):
+        assembly = self._assembly({"big": 30, "small": 10})
+        quotas = _component_quotas(20, assembly)
+        assert quotas["big"] == 15
+        assert quotas["small"] == 5
+
+    def test_too_few_nodes_for_components_raises(self):
+        assembly = self._assembly({"a": 4, "b": 4, "c": 4})
+        with pytest.raises(AssemblyError):
+            _component_quotas(2, assembly)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n_nodes=st.integers(2, 200))
+    def test_assignment_is_total_function_of_population(self, n_nodes):
+        """Any population >= the component count gets a complete role map."""
+        assembly = self._assembly({"a": 16, "b": 8})
+        role_map = ProportionalAssignment().assign(range(n_nodes), assembly)
+        assert len(role_map) == n_nodes

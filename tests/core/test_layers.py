@@ -1,0 +1,216 @@
+"""Tests for the runtime's gossip sub-procedures (UO1, UO2, ports, core)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Runtime
+from repro.core.layers import (
+    LAYER_CORE,
+    LAYER_PORT_CONNECTION,
+    LAYER_PORT_SELECTION,
+    LAYER_UO1,
+    LAYER_UO2,
+)
+from repro.core.link import PortRef
+from repro.dsl import TopologyBuilder
+
+
+@pytest.fixture(scope="module")
+def pair_deployment():
+    """A ring+clique assembly, run for a fixed 30 rounds (module-scoped:
+    the layer assertions below only read state)."""
+    builder = TopologyBuilder("Pair")
+    builder.component("ring", "ring", size=16).port("gate", "lowest_id")
+    builder.component("cell", "clique", size=8).port("gate", "highest_id")
+    builder.link(("ring", "gate"), ("cell", "gate"))
+    assembly = builder.nodes(24).build()
+    deployment = Runtime(assembly, seed=21).deploy(24)
+    deployment.run(30)
+    return deployment
+
+
+class TestUO1:
+    def test_views_only_contain_same_component(self, pair_deployment):
+        deployment = pair_deployment
+        for node in deployment.network.alive_nodes():
+            role = deployment.role_map.role(node.node_id)
+            members = set(deployment.role_map.member_ids(role.component))
+            for neighbor in node.protocol(LAYER_UO1).neighbors():
+                assert neighbor in members
+
+    def test_views_saturate(self, pair_deployment):
+        deployment = pair_deployment
+        view_size = deployment.config.uo1.view_size
+        for node in deployment.network.alive_nodes():
+            role = deployment.role_map.role(node.node_id)
+            needed = min(view_size, role.comp_size - 1)
+            assert len(node.protocol(LAYER_UO1).neighbors()) >= needed
+
+    def test_no_self_entries(self, pair_deployment):
+        for node in pair_deployment.network.alive_nodes():
+            assert node.node_id not in node.protocol(LAYER_UO1).neighbors()
+
+    def test_set_profile_flushes_foreign_entries(self, pair_deployment):
+        node = next(pair_deployment.network.alive_nodes())
+        protocol = node.protocol(LAYER_UO1)
+        from repro.core.profiles import NodeProfile
+
+        original = protocol.profile
+        try:
+            protocol.set_profile(
+                NodeProfile("elsewhere", 0, 4, 0)
+            )
+            assert len(protocol.view) == 0
+        finally:
+            protocol.set_profile(original)
+
+
+class TestUO2:
+    def test_contacts_cover_other_components(self, pair_deployment):
+        deployment = pair_deployment
+        for node in deployment.network.alive_nodes():
+            role = deployment.role_map.role(node.node_id)
+            other = "cell" if role.component == "ring" else "ring"
+            contacts = node.protocol(LAYER_UO2).contacts(other)
+            assert contacts, f"node {node.node_id} has no contact in {other}"
+
+    def test_no_own_component_bucket(self, pair_deployment):
+        deployment = pair_deployment
+        for node in deployment.network.alive_nodes():
+            role = deployment.role_map.role(node.node_id)
+            protocol = node.protocol(LAYER_UO2)
+            assert role.component not in protocol.known_components()
+
+    def test_contacts_belong_to_claimed_component(self, pair_deployment):
+        deployment = pair_deployment
+        for node in deployment.network.alive_nodes():
+            protocol = node.protocol(LAYER_UO2)
+            for component in protocol.known_components():
+                member_ids = set(deployment.role_map.member_ids(component))
+                for descriptor in protocol.contacts(component):
+                    assert descriptor.node_id in member_ids
+
+    def test_bucket_capacity_respected(self, pair_deployment):
+        deployment = pair_deployment
+        capacity = deployment.config.uo2_contacts_per_component
+        for node in deployment.network.alive_nodes():
+            protocol = node.protocol(LAYER_UO2)
+            for component in protocol.known_components():
+                assert len(protocol.contacts(component)) <= capacity
+
+    def test_forget(self, pair_deployment):
+        node = next(pair_deployment.network.alive_nodes())
+        protocol = node.protocol(LAYER_UO2)
+        neighbors = protocol.neighbors()
+        if neighbors:
+            protocol.forget(neighbors[0])
+            assert neighbors[0] not in protocol.neighbors()
+
+
+class TestCoreProtocol:
+    def test_ring_component_realizes_ring(self, pair_deployment):
+        deployment = pair_deployment
+        members = deployment.role_map.members("ring")
+        rank_of = {node_id: rank for node_id, rank in members}
+        shape = deployment.assembly.component("ring").shape
+        adjacency = {}
+        for node_id, rank in members:
+            node = deployment.network.node(node_id)
+            adjacency[rank] = [
+                rank_of[other]
+                for other in node.protocol(LAYER_CORE).neighbors()
+                if other in rank_of
+            ]
+        assert shape.converged(adjacency, len(members))
+
+    def test_clique_component_realizes_clique(self, pair_deployment):
+        deployment = pair_deployment
+        members = deployment.role_map.members("cell")
+        member_ids = {node_id for node_id, _ in members}
+        for node_id, _ in members:
+            node = deployment.network.node(node_id)
+            known = set(node.protocol(LAYER_CORE).neighbors())
+            assert member_ids - {node_id} <= known
+
+    def test_core_views_never_cross_components(self, pair_deployment):
+        deployment = pair_deployment
+        for node in deployment.network.alive_nodes():
+            role = deployment.role_map.role(node.node_id)
+            members = set(deployment.role_map.member_ids(role.component))
+            for neighbor in node.protocol(LAYER_CORE).neighbors():
+                assert neighbor in members
+
+
+class TestPortSelection:
+    def test_all_members_agree_on_oracle_manager(self, pair_deployment):
+        deployment = pair_deployment
+        for component, port_name in (("ring", "gate"), ("cell", "gate")):
+            spec = deployment.assembly.component(component)
+            members = deployment.role_map.members(component)
+            expected = spec.port(port_name).selector.choose(members)
+            for node_id, _ in members:
+                protocol = deployment.network.node(node_id).protocol(
+                    LAYER_PORT_SELECTION
+                )
+                assert protocol.manager_of(port_name) == expected
+
+    def test_manager_self_awareness(self, pair_deployment):
+        deployment = pair_deployment
+        members = deployment.role_map.members("ring")
+        expected = min(node_id for node_id, _ in members)
+        protocol = deployment.network.node(expected).protocol(LAYER_PORT_SELECTION)
+        assert protocol.is_manager_of("gate")
+
+    def test_forget_reopens_election(self, pair_deployment):
+        deployment = pair_deployment
+        members = deployment.role_map.members("cell")
+        expected = max(node_id for node_id, _ in members)
+        other = next(node_id for node_id, _ in members if node_id != expected)
+        protocol = deployment.network.node(other).protocol(LAYER_PORT_SELECTION)
+        protocol.forget(expected)
+        # The node re-proposes itself immediately (lowest available belief).
+        assert protocol.manager_of("gate") is not None
+        assert protocol.manager_of("gate") != expected
+
+
+class TestPortConnection:
+    def test_link_realized_between_oracle_managers(self, pair_deployment):
+        deployment = pair_deployment
+        ring_members = deployment.role_map.members("ring")
+        cell_members = deployment.role_map.members("cell")
+        ring_manager = min(node_id for node_id, _ in ring_members)
+        cell_manager = max(node_id for node_id, _ in cell_members)
+        ring_protocol = deployment.network.node(ring_manager).protocol(
+            LAYER_PORT_CONNECTION
+        )
+        cell_protocol = deployment.network.node(cell_manager).protocol(
+            LAYER_PORT_CONNECTION
+        )
+        assert ring_protocol.binding_for(PortRef("cell", "gate")) == cell_manager
+        assert cell_protocol.binding_for(PortRef("ring", "gate")) == ring_manager
+
+    def test_realized_links_reported(self, pair_deployment):
+        deployment = pair_deployment
+        ring_manager = min(
+            node_id for node_id, _ in deployment.role_map.members("ring")
+        )
+        protocol = deployment.network.node(ring_manager).protocol(
+            LAYER_PORT_CONNECTION
+        )
+        realized = protocol.realized_links()
+        assert len(realized) == 1
+        link, local_manager, remote_manager = realized[0]
+        assert local_manager == ring_manager
+        assert remote_manager in deployment.role_map.member_ids("cell")
+        assert protocol.neighbors() == [remote_manager]
+
+    def test_bindings_age_and_expire(self, pair_deployment):
+        deployment = pair_deployment
+        node = next(deployment.network.alive_nodes())
+        protocol = node.protocol(LAYER_PORT_CONNECTION)
+        ttl = protocol.binding_ttl
+        ref = PortRef("ring", "gate")
+        protocol.bindings[ref] = (999, ttl)  # one step from expiry
+        protocol._age_and_expire()
+        assert ref not in protocol.bindings or protocol.bindings[ref][0] != 999

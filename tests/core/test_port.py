@@ -1,0 +1,121 @@
+"""Tests for port specifications and selector rules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblyError
+from repro.core.port import (
+    HighestIdSelector,
+    LowestIdSelector,
+    PortSpec,
+    RankSelector,
+    make_selector,
+)
+
+members = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(0, 50)),
+    min_size=1,
+    max_size=30,
+    unique_by=lambda pair: pair[0],
+)
+
+
+class TestLowestId:
+    def test_choose(self):
+        assert LowestIdSelector().choose([(5, 0), (2, 1), (9, 2)]) == 2
+
+    def test_choose_empty(self):
+        assert LowestIdSelector().choose([]) is None
+
+    def test_everyone_proposes(self):
+        assert LowestIdSelector().proposes(7, 3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(members=members)
+    def test_pairwise_merge_reaches_oracle(self, members):
+        """Folding `better` over proposals must equal `choose` — the property
+        that makes the epidemic election converge to the oracle outcome."""
+        selector = LowestIdSelector()
+        belief = members[0]
+        for member in members[1:]:
+            belief = selector.better(belief, member)
+        assert belief[0] == selector.choose(members)
+
+
+class TestHighestId:
+    def test_choose(self):
+        assert HighestIdSelector().choose([(5, 0), (2, 1), (9, 2)]) == 9
+
+    @settings(max_examples=60, deadline=None)
+    @given(members=members)
+    def test_pairwise_merge_reaches_oracle(self, members):
+        selector = HighestIdSelector()
+        belief = members[0]
+        for member in members[1:]:
+            belief = selector.better(belief, member)
+        assert belief[0] == selector.choose(members)
+
+
+class TestRankSelector:
+    def test_choose_finds_rank(self):
+        assert RankSelector(2).choose([(10, 0), (11, 1), (12, 2)]) == 12
+
+    def test_choose_missing_rank(self):
+        assert RankSelector(9).choose([(10, 0)]) is None
+
+    def test_only_rank_holder_proposes(self):
+        selector = RankSelector(3)
+        assert selector.proposes(99, 3)
+        assert not selector.proposes(99, 2)
+
+    def test_better_prefers_target_rank(self):
+        selector = RankSelector(0)
+        on_target = (50, 0)
+        off_target = (1, 4)
+        assert selector.better(on_target, off_target) == on_target
+        assert selector.better(off_target, on_target) == on_target
+
+    def test_better_tie_breaks_by_id(self):
+        selector = RankSelector(0)
+        assert selector.better((5, 0), (3, 0)) == (3, 0)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(AssemblyError):
+            RankSelector(-1)
+
+
+class TestMakeSelector:
+    def test_parses_all_forms(self):
+        assert isinstance(make_selector("lowest_id"), LowestIdSelector)
+        assert isinstance(make_selector("highest_id"), HighestIdSelector)
+        hub = make_selector("hub")
+        assert isinstance(hub, RankSelector) and hub.rank == 0
+        ranked = make_selector("rank(7)")
+        assert isinstance(ranked, RankSelector) and ranked.rank == 7
+
+    def test_whitespace_tolerated(self):
+        assert make_selector("  rank( 3 ) ".replace(" ", " ")).rank == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(AssemblyError, match="unknown port selector"):
+            make_selector("president")
+
+    def test_spec_round_trip(self):
+        for spec in ("lowest_id", "highest_id", "rank(4)"):
+            assert make_selector(make_selector(spec).spec()).spec() == spec
+
+    def test_hub_equals_rank_zero(self):
+        assert make_selector("hub") == make_selector("rank(0)")
+
+
+class TestPortSpec:
+    def test_name_validation(self):
+        with pytest.raises(AssemblyError):
+            PortSpec("not a name")
+        with pytest.raises(AssemblyError):
+            PortSpec("")
+
+    def test_default_selector(self):
+        assert isinstance(PortSpec("p").selector, LowestIdSelector)

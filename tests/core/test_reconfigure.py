@@ -1,0 +1,149 @@
+"""Tests for dynamic reconfiguration (paper experiment iii)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Runtime
+from repro.core.reconfigure import reconfigure, reconfigure_and_measure
+from repro.dsl import TopologyBuilder
+
+
+def rings_assembly(n_rings=4, size=8):
+    builder = TopologyBuilder("Rings")
+    east = max(1, size // 2)
+    for index in range(n_rings):
+        builder.component(f"ring{index}", "ring", size=size).port(
+            "west", "rank(0)"
+        ).port("east", f"rank({east})")
+    for index in range(n_rings):
+        builder.link(
+            (f"ring{index}", "east"), (f"ring{(index + 1) % n_rings}", "west")
+        )
+    return builder.nodes(n_rings * size).build()
+
+
+def star_assembly(total=32):
+    builder = TopologyBuilder("BigStar")
+    builder.component("hub_star", "star", size=total).port("hub", "hub")
+    return builder.nodes(total).build()
+
+
+class TestReconfigure:
+    def test_switch_and_reconverge(self):
+        deployment = Runtime(rings_assembly(), seed=41).deploy()
+        first = deployment.run_until_converged(80)
+        assert first.converged
+        report = reconfigure_and_measure(deployment, star_assembly(), max_rounds=80)
+        assert report.converged, report.rounds
+        assert deployment.assembly.name == "BigStar"
+
+    def test_roles_adopt_new_components(self):
+        deployment = Runtime(rings_assembly(), seed=42).deploy()
+        deployment.run(10)
+        reconfigure(deployment, star_assembly())
+        components = {
+            deployment.role_map.role(node_id).component
+            for node_id in deployment.network.node_ids()
+        }
+        assert components == {"hub_star"}
+
+    def test_core_protocol_rebuilt_for_new_shape(self):
+        deployment = Runtime(rings_assembly(), seed=43).deploy()
+        deployment.run(5)
+        old_core = deployment.network.node(0).protocol("core")
+        reconfigure(deployment, star_assembly())
+        new_core = deployment.network.node(0).protocol("core")
+        assert new_core is not old_core
+
+    def test_peer_sampling_state_survives(self):
+        deployment = Runtime(rings_assembly(), seed=44).deploy()
+        deployment.run(10)
+        before = {
+            node.node_id: set(node.protocol("peer_sampling").view.ids())
+            for node in deployment.network.nodes()
+        }
+        reconfigure(deployment, star_assembly())
+        after = {
+            node.node_id: set(node.protocol("peer_sampling").view.ids())
+            for node in deployment.network.nodes()
+        }
+        assert before == after
+
+    def test_tracker_reset_on_reconfigure(self):
+        deployment = Runtime(rings_assembly(), seed=45).deploy()
+        deployment.run_until_converged(60)
+        reconfigure(deployment, star_assembly())
+        assert all(
+            value is None
+            for value in deployment.tracker.first_converged.values()
+        )
+
+    def test_resize_same_topology(self):
+        """Growing a component family in place (the evolving-needs case)."""
+        deployment = Runtime(rings_assembly(n_rings=4, size=8), seed=46).deploy()
+        deployment.run_until_converged(60)
+        bigger = rings_assembly(n_rings=8, size=4)
+        report = reconfigure_and_measure(deployment, bigger, max_rounds=80)
+        assert report.converged
+        assert len(deployment.assembly.components) == 8
+
+    def test_oversized_assembly_degrades_gracefully(self):
+        """A too-big fixed size shrinks to the live population (elastic)."""
+        deployment = Runtime(rings_assembly(), seed=47).deploy()  # 32 nodes
+        deployment.run(2)
+        builder = TopologyBuilder("TooBig")
+        builder.component("huge", "ring", size=1000)
+        reconfigure(deployment, builder.build())
+        assert deployment.role_map.component_size("huge") == 32
+
+    def test_unchanged_roles_still_pick_up_new_links(self):
+        """Regression: a node whose role survives a reconfiguration must
+        still refresh its port/link tables when the assembly adds links."""
+        builder = TopologyBuilder("Hub")
+        builder.component("hub_comp", "star", size=8).port("hub", "hub")
+        builder.component("leaf0", "clique", size=8).port("head", "lowest_id")
+        builder.link(("hub_comp", "hub"), ("leaf0", "head"))
+        deployment = Runtime(builder.nodes(16).build(), seed=50).deploy(24)
+        deployment.run_until_converged(60)
+
+        grown = TopologyBuilder("Hub")
+        grown.component("hub_comp", "star", size=8).port("hub", "hub")
+        grown.component("leaf0", "clique", size=8).port("head", "lowest_id")
+        grown.component("leaf1", "clique", size=8).port("head", "lowest_id")
+        grown.link(("hub_comp", "hub"), ("leaf0", "head"))
+        grown.link(("hub_comp", "hub"), ("leaf1", "head"))
+        report = reconfigure_and_measure(
+            deployment, grown.nodes(24).build(), max_rounds=80
+        )
+        assert report.converged, report.rounds
+        hub = deployment.role_map.members("hub_comp")[0][0]
+        connection = deployment.network.node(hub).protocol("port_connection")
+        assert len(connection.links) == 2
+        assert len(connection.realized_links()) == 2
+
+    def test_shape_swap_with_same_role_rebuilds_core(self):
+        """Same component name, size and ranks, different shape."""
+        ring_builder = TopologyBuilder("Morph")
+        ring_builder.component("comp", "ring", size=16)
+        deployment = Runtime(ring_builder.nodes(16).build(), seed=51).deploy()
+        deployment.run_until_converged(60)
+        old_core = deployment.network.node(0).protocol("core")
+
+        star_builder = TopologyBuilder("Morph")
+        star_builder.component("comp", "star", size=16)
+        report = reconfigure_and_measure(
+            deployment, star_builder.nodes(16).build(), max_rounds=80
+        )
+        assert report.converged
+        assert deployment.network.node(0).protocol("core") is not old_core
+
+    def test_unsatisfiable_assembly_rejected(self):
+        """More components than live nodes cannot be deployed at all."""
+        deployment = Runtime(rings_assembly(), seed=48).deploy()  # 32 nodes
+        deployment.run(2)
+        builder = TopologyBuilder("TooMany")
+        for index in range(40):
+            builder.component(f"c{index}", "ring", size=1)
+        with pytest.raises(Exception):
+            reconfigure(deployment, builder.build())

@@ -1,0 +1,207 @@
+"""Tests for node-assignment rules and role maps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblyError, TopologyError
+from repro.core.assembly import Assembly
+from repro.core.component import ComponentSpec
+from repro.core.roles import (
+    HashAssignment,
+    ProportionalAssignment,
+    Role,
+    RoleMap,
+    SPARE_COMPONENT,
+    make_assignment,
+)
+from repro.shapes import make_shape
+
+
+def weighted_assembly(weights):
+    return Assembly(
+        "W",
+        [
+            ComponentSpec(name=name, shape=make_shape("ring"), weight=weight)
+            for name, weight in weights.items()
+        ],
+    )
+
+
+def fixed_assembly(sizes):
+    return Assembly(
+        "F",
+        [
+            ComponentSpec(name=name, shape=make_shape("ring"), size=size)
+            for name, size in sizes.items()
+        ],
+    )
+
+
+class TestRoleMap:
+    def test_members_ordered_by_rank(self):
+        role_map = RoleMap(
+            {
+                10: Role("a", 1, 2),
+                20: Role("a", 0, 2),
+                30: Role("b", 0, 1),
+            }
+        )
+        assert role_map.members("a") == [(20, 0), (10, 1)]
+        assert role_map.member_ids("a") == [20, 10]
+        assert role_map.component_size("a") == 2
+        assert role_map.components() == ["a", "b"]
+        assert role_map.node_ids() == [10, 20, 30]
+        assert len(role_map) == 3
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(TopologyError):
+            RoleMap({}).role(5)
+
+    def test_has_role(self):
+        role_map = RoleMap({1: Role("a", 0, 1)})
+        assert role_map.has_role(1)
+        assert not role_map.has_role(2)
+
+    def test_spare_flag(self):
+        assert Role(SPARE_COMPONENT, 0, 1).is_spare
+        assert not Role("a", 0, 1).is_spare
+
+
+class TestProportionalAssignment:
+    def test_exact_split_by_weight(self):
+        assembly = weighted_assembly({"a": 3, "b": 1})
+        role_map = ProportionalAssignment().assign(range(40), assembly)
+        assert role_map.component_size("a") == 30
+        assert role_map.component_size("b") == 10
+
+    def test_contiguous_id_slices(self):
+        assembly = weighted_assembly({"a": 1, "b": 1})
+        role_map = ProportionalAssignment().assign(range(10), assembly)
+        assert role_map.member_ids("a") == list(range(5))
+        assert role_map.member_ids("b") == list(range(5, 10))
+
+    def test_ranks_contiguous_from_zero(self):
+        assembly = weighted_assembly({"a": 2, "b": 1})
+        role_map = ProportionalAssignment().assign(range(30), assembly)
+        for component in ("a", "b"):
+            ranks = [rank for _, rank in role_map.members(component)]
+            assert ranks == list(range(len(ranks)))
+
+    def test_fixed_sizes_honored(self):
+        assembly = fixed_assembly({"a": 7, "b": 3})
+        role_map = ProportionalAssignment().assign(range(10), assembly)
+        assert role_map.component_size("a") == 7
+        assert role_map.component_size("b") == 3
+
+    def test_surplus_becomes_spares(self):
+        assembly = fixed_assembly({"a": 4})
+        role_map = ProportionalAssignment().assign(range(10), assembly)
+        assert role_map.component_size("a") == 4
+        assert role_map.component_size(SPARE_COMPONENT) == 6
+        for node_id, _ in role_map.members(SPARE_COMPONENT):
+            assert role_map.role(node_id).is_spare
+
+    def test_mixed_fixed_and_weighted(self):
+        assembly = Assembly(
+            "M",
+            [
+                ComponentSpec(name="fixed", shape=make_shape("ring"), size=6),
+                ComponentSpec(name="flex", shape=make_shape("ring"), weight=1),
+            ],
+        )
+        role_map = ProportionalAssignment().assign(range(20), assembly)
+        assert role_map.component_size("fixed") == 6
+        assert role_map.component_size("flex") == 14
+
+    def test_degraded_mode_scales_down(self):
+        """Fewer live nodes than declared sizes: shrink proportionally."""
+        assembly = fixed_assembly({"a": 20, "b": 10})
+        role_map = ProportionalAssignment().assign(range(15), assembly)
+        assert role_map.component_size("a") + role_map.component_size("b") == 15
+        assert role_map.component_size("a") > role_map.component_size("b")
+
+    def test_too_few_nodes_raises(self):
+        assembly = weighted_assembly({"a": 1, "b": 1, "c": 1})
+        with pytest.raises(AssemblyError):
+            ProportionalAssignment().assign(range(2), assembly)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_nodes=st.integers(3, 120),
+        weights=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=6),
+    )
+    def test_partition_property(self, n_nodes, weights):
+        """Every node gets exactly one role; components get >= 1 node each."""
+        if n_nodes < len(weights):
+            return
+        assembly = weighted_assembly(
+            {f"c{i}": weight for i, weight in enumerate(weights)}
+        )
+        role_map = ProportionalAssignment().assign(range(n_nodes), assembly)
+        total = sum(
+            role_map.component_size(name) for name in assembly.components
+        )
+        assert total == n_nodes
+        assert all(
+            role_map.component_size(name) >= 1 for name in assembly.components
+        )
+        # ranks are a permutation of 0..size-1 per component
+        for name in assembly.components:
+            ranks = sorted(rank for _, rank in role_map.members(name))
+            assert ranks == list(range(role_map.component_size(name)))
+
+
+class TestHashAssignment:
+    def test_quota_respected(self):
+        assembly = weighted_assembly({"a": 1, "b": 1})
+        role_map = HashAssignment().assign(range(20), assembly)
+        assert role_map.component_size("a") == 10
+        assert role_map.component_size("b") == 10
+
+    def test_deterministic(self):
+        assembly = weighted_assembly({"a": 1, "b": 1})
+        first = HashAssignment().assign(range(20), assembly)
+        second = HashAssignment().assign(range(20), assembly)
+        assert all(first.role(i) == second.role(i) for i in range(20))
+
+    def test_salt_changes_layout(self):
+        assembly = weighted_assembly({"a": 1, "b": 1})
+        base = HashAssignment(salt=0).assign(range(40), assembly)
+        salted = HashAssignment(salt=1).assign(range(40), assembly)
+        moved = sum(1 for i in range(40) if base.role(i) != salted.role(i))
+        assert moved > 5
+
+    def test_not_contiguous(self):
+        assembly = weighted_assembly({"a": 1, "b": 1})
+        role_map = HashAssignment().assign(range(40), assembly)
+        # Hashing should interleave ids between components.
+        a_ids = set(role_map.member_ids("a"))
+        assert a_ids != set(range(20))
+
+    def test_join_stability(self):
+        """Adding one node must relocate only a bounded number of others."""
+        assembly = weighted_assembly({"a": 1, "b": 1})
+        before = HashAssignment().assign(range(40), assembly)
+        after = HashAssignment().assign(range(41), assembly)
+        moved_component = sum(
+            1
+            for i in range(40)
+            if before.role(i).component != after.role(i).component
+        )
+        assert moved_component <= 3
+
+    def test_equality_by_salt(self):
+        assert HashAssignment(1) == HashAssignment(1)
+        assert HashAssignment(1) != HashAssignment(2)
+
+
+class TestMakeAssignment:
+    def test_known_rules(self):
+        assert isinstance(make_assignment("proportional"), ProportionalAssignment)
+        assert isinstance(make_assignment("hash"), HashAssignment)
+
+    def test_unknown_rule(self):
+        with pytest.raises(AssemblyError, match="unknown assignment rule"):
+            make_assignment("alphabetical")

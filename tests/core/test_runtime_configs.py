@@ -1,0 +1,90 @@
+"""Tests for alternative runtime configurations end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Runtime, RuntimeConfig
+from repro.dsl import TopologyBuilder
+from repro.sim.config import GossipParams
+
+
+def pair_assembly():
+    builder = TopologyBuilder("Cfg")
+    builder.component("ring", "ring", size=16).port("gate", "lowest_id")
+    builder.component("cell", "clique", size=8).port("gate", "lowest_id")
+    builder.link(("ring", "gate"), ("cell", "gate"))
+    return builder.nodes(24).build()
+
+
+class TestTManCore:
+    def test_tman_runtime_converges(self):
+        config = RuntimeConfig(core_flavor="tman")
+        deployment = Runtime(pair_assembly(), config=config, seed=91).deploy()
+        report = deployment.run_until_converged(80)
+        assert report.converged, report.rounds
+
+    def test_tman_reconfigures(self):
+        from repro.core.reconfigure import reconfigure_and_measure
+
+        config = RuntimeConfig(core_flavor="tman")
+        deployment = Runtime(pair_assembly(), config=config, seed=92).deploy()
+        deployment.run_until_converged(80)
+        builder = TopologyBuilder("Cfg2")
+        builder.component("star_c", "star", size=24)
+        report = reconfigure_and_measure(deployment, builder.build(), 80)
+        assert report.converged
+        # The replacement core protocols keep the configured flavor.
+        from repro.gossip.tman import TMan
+
+        assert isinstance(deployment.network.node(0).protocol("core"), TMan)
+
+
+class TestLinkedScope:
+    def test_linked_uo2_scope_converges(self):
+        config = RuntimeConfig(uo2_scope="linked")
+        deployment = Runtime(pair_assembly(), config=config, seed=93).deploy()
+        report = deployment.run_until_converged(80)
+        assert report.converged
+
+    def test_linked_scope_faster_or_equal_with_many_components(self):
+        """With 10 components in a chain, covering only linked neighbours
+        is a strictly easier predicate than covering all 9 others."""
+        builder = TopologyBuilder("Chain")
+        for index in range(10):
+            builder.component(f"seg{index}", "ring", size=8).port(
+                "west", "rank(0)"
+            ).port("east", "rank(4)")
+        for index in range(9):
+            builder.link((f"seg{index}", "east"), (f"seg{index + 1}", "west"))
+        assembly = builder.nodes(80).build()
+
+        def uo2_rounds(scope):
+            config = RuntimeConfig(uo2_scope=scope)
+            deployment = Runtime(assembly, config=config, seed=94).deploy()
+            report = deployment.run_until_converged(120)
+            assert report.converged, report.rounds
+            return report.round_of("uo2")
+
+        assert uo2_rounds("linked") <= uo2_rounds("all")
+
+
+class TestCustomGossipParams:
+    def test_small_views_still_converge(self):
+        config = RuntimeConfig(
+            peer_sampling=GossipParams(view_size=8, gossip_size=4, healer=1, swapper=3),
+            uo1=GossipParams(view_size=6, gossip_size=3, healer=1, swapper=2),
+            core=GossipParams(view_size=8, gossip_size=4, healer=1, swapper=3),
+        )
+        deployment = Runtime(pair_assembly(), config=config, seed=95).deploy()
+        report = deployment.run_until_converged(120)
+        assert report.converged, report.rounds
+
+    def test_uo2_contact_capacity_respected_at_three(self):
+        config = RuntimeConfig(uo2_contacts_per_component=3)
+        deployment = Runtime(pair_assembly(), config=config, seed=96).deploy()
+        deployment.run(25)
+        for node in deployment.network.alive_nodes():
+            uo2 = node.protocol("uo2")
+            for component in uo2.known_components():
+                assert len(uo2.contacts(component)) <= 3

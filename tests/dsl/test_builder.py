@@ -1,0 +1,89 @@
+"""Tests for the fluent TopologyBuilder and its DSL equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.dsl import TopologyBuilder, compile_source, to_source
+from repro.shapes import make_shape
+
+
+class TestBuilder:
+    def test_minimal(self):
+        builder = TopologyBuilder("T")
+        builder.component("a", "ring")
+        assembly = builder.build()
+        assert assembly.name == "T"
+        assert "a" in assembly.components
+
+    def test_shape_instance_accepted(self):
+        builder = TopologyBuilder("T")
+        builder.component("a", make_shape("grid", rows=2), size=8)
+        assembly = builder.build()
+        assert assembly.component("a").shape.rows == 2
+
+    def test_shape_params_with_instance_rejected(self):
+        builder = TopologyBuilder("T")
+        with pytest.raises(AssemblyError):
+            builder.component("a", make_shape("ring"), rows=2)
+
+    def test_duplicate_component_rejected(self):
+        builder = TopologyBuilder("T")
+        builder.component("a", "ring")
+        with pytest.raises(AssemblyError):
+            builder.component("a", "ring")
+
+    def test_duplicate_port_rejected(self):
+        builder = TopologyBuilder("T")
+        component = builder.component("a", "ring")
+        component.port("p")
+        with pytest.raises(AssemblyError):
+            component.port("p")
+
+    def test_port_chaining(self):
+        builder = TopologyBuilder("T")
+        component = builder.component("a", "ring", size=8)
+        assert component.port("p").port("q", "highest_id") is component
+        assert component.done() is builder
+        assembly = builder.build()
+        assert assembly.component("a").has_port("q")
+
+    def test_link_accepts_strings_and_tuples(self):
+        builder = TopologyBuilder("T")
+        builder.component("a", "ring", size=4).port("p")
+        builder.component("b", "ring", size=4).port("q")
+        builder.link("a.p", ("b", "q"))
+        assembly = builder.build()
+        assert len(assembly.links) == 1
+
+    def test_nodes_and_assign_chain(self):
+        builder = TopologyBuilder("T")
+        builder.component("a", "ring")
+        assembly = builder.nodes(32).assign("hash").build()
+        assert assembly.total_nodes == 32
+        assert assembly.assignment.name == "hash"
+
+    def test_builder_matches_dsl(self):
+        source = """
+        topology M {
+            nodes 20
+            component a : ring(size = 12) { port p : lowest_id }
+            component b : clique(size = 8) { port q : rank(2) }
+            link a.p -- b.q
+        }
+        """
+        from_text = compile_source(source)
+        builder = TopologyBuilder("M")
+        builder.component("a", "ring", size=12).port("p", "lowest_id")
+        builder.component("b", "clique", size=8).port("q", "rank(2)")
+        builder.link(("a", "p"), ("b", "q"))
+        from_builder = builder.nodes(20).build()
+        assert from_text == from_builder
+
+    def test_builder_to_source_round_trip(self):
+        builder = TopologyBuilder("R")
+        builder.component("grid", "grid", size=12, rows=3).port("corner")
+        builder.component("pool", "random", weight=2.0, min_degree=4)
+        assembly = builder.nodes(30).assign("hash").build()
+        assert compile_source(to_source(assembly)) == assembly

@@ -1,0 +1,114 @@
+"""Tests for the DSL lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DslSyntaxError
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import TokenType
+
+
+def types(source):
+    return [token.type for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_punctuation(self):
+        assert types("{ } ( ) : , = .")[:-1] == [
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COLON,
+            TokenType.COMMA,
+            TokenType.EQUALS,
+            TokenType.DOT,
+        ]
+
+    def test_link_arrow(self):
+        tokens = tokenize("a -- b")
+        assert tokens[1].type is TokenType.LINK_ARROW
+
+    def test_identifiers_and_keywords_share_type(self):
+        tokens = tokenize("topology shape_1 _x")
+        assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+        assert values("topology shape_1 _x") == ["topology", "shape_1", "_x"]
+
+    def test_integers(self):
+        assert values("42 -7 0") == [42, -7, 0]
+        assert types("42")[0] is TokenType.INT
+
+    def test_floats(self):
+        assert values("3.5 -0.25") == [3.5, -0.25]
+        assert types("3.5")[0] is TokenType.FLOAT
+
+    def test_booleans(self):
+        assert values("true false") == [True, False]
+
+    def test_strings(self):
+        assert values('"hello world"') == ["hello world"]
+
+    def test_string_escapes(self):
+        assert values(r'"a\"b\\c\nd"') == ['a"b\\c\nd']
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize(r'"\q"')
+
+    def test_unterminated_string(self):
+        with pytest.raises(DslSyntaxError, match="unterminated"):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize('"line\nbreak"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(DslSyntaxError, match="unexpected character"):
+            tokenize("component @")
+
+
+class TestComments:
+    def test_hash_comment(self):
+        assert values("a # the rest\nb") == ["a", "b"]
+
+    def test_double_slash_comment(self):
+        assert values("a // the rest\nb") == ["a", "b"]
+
+    def test_comment_to_end_of_input(self):
+        assert values("a # trailing") == ["a"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ok\n   @")
+        except DslSyntaxError as exc:
+            assert exc.line == 2
+            assert exc.column == 4
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")
+
+    def test_dot_inside_portref_not_float(self):
+        # "a.5" must lex as IDENT DOT INT, not a float.
+        tokens = tokenize("ring.east")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENT,
+            TokenType.DOT,
+            TokenType.IDENT,
+        ]

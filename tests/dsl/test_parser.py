@@ -1,0 +1,118 @@
+"""Tests for the DSL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DslSyntaxError
+from repro.dsl.parser import parse_source
+
+MINIMAL = """
+topology T {
+    component a : ring
+}
+"""
+
+FULL = """
+# A complete example exercising every clause.
+topology Full {
+    nodes 64
+    assign hash
+    component router : star(size = 8) {
+        port hub : hub
+    }
+    component pool : random(weight = 2.5, min_degree = 3)
+    component shard : clique(size = 12) {
+        port head : lowest_id
+        port tail : highest_id
+        port mid : rank(4)
+    }
+    link router.hub -- shard.head
+    link shard.tail -- pool.uplink
+}
+"""
+
+
+class TestStructure:
+    def test_minimal(self):
+        tree = parse_source(MINIMAL)
+        assert tree.name == "T"
+        assert len(tree.components) == 1
+        assert tree.components[0].shape == "ring"
+        assert tree.nodes is None
+        assert tree.assign is None
+
+    def test_full_program(self):
+        tree = parse_source(FULL)
+        assert tree.name == "Full"
+        assert tree.nodes == 64
+        assert tree.assign == "hash"
+        assert [c.name for c in tree.components] == ["router", "pool", "shard"]
+        assert len(tree.links) == 2
+
+    def test_component_params(self):
+        tree = parse_source(FULL)
+        pool = tree.components[1]
+        params = {p.name: p.value for p in pool.params}
+        assert params == {"weight": 2.5, "min_degree": 3}
+
+    def test_ports(self):
+        tree = parse_source(FULL)
+        shard = tree.components[2]
+        assert [(p.name, p.selector) for p in shard.ports] == [
+            ("head", "lowest_id"),
+            ("tail", "highest_id"),
+            ("mid", "rank(4)"),
+        ]
+
+    def test_links(self):
+        tree = parse_source(FULL)
+        link = tree.links[0]
+        assert (link.a_component, link.a_port) == ("router", "hub")
+        assert (link.b_component, link.b_port) == ("shard", "head")
+
+    def test_positions_recorded(self):
+        tree = parse_source(FULL)
+        assert tree.components[0].line > 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("", "expected 'topology'"),
+            ("topology {}", "topology name"),
+            ("topology T {", "unexpected end of input"),
+            ("topology T { component }", "component name"),
+            ("topology T { component a ring }", "':'"),
+            ("topology T { component a : }", "shape name"),
+            ("topology T { component a : ring( }", "parameter name"),
+            ("topology T { component a : ring(size 4) }", "'='"),
+            ("topology T { component a : ring(size = ) }", "value"),
+            ("topology T { component a : ring { port } }", "port name"),
+            ("topology T { component a : ring { port p } }", "':'"),
+            ("topology T { link a.b }", "'--'"),
+            ("topology T { link a -- b.c }", "'.'"),
+            ("topology T { nodes many }", "node count"),
+            ("topology T { bogus }", "expected component, link"),
+            ("topology T { nodes 4 nodes 5 }", "duplicate 'nodes'"),
+            ("topology T { assign a assign b }", "duplicate 'assign'"),
+            ("topology T { } extra", "end of input"),
+            ("topology topology {}", "reserved word"),
+        ],
+    )
+    def test_syntax_errors(self, source, fragment):
+        with pytest.raises(DslSyntaxError, match=fragment.replace("(", "\\(")):
+            parse_source(source)
+
+    def test_error_position(self):
+        try:
+            parse_source("topology T {\n  component 5bad : ring\n}")
+        except DslSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected syntax error")
+
+    def test_selector_argument_must_be_int(self):
+        with pytest.raises(DslSyntaxError):
+            parse_source("topology T { component a : ring { port p : rank(x) } }")

@@ -1,0 +1,86 @@
+"""Property-based round-trip: random assemblies survive print → parse."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.assembly import Assembly
+from repro.core.component import ComponentSpec
+from repro.core.link import LinkSpec, PortRef
+from repro.core.port import PortSpec, make_selector
+from repro.dsl import compile_source, to_source
+from repro.shapes import make_shape
+
+selector_specs = st.sampled_from(
+    ["lowest_id", "highest_id", "hub", "rank(1)", "rank(3)"]
+)
+
+port_names = st.sampled_from(["north", "south", "east", "west", "gate"])
+
+
+@st.composite
+def components(draw, index):
+    shape_name = draw(st.sampled_from(["ring", "line", "star", "clique", "tree"]))
+    n_ports = draw(st.integers(0, 3))
+    names = draw(
+        st.lists(port_names, min_size=n_ports, max_size=n_ports, unique=True)
+    )
+    ports = tuple(
+        PortSpec(name, make_selector(draw(selector_specs))) for name in names
+    )
+    if draw(st.booleans()):
+        size = draw(st.integers(4, 64))
+        return ComponentSpec(
+            name=f"comp{index}", shape=make_shape(shape_name), size=size, ports=ports
+        )
+    weight = draw(st.floats(0.5, 8.0).map(lambda w: round(w, 2)))
+    return ComponentSpec(
+        name=f"comp{index}", shape=make_shape(shape_name), weight=weight, ports=ports
+    )
+
+
+@st.composite
+def assemblies(draw):
+    n_components = draw(st.integers(1, 5))
+    specs = [draw(components(index)) for index in range(n_components)]
+    # Links between randomly chosen declared ports (unique, non-degenerate).
+    endpoints = [
+        PortRef(spec.name, port.name) for spec in specs for port in spec.ports
+    ]
+    links = []
+    seen = set()
+    if len(endpoints) >= 2:
+        for _ in range(draw(st.integers(0, 4))):
+            a = draw(st.sampled_from(endpoints))
+            b = draw(st.sampled_from(endpoints))
+            if a == b:
+                continue
+            link = LinkSpec(a, b)
+            if link in seen:
+                continue
+            seen.add(link)
+            links.append(link)
+    return Assembly(
+        name="Generated",
+        components=specs,
+        links=links,
+        total_nodes=None,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(assembly=assemblies())
+def test_print_parse_round_trip(assembly):
+    """to_source output always reparses to an equal assembly."""
+    text = to_source(assembly)
+    reparsed = compile_source(text)
+    assert reparsed == assembly
+
+
+@settings(max_examples=40, deadline=None)
+@given(assembly=assemblies())
+def test_printed_source_is_stable(assembly):
+    """Pretty-printing is idempotent: print(parse(print(x))) == print(x)."""
+    once = to_source(assembly)
+    twice = to_source(compile_source(once))
+    assert once == twice

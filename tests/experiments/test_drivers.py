@@ -1,0 +1,141 @@
+"""Smoke tests for the per-figure experiment drivers (tiny scales).
+
+The real reproductions live in ``benchmarks/``; these tests assert the
+drivers' *structure* — row counts, series names, formatting — at scales
+small enough for the unit-test budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.ablations import (
+    core_flavor_comparison,
+    heterogeneity_study,
+    loss_tolerance_sweep,
+    monolithic_comparison,
+    random_feed_ablation,
+    view_size_sweep,
+)
+from repro.experiments.fig2 import format_fig2, run_fig2
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.harness import ALL_SERIES
+from repro.experiments.reconfiguration import (
+    format_reconfiguration,
+    run_reconfiguration,
+)
+from repro.experiments.ring_of_rings import (
+    format_ring_of_rings,
+    run_ring_of_rings,
+)
+
+
+class TestFig2Driver:
+    def test_rows_and_series(self):
+        rows = run_fig2(node_counts=(80, 160), n_components=8, seeds=(1,), max_rounds=60)
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row.series) == set(ALL_SERIES)
+        assert rows[0].n_nodes < rows[1].n_nodes
+
+    def test_format(self):
+        rows = run_fig2(node_counts=(80,), n_components=8, seeds=(1,), max_rounds=60)
+        text = format_fig2(rows)
+        assert "Figure 2" in text
+        for series in ALL_SERIES:
+            assert series in text
+
+
+class TestFig3Driver:
+    def test_rows_and_series(self):
+        rows = run_fig3(
+            component_counts=(2, 4), n_nodes=96, seeds=(1,), max_rounds=60
+        )
+        assert [row.n_components for row in rows] == [2, 4]
+        for row in rows:
+            assert set(row.series) == set(ALL_SERIES)
+
+    def test_format(self):
+        rows = run_fig3(component_counts=(2,), n_nodes=64, seeds=(1,), max_rounds=60)
+        assert "Figure 3" in format_fig3(rows)
+
+
+class TestFig4Driver:
+    def test_series_lengths(self):
+        result = run_fig4(n_nodes=96, n_components=6, rounds=8, seeds=(1,))
+        assert len(result.baseline) == 8
+        assert len(result.overhead) == 8
+        assert all(value >= 0 for value in result.baseline)
+        assert not any(math.isnan(value) for value in result.overhead)
+
+    def test_bandwidth_plateaus(self):
+        """Fig 4's qualitative shape: both series rise then flatten."""
+        result = run_fig4(n_nodes=96, n_components=6, rounds=12, seeds=(1, 2))
+        late_base = result.baseline[-3:]
+        spread = max(late_base) - min(late_base)
+        assert spread <= 0.2 * max(late_base)
+
+    def test_format(self):
+        result = run_fig4(n_nodes=64, n_components=4, rounds=4, seeds=(1,))
+        text = format_fig4(result)
+        assert "Figure 4" in text
+        assert "Baseline" in text and "Overhead" in text
+
+
+class TestRingOfRingsDriver:
+    def test_series_present(self):
+        result = run_ring_of_rings(n_rings=4, ring_size=8, seeds=(1,), max_rounds=60)
+        assert set(result.series) == set(ALL_SERIES)
+        text = format_ring_of_rings(result)
+        assert "ring" in text.lower()
+
+
+class TestReconfigurationDriver:
+    def test_phases_reported(self):
+        result = run_reconfiguration(n_nodes=64, seeds=(1,), max_rounds=80)
+        assert result.initial.n == 1
+        assert result.reconfigured.n == 1
+        assert result.cold_start.n == 1
+        text = format_reconfiguration(result)
+        assert "reconfigure" in text
+
+
+class TestAblationDrivers:
+    def test_view_size_sweep(self):
+        rows = view_size_sweep(view_sizes=(4, 8), n_nodes=64, seeds=(1,), max_rounds=60)
+        assert [size for size, _ in rows] == [4, 8]
+
+    def test_random_feed_ablation_shows_starvation(self):
+        result = random_feed_ablation(n_nodes=64, seeds=(1,), max_rounds=25)
+        assert result["with_random_feed"].n == 1
+        assert result["without_random_feed"].failures == 1
+
+    def test_core_flavor_comparison(self):
+        result = core_flavor_comparison(n_nodes=48, seeds=(1,), max_rounds=80)
+        assert set(result) == {"vicinity", "tman"}
+        assert result["vicinity"]["core"].n == 1
+
+    def test_monolithic_comparison(self):
+        result = monolithic_comparison(n_nodes=54, seeds=(1,), max_rounds=40)
+        assert result["layered_runtime_core"].n == 1
+        # The monolithic baseline converges later or not at all.
+        monolithic = result["monolithic_overlay"]
+        layered = result["layered_runtime_core"]
+        assert monolithic.failures == 1 or monolithic.mean > layered.mean
+
+    def test_loss_tolerance_sweep(self):
+        rows = loss_tolerance_sweep(
+            loss_rates=(0.0, 0.3), n_nodes=48, seeds=(1,), max_rounds=100
+        )
+        assert [rate for rate, _ in rows] == [0.0, 0.3]
+        for _, stats in rows:
+            assert stats["core"].failures == 0
+        # Loss never speeds things up.
+        assert rows[1][1]["core"].mean >= rows[0][1]["core"].mean
+
+    def test_heterogeneity_study(self):
+        result = heterogeneity_study(n_nodes=64, seeds=(1,), max_rounds=100)
+        assert set(result) == {"balanced", "skewed"}
+        for variant in result.values():
+            assert variant["core"].failures == 0

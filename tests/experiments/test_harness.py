@@ -1,0 +1,93 @@
+"""Tests for the experiment harness and scale control."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import harness
+from repro.experiments.harness import (
+    ALL_SERIES,
+    SERIES_TO_LAYER,
+    current_scale,
+    measure_convergence,
+    measure_elementary,
+    series_table,
+)
+from repro.experiments.topologies import ring_of_rings
+from repro.metrics.stats import Stats
+from repro.shapes import make_shape
+
+
+class TestScale:
+    def test_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "ci"
+
+    def test_full_scale_selectable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        scale = current_scale()
+        assert scale.name == "full"
+        assert scale.fig3_node_count == 25600
+        assert len(scale.seeds) == 25
+
+    def test_unknown_value_falls_back_to_ci(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        assert current_scale().name == "ci"
+
+    def test_ci_scale_matches_paper_shape(self):
+        scale = harness._CI_SCALE
+        assert scale.fig2_components == 20
+        assert scale.fig2_node_counts[0] == 100
+        # x-axis doubles, like the paper's log axis.
+        ratios = [
+            b / a
+            for a, b in zip(scale.fig2_node_counts, scale.fig2_node_counts[1:])
+        ]
+        assert all(ratio == 2 for ratio in ratios)
+
+
+class TestMeasurement:
+    def test_measure_convergence_aggregates_layers(self):
+        assembly = ring_of_rings(n_rings=4, ring_size=8)
+        stats = measure_convergence(assembly, 32, seeds=(1, 2), max_rounds=60)
+        assert set(stats) == {
+            "core",
+            "uo1",
+            "uo2",
+            "port_selection",
+            "port_connection",
+        }
+        assert all(isinstance(value, Stats) for value in stats.values())
+        assert all(value.n == 2 for value in stats.values())
+
+    def test_measure_elementary(self):
+        stats = measure_elementary(make_shape("ring"), 48, seeds=(1, 2), max_rounds=60)
+        assert stats.n == 2
+        assert stats.mean > 0
+
+    def test_timeout_counts_as_failure(self):
+        assembly = ring_of_rings(n_rings=4, ring_size=8)
+        stats = measure_convergence(assembly, 32, seeds=(1,), max_rounds=1)
+        assert any(value.failures == 1 for value in stats.values())
+
+    def test_series_table_layout(self):
+        cells = {
+            name: Stats(mean=5.0, std=0.0, ci90=0.0, n=1)
+            for name in ALL_SERIES
+        }
+        headers, rows = series_table([(100, cells)], x_label="# nodes")
+        assert headers[0] == "# nodes"
+        assert len(headers) == 1 + len(ALL_SERIES)
+        assert rows[0][0] == 100
+
+    def test_series_to_layer_consistent(self):
+        assert set(SERIES_TO_LAYER.values()) == {
+            "core",
+            "uo1",
+            "uo2",
+            "port_selection",
+            "port_connection",
+        }
+        assert set(SERIES_TO_LAYER) == set(ALL_SERIES)

@@ -1,0 +1,81 @@
+"""Tests for the Cyclon shuffle protocol."""
+
+from __future__ import annotations
+
+from repro.gossip.cyclon import Cyclon
+from repro.sim.config import GossipParams
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+from repro.sim.transport import Transport
+
+
+def cyclon_world(n, seed=1, params=None):
+    params = params or GossipParams(view_size=6, gossip_size=3, healer=0, swapper=0)
+    network = Network()
+    streams = RandomStreams(seed)
+    transport = Transport()
+    nodes = network.create_nodes(n)
+    rng = streams.stream("wire")
+    for node in nodes:
+        node.attach("cyclon", Cyclon(node.node_id, params))
+    # Cyclon has no oracle bootstrap path by design; wire a random k-out
+    # graph the way PeerSim initializers do.
+    from repro.gossip.descriptors import Descriptor
+
+    for node in nodes:
+        candidates = [other.node_id for other in nodes if other is not node]
+        for target in rng.sample(candidates, min(params.view_size, len(candidates))):
+            node.protocol("cyclon").view.insert(Descriptor(target, 0))
+    engine = Engine(network, transport, streams)
+    return network, engine, nodes
+
+
+class TestShuffle:
+    def test_views_stay_bounded_and_self_free(self):
+        network, engine, nodes = cyclon_world(20, seed=2)
+        engine.run(10)
+        for node in nodes:
+            view = node.protocol("cyclon").view
+            assert len(view) <= 6
+            assert node.node_id not in view.ids()
+
+    def test_views_mix(self):
+        network, engine, nodes = cyclon_world(30, seed=3)
+        before = {n.node_id: set(n.protocol("cyclon").view.ids()) for n in nodes}
+        engine.run(8)
+        after = {n.node_id: set(n.protocol("cyclon").view.ids()) for n in nodes}
+        changed = sum(1 for nid in before if before[nid] != after[nid])
+        assert changed >= 25
+
+    def test_in_degree_stays_balanced(self):
+        """Cyclon's selling point: in-degree distribution close to uniform."""
+        network, engine, nodes = cyclon_world(40, seed=4)
+        engine.run(20)
+        in_degree = {n.node_id: 0 for n in nodes}
+        for node in nodes:
+            for neighbor in node.protocol("cyclon").view.ids():
+                in_degree[neighbor] += 1
+        values = sorted(in_degree.values())
+        assert values[0] >= 1  # nobody forgotten
+        assert values[-1] <= 15  # nobody hoards incoming links
+
+    def test_dead_partner_removed(self):
+        network, engine, nodes = cyclon_world(12, seed=5)
+        engine.run(3)
+        network.kill(0)
+        engine.run(8)
+        for node in nodes[1:]:
+            assert 0 not in node.protocol("cyclon").view.ids()
+
+    def test_bandwidth_recorded(self):
+        network, engine, nodes = cyclon_world(10, seed=6)
+        engine.run(3)
+        assert engine.transport.total_bytes("cyclon") > 0
+
+    def test_forget(self):
+        network, engine, nodes = cyclon_world(8, seed=7)
+        protocol = nodes[0].protocol("cyclon")
+        victim = protocol.view.ids()[0]
+        protocol.forget(victim)
+        assert victim not in protocol.view.ids()

@@ -1,0 +1,62 @@
+"""Eventual purge of dead descriptors from Vicinity views (TTL hygiene)."""
+
+from __future__ import annotations
+
+from repro.gossip.selection import Proximity
+from repro.gossip.vicinity import Vicinity
+from repro.shapes import make_shape
+from tests.gossip.helpers import GossipWorld
+
+
+def clique_world(n, seed=1, ttl=None):
+    """A single clique overlay — the uniform metric that used to harbour
+    zombie descriptors."""
+    shape = make_shape("clique")
+    proximity = Proximity(shape.metric(n))
+
+    def extra(node, index):
+        node.attach(
+            "clique",
+            Vicinity(
+                node.node_id,
+                profile=index,
+                proximity=proximity,
+                layer="clique",
+                target_degree=n - 1,
+                descriptor_ttl=ttl,
+            ),
+        )
+
+    return GossipWorld(n, seed=seed, extra=extra)
+
+
+class TestDescriptorTtl:
+    def test_default_ttl_derived_from_view(self):
+        world = clique_world(8)
+        protocol = world.nodes[0].protocol("clique")
+        assert protocol.descriptor_ttl == max(24, 2 * protocol.params.view_size)
+
+    def test_dead_lowest_id_eventually_purged_everywhere(self):
+        """The zombie scenario distilled: kill the most attractive member
+        of a clique and require every live view to forget it within a TTL
+        window."""
+        n = 10
+        world = clique_world(n, seed=3, ttl=10)
+        world.run(15)
+        victim = 0  # lowest id: maximally attractive under the id tie-break
+        world.network.kill(victim)
+        world.run(10 + 8)  # TTL window plus slack
+        for node in world.nodes[1:]:
+            view_ids = node.protocol("clique").view.ids()
+            assert victim not in view_ids, (
+                f"node {node.node_id} still holds dead {victim}: {view_ids}"
+            )
+
+    def test_live_entries_survive_ttl(self):
+        """TTL must not evict entries whose owners keep refreshing them."""
+        n = 10
+        world = clique_world(n, seed=4, ttl=10)
+        world.run(40)  # several TTL windows
+        for node in world.nodes:
+            # A converged clique keeps everyone in view despite the TTL.
+            assert len(node.protocol("clique").view) == n - 1

@@ -1,0 +1,69 @@
+"""Tests for node descriptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip.descriptors import Descriptor, youngest
+
+
+class TestImmutability:
+    def test_cannot_set_attributes(self):
+        descriptor = Descriptor(1, 2, "p")
+        with pytest.raises(AttributeError):
+            descriptor.age = 5  # type: ignore[misc]
+
+    def test_aged_returns_new_object(self):
+        descriptor = Descriptor(1, 2)
+        older = descriptor.aged()
+        assert older is not descriptor
+        assert older.age == 3
+        assert descriptor.age == 2
+
+    def test_aged_increment(self):
+        assert Descriptor(0, 0).aged(5).age == 5
+
+    def test_fresh_resets_age(self):
+        assert Descriptor(1, 9, "p").fresh().age == 0
+
+    def test_fresh_keeps_profile(self):
+        assert Descriptor(1, 9, "p").fresh().profile == "p"
+
+    def test_with_profile(self):
+        updated = Descriptor(1, 3, "old").with_profile("new")
+        assert updated.profile == "new"
+        assert updated.age == 3
+        assert updated.node_id == 1
+
+
+class TestEquality:
+    def test_equal_same_id_and_age(self):
+        assert Descriptor(1, 2, "x") == Descriptor(1, 2, "y")
+
+    def test_unequal_different_age(self):
+        assert Descriptor(1, 2) != Descriptor(1, 3)
+
+    def test_hashable(self):
+        assert len({Descriptor(1, 2), Descriptor(1, 2), Descriptor(2, 2)}) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert Descriptor(1, 2) != (1, 2)
+
+
+class TestYoungest:
+    def test_picks_lower_age(self):
+        young = Descriptor(1, 1)
+        old = Descriptor(1, 7)
+        assert youngest(young, old) is young
+        assert youngest(old, young) is young
+
+    def test_handles_none(self):
+        descriptor = Descriptor(1, 0)
+        assert youngest(None, descriptor) is descriptor
+        assert youngest(descriptor, None) is descriptor
+        assert youngest(None, None) is None
+
+    def test_tie_prefers_first(self):
+        a = Descriptor(1, 3, "a")
+        b = Descriptor(1, 3, "b")
+        assert youngest(a, b) is a

@@ -1,0 +1,65 @@
+"""Tests for bandwidth extraction and table rendering."""
+
+from __future__ import annotations
+
+from repro.metrics.bandwidth import layer_breakdown, per_node_series, total_split
+from repro.metrics.report import render_series, render_table
+from repro.sim.config import TransportCosts
+from repro.sim.transport import Transport
+
+
+def loaded_transport():
+    transport = Transport(TransportCosts(header_bytes=10, descriptor_bytes=0))
+    transport.begin_round(0)
+    transport.record_message("core", 0)          # 10 bytes
+    transport.record_message("peer_sampling", 0)  # 10 bytes
+    transport.begin_round(1)
+    transport.record_exchange("core", 0, 0)       # 20 bytes
+    transport.record_message("uo1", 0)            # 10 bytes
+    return transport
+
+
+class TestBandwidth:
+    def test_per_node_series(self):
+        transport = loaded_transport()
+        assert per_node_series(transport, "core", 2, 10) == [1.0, 2.0]
+
+    def test_per_node_zero_population(self):
+        assert per_node_series(loaded_transport(), "core", 2, 0) == [0.0, 0.0]
+
+    def test_total_split(self):
+        split = total_split(loaded_transport(), 2, 1)
+        # Baseline = core + peer sampling; overhead = the four assembly
+        # sub-procedures (here only uo1 carries traffic).
+        assert split["baseline"] == [20.0, 20.0]
+        assert split["overhead"] == [0.0, 10.0]
+
+    def test_layer_breakdown_contains_all_layers(self):
+        breakdown = layer_breakdown(loaded_transport(), 2, 1)
+        assert "core" in breakdown
+        assert "peer_sampling" in breakdown
+        assert "port_connection" in breakdown  # zero series still present
+        assert breakdown["port_connection"] == [0.0, 0.0]
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["x", "value"], [(1, 10), (200, 3)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_render_table_title(self):
+        text = render_table(["a"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_render_series(self):
+        text = render_series("rounds", [100, 200], [5, 6], x_label="nodes")
+        assert "nodes" in text
+        assert "rounds" in text
+        assert "200" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,177 @@
+"""Tests for the shape interface's derived helpers and invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.shapes import available_shapes, make_shape
+
+#: (name, sizes that are valid for the shape) used by parametrized suites.
+SHAPE_SIZES = [
+    ("ring", [1, 2, 3, 8, 17]),
+    ("line", [1, 2, 3, 8, 17]),
+    ("star", [1, 2, 3, 8, 17]),
+    ("clique", [1, 2, 3, 8, 17]),
+    ("grid", [1, 2, 4, 6, 12]),
+    ("torus", [1, 2, 4, 6, 12]),
+    ("tree", [1, 2, 3, 8, 17]),
+    ("hypercube", [1, 2, 4, 8, 16]),
+    ("random", [1, 2, 3, 8, 17]),
+    ("kring", [1, 2, 3, 8, 17]),
+    ("wheel", [1, 2, 3, 8, 17]),
+]
+
+
+@pytest.mark.parametrize("name,sizes", SHAPE_SIZES)
+class TestStructuralInvariants:
+    def test_target_neighbors_symmetric(self, name, sizes):
+        """If a is a target neighbour of b, b is one of a (undirected shapes)."""
+        shape = make_shape(name)
+        for size in sizes:
+            for rank in range(size):
+                for other in shape.target_neighbors(rank, size):
+                    assert rank in shape.target_neighbors(other, size), (
+                        f"{name}: asymmetric edge ({rank}, {other}) at size {size}"
+                    )
+
+    def test_no_self_loops(self, name, sizes):
+        shape = make_shape(name)
+        for size in sizes:
+            for rank in range(size):
+                assert rank not in shape.target_neighbors(rank, size)
+
+    def test_neighbors_in_range(self, name, sizes):
+        shape = make_shape(name)
+        for size in sizes:
+            for rank in range(size):
+                assert all(
+                    0 <= other < size
+                    for other in shape.target_neighbors(rank, size)
+                )
+
+    def test_degree_matches_max_neighborhood(self, name, sizes):
+        shape = make_shape(name)
+        for size in sizes:
+            if size == 1:
+                assert shape.degree(size) == 0 or name == "random"
+                continue
+            expected = max(
+                len(shape.target_neighbors(rank, size)) for rank in range(size)
+            )
+            if name != "random":
+                assert shape.degree(size) == expected
+
+    def test_metric_nonnegative_and_symmetric(self, name, sizes):
+        shape = make_shape(name)
+        for size in sizes:
+            metric = shape.metric(size)
+            coords = [shape.coordinate(rank, size) for rank in range(size)]
+            for a in coords[: min(6, size)]:
+                for b in coords[: min(6, size)]:
+                    assert metric(a, b) >= 0
+                    assert metric(a, b) == metric(b, a)
+
+    def test_metric_identity(self, name, sizes):
+        shape = make_shape(name)
+        for size in sizes:
+            metric = shape.metric(size)
+            for rank in range(min(size, 5)):
+                coord = shape.coordinate(rank, size)
+                assert metric(coord, coord) == 0.0
+
+    def test_target_converges_on_its_own_adjacency(self, name, sizes):
+        """The target adjacency must satisfy the shape's own predicate."""
+        shape = make_shape(name)
+        for size in sizes:
+            adjacency = {
+                rank: list(shape.target_neighbors(rank, size))
+                for rank in range(size)
+            }
+            if name == "random":
+                # Random graphs demand a minimum degree instead.
+                continue
+            assert shape.converged(adjacency, size)
+
+    def test_empty_adjacency_not_converged(self, name, sizes):
+        shape = make_shape(name)
+        for size in sizes:
+            if size < 2 or name == "random":
+                continue
+            assert not shape.converged({}, size)
+
+    def test_view_size_covers_degree(self, name, sizes):
+        shape = make_shape(name)
+        for size in sizes:
+            assert shape.view_size(size, 8) >= shape.degree(size)
+
+    def test_rank_out_of_range_raises(self, name, sizes):
+        shape = make_shape(name)
+        size = sizes[-1]
+        with pytest.raises(TopologyError):
+            shape.target_neighbors(size, size)
+        with pytest.raises(TopologyError):
+            shape.coordinate(-1, size)
+
+
+class TestTargetEdges:
+    def test_edges_are_canonical_pairs(self):
+        shape = make_shape("ring")
+        edges = shape.target_edges(6)
+        assert all(a < b for a, b in edges)
+        assert (0, 1) in edges and (0, 5) in edges
+        assert len(edges) == 6
+
+    def test_missing_edges_reporting(self):
+        shape = make_shape("ring")
+        adjacency = {0: [1], 1: [0, 2], 2: [1], 3: []}
+        missing = shape.missing_edges(adjacency, 4)
+        assert (3, 0) in missing and (3, 2) in missing
+        assert (1, 0) not in missing
+
+
+class TestEqualityAndRepr:
+    def test_parameterless_shapes_equal(self):
+        assert make_shape("ring") == make_shape("ring")
+        assert make_shape("ring") != make_shape("line")
+
+    def test_parameterized_equality(self):
+        assert make_shape("grid", rows=3) == make_shape("grid", rows=3)
+        assert make_shape("grid", rows=3) != make_shape("grid", rows=2)
+
+    def test_repr_mentions_params(self):
+        assert "rows=3" in repr(make_shape("grid", rows=3))
+
+    def test_hashable(self):
+        shapes = {make_shape("ring"), make_shape("ring"), make_shape("line")}
+        assert len(shapes) == 2
+
+
+#: Shapes whose distance is a true metric. Excluded: grid/torus/hypercube
+#: (composite coordinates, checked separately) and wheel (its hub shortcut
+#: deliberately breaks the triangle inequality — it is an attractiveness
+#: function for the greedy overlay, like the star's, not a metric).
+_METRIC_SHAPES = [
+    n
+    for n in available_shapes()
+    if n not in ("grid", "torus", "hypercube", "wheel")
+]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    name=st.sampled_from(_METRIC_SHAPES),
+    size=st.integers(1, 40),
+    seed=st.integers(0, 1000),
+)
+def test_triangle_inequality_samples(name, size, seed):
+    """Spot-check the triangle inequality on random coordinate triples."""
+    import random
+
+    shape = make_shape(name)
+    metric = shape.metric(size)
+    rng = random.Random(seed)
+    ranks = [rng.randrange(size) for _ in range(3)]
+    a, b, c = (shape.coordinate(rank, size) for rank in ranks)
+    assert metric(a, c) <= metric(a, b) + metric(b, c) + 1e-9

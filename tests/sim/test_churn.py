@@ -1,0 +1,90 @@
+"""Tests for churn and failure injection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.churn import CatastrophicFailure, RandomChurn
+from repro.sim.network import Network
+
+
+class TestRandomChurnValidation:
+    def test_bad_crash_rate(self):
+        with pytest.raises(ConfigurationError):
+            RandomChurn(random.Random(0), crash_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            RandomChurn(random.Random(0), crash_rate=-0.1)
+
+    def test_joins_require_provisioner(self):
+        with pytest.raises(ConfigurationError):
+            RandomChurn(random.Random(0), join_count=1)
+
+    def test_negative_joins(self):
+        with pytest.raises(ConfigurationError):
+            RandomChurn(random.Random(0), join_count=-1)
+
+
+class TestRandomChurnBehavior:
+    def test_crashes_roughly_at_rate(self):
+        net = Network()
+        net.create_nodes(200)
+        churn = RandomChurn(random.Random(1), crash_rate=0.1, min_population=10)
+        churn.before_round(net, 0)
+        # ~20 expected; allow generous slack for a single draw.
+        assert 5 <= len(churn.crashed) <= 45
+        assert all(not net.is_alive(nid) for nid in churn.crashed)
+
+    def test_min_population_floor(self):
+        net = Network()
+        net.create_nodes(12)
+        churn = RandomChurn(random.Random(1), crash_rate=0.99, min_population=8)
+        for rnd in range(10):
+            churn.before_round(net, rnd)
+        assert net.alive_count() >= 8
+
+    def test_joins_are_provisioned(self):
+        net = Network()
+        net.create_nodes(4)
+        provisioned = []
+        churn = RandomChurn(
+            random.Random(1),
+            join_count=2,
+            provisioner=lambda network, node: provisioned.append(node.node_id),
+        )
+        churn.before_round(net, 0)
+        assert len(provisioned) == 2
+        assert net.size() == 6
+        assert churn.joined == provisioned
+
+    def test_zero_rates_are_noop(self):
+        net = Network()
+        net.create_nodes(5)
+        RandomChurn(random.Random(1)).before_round(net, 0)
+        assert net.alive_count() == 5
+
+
+class TestCatastrophicFailure:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CatastrophicFailure(random.Random(0), at_round=0, fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            CatastrophicFailure(random.Random(0), at_round=0, fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            CatastrophicFailure(random.Random(0), at_round=-1, fraction=0.5)
+
+    def test_kills_exact_fraction_once(self):
+        net = Network()
+        net.create_nodes(40)
+        control = CatastrophicFailure(random.Random(2), at_round=3, fraction=0.5)
+        for rnd in range(3):
+            control.before_round(net, rnd)
+            assert net.alive_count() == 40
+        control.before_round(net, 3)
+        assert net.alive_count() == 20
+        assert len(control.victims) == 20
+        # Firing again must do nothing.
+        control.before_round(net, 4)
+        assert net.alive_count() == 20

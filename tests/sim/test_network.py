@@ -1,0 +1,107 @@
+"""Tests for the node population (churn, lookup, random draws)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.network import Network
+
+
+class TestPopulation:
+    def test_create_assigns_monotonic_ids(self):
+        net = Network()
+        nodes = net.create_nodes(5)
+        assert [n.node_id for n in nodes] == [0, 1, 2, 3, 4]
+
+    def test_ids_never_reused_after_removal(self):
+        net = Network()
+        net.create_nodes(3)
+        net.remove_node(2)
+        fresh = net.create_node()
+        assert fresh.node_id == 3
+
+    def test_negative_create_raises(self):
+        with pytest.raises(SimulationError):
+            Network().create_nodes(-1)
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            Network().remove_node(0)
+
+    def test_len_and_size(self):
+        net = Network()
+        net.create_nodes(4)
+        assert len(net) == net.size() == 4
+
+
+class TestLiveness:
+    def test_kill_marks_dead(self):
+        net = Network()
+        net.create_nodes(3)
+        net.kill(1)
+        assert not net.is_alive(1)
+        assert net.is_alive(0)
+        assert net.alive_count() == 2
+
+    def test_revive(self):
+        net = Network()
+        net.create_nodes(2)
+        net.kill(0)
+        net.revive(0)
+        assert net.is_alive(0)
+
+    def test_is_alive_unknown_is_false(self):
+        assert not Network().is_alive(99)
+
+    def test_alive_ids_sorted_and_cached(self):
+        net = Network()
+        net.create_nodes(6)
+        net.kill(3)
+        assert net.alive_ids() == [0, 1, 2, 4, 5]
+        # Cache must invalidate on the next change.
+        net.kill(0)
+        assert net.alive_ids() == [1, 2, 4, 5]
+        net.revive(3)
+        assert 3 in net.alive_ids()
+
+    def test_alive_nodes_iteration(self):
+        net = Network()
+        net.create_nodes(4)
+        net.kill(2)
+        assert [n.node_id for n in net.alive_nodes()] == [0, 1, 3]
+
+
+class TestRandomAlive:
+    def test_uniform_over_alive(self):
+        net = Network()
+        net.create_nodes(10)
+        net.kill(0)
+        rng = random.Random(1)
+        seen = {net.random_alive(rng).node_id for _ in range(200)}
+        assert 0 not in seen
+        assert seen <= set(range(1, 10))
+        assert len(seen) == 9
+
+    def test_exclude(self):
+        net = Network()
+        net.create_nodes(3)
+        rng = random.Random(2)
+        for _ in range(50):
+            assert net.random_alive(rng, exclude=1).node_id != 1
+
+    def test_none_when_empty(self):
+        assert Network().random_alive(random.Random(0)) is None
+
+    def test_none_when_only_excluded_remains(self):
+        net = Network()
+        net.create_nodes(2)
+        net.kill(0)
+        assert net.random_alive(random.Random(0), exclude=1) is None
+
+    def test_count_where(self):
+        net = Network()
+        net.create_nodes(5)
+        assert net.count_where(lambda n: n.node_id % 2 == 0) == 3

@@ -1,0 +1,103 @@
+"""Tests for structured event tracing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import Runtime
+from repro.dsl import TopologyBuilder
+from repro.sim.trace import TraceEvent, Tracer, attach_tracer
+
+
+def small_deployment(seed=81):
+    builder = TopologyBuilder("Traced")
+    builder.component("ring", "ring", size=12).port("gate", "lowest_id")
+    builder.component("cell", "clique", size=6).port("gate", "lowest_id")
+    builder.link(("ring", "gate"), ("cell", "gate"))
+    return Runtime(builder.nodes(18).build(), seed=seed).deploy()
+
+
+class TestTracer:
+    def test_emit_and_query(self):
+        tracer = Tracer()
+        tracer.emit("custom", value=1)
+        tracer.emit("other")
+        tracer.emit("custom", value=2)
+        assert len(tracer) == 3
+        assert [e.details["value"] for e in tracer.of_kind("custom")] == [1, 2]
+
+    def test_round_source(self):
+        tracer = Tracer()
+        clock = {"round": 7}
+        tracer.bind_round_source(lambda: clock["round"])
+        event = tracer.emit("tick")
+        assert event.round == 7
+
+    def test_since(self):
+        tracer = Tracer()
+        clock = {"round": 0}
+        tracer.bind_round_source(lambda: clock["round"])
+        tracer.emit("early")
+        clock["round"] = 5
+        tracer.emit("late")
+        assert [e.kind for e in tracer.since(5)] == ["late"]
+
+    def test_timeline_format(self):
+        tracer = Tracer()
+        tracer.emit("node_crash", node=3)
+        assert "node_crash node=3" in tracer.timeline()
+
+    def test_json_round_trip(self):
+        tracer = Tracer()
+        tracer.emit("deploy", nodes=18)
+        parsed = json.loads(tracer.to_json())
+        assert parsed == [{"round": 0, "kind": "deploy", "nodes": 18}]
+
+    def test_event_str(self):
+        assert str(TraceEvent(3, "x")) == "[   3] x"
+
+
+class TestAttachedTracer:
+    def test_deploy_event_emitted(self):
+        deployment = small_deployment()
+        tracer = attach_tracer(deployment)
+        deploys = tracer.of_kind("deploy")
+        assert len(deploys) == 1
+        assert deploys[0].details["assembly"] == "Traced"
+        assert deploys[0].details["nodes"] == 18
+
+    def test_layer_convergence_events(self):
+        deployment = small_deployment()
+        tracer = attach_tracer(deployment)
+        deployment.run_until_converged(80)
+        converged = tracer.of_kind("layer_converged")
+        assert {event.details["layer"] for event in converged} == {
+            "core",
+            "uo1",
+            "uo2",
+            "port_selection",
+            "port_connection",
+        }
+        for event in converged:
+            assert event.details["at"] >= 1
+
+    def test_crash_and_revive_events(self):
+        deployment = small_deployment()
+        tracer = attach_tracer(deployment)
+        deployment.run(2)
+        deployment.network.kill(5)
+        deployment.run(1)
+        deployment.network.revive(5)
+        deployment.run(1)
+        assert [e.details["node"] for e in tracer.of_kind("node_crash")] == [5]
+        assert [e.details["node"] for e in tracer.of_kind("node_up")] == [5]
+
+    def test_join_events(self):
+        deployment = small_deployment()
+        tracer = attach_tracer(deployment)
+        deployment.run(1)
+        node = deployment.network.create_node()
+        deployment.provisioner()(deployment.network, node)
+        deployment.run(1)
+        ups = tracer.of_kind("node_up")
+        assert node.node_id in [event.details["node"] for event in ups]

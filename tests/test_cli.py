@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+TOPOLOGY = """
+topology CliDemo {
+    nodes 24
+    component ring : ring(size = 16) { port gate : lowest_id }
+    component cell : clique(size = 8) { port gate : lowest_id }
+    link ring.gate -- cell.gate
+}
+"""
+
+BROKEN = "topology Broken { component a : dodecahedron }"
+
+
+@pytest.fixture
+def topology_file(tmp_path):
+    path = tmp_path / "demo.topo"
+    path.write_text(TOPOLOGY, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.topo"
+    path.write_text(BROKEN, encoding="utf-8")
+    return str(path)
+
+
+class TestValidate:
+    def test_ok(self, topology_file, capsys):
+        assert main(["validate", topology_file]) == 0
+        out = capsys.readouterr().out
+        assert "CliDemo" in out
+        assert "2 component(s)" in out
+
+    def test_semantic_error(self, broken_file, capsys):
+        assert main(["validate", broken_file]) == 2
+        assert "unknown shape" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/no/such/file.topo"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestShowAndShapes:
+    def test_show_round_trips(self, topology_file, capsys):
+        assert main(["show", topology_file]) == 0
+        printed = capsys.readouterr().out
+        from repro.dsl import compile_source
+
+        assert compile_source(printed).name == "CliDemo"
+
+    def test_shapes_lists_builtins(self, capsys):
+        assert main(["shapes"]) == 0
+        out = capsys.readouterr().out.split()
+        for name in ("ring", "star", "clique", "torus"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_converges(self, topology_file, capsys):
+        assert main(["run", topology_file, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        assert "bandwidth/node/round" in out
+
+    def test_run_with_summary(self, topology_file, capsys):
+        assert main(["run", topology_file, "--summary"]) == 0
+        assert "'connected': True" in capsys.readouterr().out
+
+    def test_run_budget_failure_exit_code(self, topology_file, capsys):
+        assert main(["run", topology_file, "--max-rounds", "1"]) == 1
+
+
+class TestExport:
+    def test_export_dot_stdout(self, topology_file, capsys):
+        assert main(["export", topology_file, "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('graph "CliDemo"')
+
+    def test_export_edges_to_file(self, topology_file, tmp_path, capsys):
+        target = tmp_path / "edges.txt"
+        assert (
+            main(
+                [
+                    "export",
+                    topology_file,
+                    "--format",
+                    "edges",
+                    "--output",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        content = target.read_text(encoding="utf-8")
+        assert "link" in content

@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AssemblyError,
+    ConfigurationError,
+    ConvergenceTimeout,
+    DslError,
+    DslSemanticError,
+    DslSyntaxError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_class",
+        [
+            ConfigurationError,
+            SimulationError,
+            TopologyError,
+            AssemblyError,
+            DslError,
+            DslSemanticError,
+            ConvergenceTimeout,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc_class):
+        try:
+            if exc_class is ConvergenceTimeout:
+                raise exc_class("layer", 10)
+            raise exc_class("boom")
+        except ReproError:
+            pass
+
+    def test_assembly_error_is_topology_error(self):
+        assert issubclass(AssemblyError, TopologyError)
+
+    def test_dsl_errors_are_dsl_errors(self):
+        assert issubclass(DslSyntaxError, DslError)
+        assert issubclass(DslSemanticError, DslError)
+
+    def test_one_except_catches_all(self):
+        with pytest.raises(ReproError):
+            raise DslSyntaxError("bad", 1, 2)
+
+
+class TestMessages:
+    def test_syntax_error_carries_location(self):
+        error = DslSyntaxError("unexpected token", line=3, column=9)
+        assert error.line == 3
+        assert error.column == 9
+        assert "(line 3, column 9)" in str(error)
+
+    def test_syntax_error_without_location(self):
+        error = DslSyntaxError("bad input")
+        assert "line" not in str(error)
+
+    def test_convergence_timeout_message(self):
+        error = ConvergenceTimeout("core", 120)
+        assert error.layer == "core"
+        assert error.rounds == 120
+        assert "core" in str(error) and "120" in str(error)

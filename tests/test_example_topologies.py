@@ -1,0 +1,44 @@
+"""The shipped .topo files must validate, deploy and converge."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import Runtime, compile_source
+
+TOPOLOGY_DIR = pathlib.Path(__file__).parent.parent / "examples" / "topologies"
+TOPOLOGY_FILES = sorted(TOPOLOGY_DIR.glob("*.topo"))
+
+
+def test_topology_files_exist():
+    assert len(TOPOLOGY_FILES) >= 3
+
+
+@pytest.mark.parametrize(
+    "path", TOPOLOGY_FILES, ids=[path.stem for path in TOPOLOGY_FILES]
+)
+def test_topo_file_compiles(path):
+    assembly = compile_source(path.read_text(encoding="utf-8"))
+    assert assembly.total_nodes is not None
+    assert assembly.components
+
+
+@pytest.mark.parametrize(
+    "path", TOPOLOGY_FILES, ids=[path.stem for path in TOPOLOGY_FILES]
+)
+def test_topo_file_converges(path):
+    assembly = compile_source(path.read_text(encoding="utf-8"))
+    deployment = Runtime(assembly, seed=101).deploy()
+    report = deployment.run_until_converged(max_rounds=120)
+    assert report.converged, f"{path.name}: {report.rounds}"
+
+
+def test_cli_runs_a_shipped_file(capsys):
+    from repro.cli import main
+
+    target = str(TOPOLOGY_FILES[0])
+    assert main(["validate", target]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
