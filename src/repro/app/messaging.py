@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
-from repro.app.routing import Route, Router, RoutingError
+from repro.app.routing import Route, Router
 from repro.core.layers import LAYER_PORT_SELECTION
 from repro.core.link import PortRef
+from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.runtime import Deployment
@@ -62,7 +63,10 @@ class MessageService:
         """Route one message node-to-node."""
         try:
             route = self.router.route(source, destination)
-        except RoutingError as exc:
+        except ReproError as exc:
+            # RoutingError, but also e.g. role lookups racing a failure
+            # wave: any overlay-state error is a failed delivery, not a
+            # crash of the application layer.
             return DeliveryReport(
                 source=source,
                 destination=destination,

@@ -31,6 +31,7 @@ from repro.core.layers import (
     LAYER_CORE,
     LAYER_PORT_CONNECTION,
     LAYER_PORT_SELECTION,
+    LAYER_UO1,
     LAYER_UO2,
 )
 from repro.core.link import PortRef
@@ -270,6 +271,11 @@ class Router:
             selection = network.node(current).protocol(LAYER_PORT_SELECTION)
             manager = selection.manager_of(local_port.port)
             if manager is None or not network.is_alive(manager):
+                # Local election knowledge is stale (the manager just died):
+                # ask live UO1 neighbours for a second opinion before giving
+                # up — one extra local lookup instead of a failed delivery.
+                manager = self._alternate_port_manager(current, local_port)
+            if manager is None:
                 raise RoutingError(f"no live manager known for {local_port}")
             if manager != current:
                 self._route_within(route, manager)
@@ -277,8 +283,50 @@ class Router:
             connection = network.node(manager).protocol(LAYER_PORT_CONNECTION)
             remote_manager = connection.binding_for(remote_port)
             if remote_manager is None or not network.is_alive(remote_manager):
+                remote_manager = self._alternate_binding(manager, remote_port)
+            if remote_manager is None:
                 raise RoutingError(f"link {local_port} -- {remote_port} not bound")
             route.extend(remote_manager, "link")
+
+    def _alternate_port_manager(self, at_node: int, ref: PortRef) -> Optional[int]:
+        """A live manager for ``ref`` per the UO1 neighbours of ``at_node``.
+
+        Port-selection beliefs heal asynchronously after a manager crash;
+        a same-component peer may already have validated and re-elected.
+        """
+        network = self.deployment.network
+        node = network.node(at_node)
+        if not node.has_protocol(LAYER_UO1):
+            return None
+        for peer_id in node.protocol(LAYER_UO1).neighbors():
+            if not network.is_alive(peer_id):
+                continue
+            peer = network.node(peer_id)
+            if not peer.has_protocol(LAYER_PORT_SELECTION):
+                continue
+            candidate = peer.protocol(LAYER_PORT_SELECTION).manager_of(ref.port)
+            if candidate is not None and network.is_alive(candidate):
+                return candidate
+        return None
+
+    def _alternate_binding(self, manager: int, remote_port: PortRef) -> Optional[int]:
+        """A live binding for ``remote_port`` per the manager's UO1 peers."""
+        network = self.deployment.network
+        node = network.node(manager)
+        if not node.has_protocol(LAYER_UO1):
+            return None
+        for peer_id in node.protocol(LAYER_UO1).neighbors():
+            if not network.is_alive(peer_id):
+                continue
+            peer = network.node(peer_id)
+            if not peer.has_protocol(LAYER_PORT_CONNECTION):
+                continue
+            candidate = peer.protocol(LAYER_PORT_CONNECTION).binding_for(
+                remote_port
+            )
+            if candidate is not None and network.is_alive(candidate):
+                return candidate
+        return None
 
     # -- opportunistic (UO2) -----------------------------------------------------------
 

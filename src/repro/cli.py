@@ -17,6 +17,10 @@ Commands
 ``bench {fig2,fig3,fig4,e2,e3}``
     Regenerate one of the paper's figures/experiments at the current
     ``REPRO_SCALE`` and print its table.
+``faults --scenario NAME``
+    Run one scenario of the fault-injection suite (or the whole matrix)
+    and print its self-healing report: per-layer time-to-repair, residual
+    dead-descriptor fraction, and partition-merge time.
 """
 
 from __future__ import annotations
@@ -129,6 +133,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.scenarios import SCENARIOS, format_scenario, run_fault_matrix
+
+    kwargs = {"n_nodes": args.nodes, "seed": args.seed}
+    if args.scenario == "matrix":
+        results = run_fault_matrix(**kwargs)
+    else:
+        results = [SCENARIOS[args.scenario](**kwargs)]
+    for index, result in enumerate(results):
+        if index:
+            print()
+        print(format_scenario(result))
+    return 0 if all(result.healed for result in results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +186,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument("target", choices=("fig2", "fig3", "fig4", "e2", "e3"))
     bench.set_defaults(func=_cmd_bench)
+
+    from repro.faults.scenarios import SCENARIOS
+
+    faults = subparsers.add_parser(
+        "faults", help="run a fault-injection scenario and report recovery"
+    )
+    faults.add_argument(
+        "--scenario",
+        choices=tuple(SCENARIOS) + ("matrix",),
+        default="partition",
+        help="which fault to inject ('matrix' runs the whole suite)",
+    )
+    faults.add_argument("--nodes", type=int, default=128)
+    faults.add_argument("--seed", type=int, default=1)
+    faults.set_defaults(func=_cmd_faults)
 
     return parser
 

@@ -114,6 +114,8 @@ class PortSelection(Protocol):
         partner_id = self._choose_partner(ctx)
         if partner_id is None:
             return
+        if not ctx.exchange_ok(partner_id):
+            return  # partner unreachable (partition / degraded link)
         partner_protocol = ctx.network.node(partner_id).protocol(self.layer)
         assert isinstance(partner_protocol, PortSelection)
         outgoing = dict(self.beliefs)

@@ -99,6 +99,10 @@ class SameComponentOverlay(Protocol):
         partner = self._choose_partner(ctx)
         if partner is None:
             return
+        if not ctx.exchange_ok(partner.node_id):
+            # Unreachable, not dead: drop without a tombstone.
+            self.view.remove(partner.node_id)
+            return
         partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
         assert isinstance(partner_protocol, SameComponentOverlay)
         buffer = self._make_buffer(ctx)
@@ -122,6 +126,8 @@ class SameComponentOverlay(Protocol):
         for node_id in ctx.node.protocol(self.random_layer).neighbors():
             if node_id == self.node_id or not ctx.network.is_alive(node_id):
                 continue
+            if not ctx.reachable(node_id):
+                continue  # harvesting across the cut would leak state
             peer = ctx.network.node(node_id)
             if not peer.has_protocol(self.layer):
                 continue
@@ -140,7 +146,13 @@ class SameComponentOverlay(Protocol):
                 ctx.network, candidate.node_id
             ):
                 return candidate
-            self.view.remove(candidate.node_id)
+            if ctx.network.is_alive(candidate.node_id):
+                # Reassigned to another component — invalid partner, but not
+                # dead; no tombstone (it may rejoin this component later).
+                self.view.remove(candidate.node_id)
+            else:
+                # Dead: tombstone against stale resurrection.
+                self.view.purge(candidate.node_id)
         return None
 
     def _partner_valid(self, network: Network, node_id: int) -> bool:

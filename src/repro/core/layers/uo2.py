@@ -103,6 +103,11 @@ class DistantComponentOverlay(Protocol):
         partner_id = self._choose_partner(ctx)
         if partner_id is None:
             return
+        if not ctx.exchange_ok(partner_id):
+            # Unreachable contact: drop it from every bucket so the next
+            # round picks a partner on this side of the cut.
+            self.forget(partner_id)
+            return
         partner_protocol = ctx.network.node(partner_id).protocol(self.layer)
         assert isinstance(partner_protocol, DistantComponentOverlay)
         buffer = self._make_buffer(ctx)
@@ -140,6 +145,8 @@ class DistantComponentOverlay(Protocol):
         for node_id in ctx.node.protocol(self.random_layer).neighbors():
             if node_id == self.node_id or not ctx.network.is_alive(node_id):
                 continue
+            if not ctx.reachable(node_id):
+                continue  # harvesting across the cut would leak state
             peer = ctx.network.node(node_id)
             if not peer.has_protocol(self.layer):
                 continue

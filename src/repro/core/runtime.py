@@ -174,6 +174,23 @@ class Deployment:
             observers=[self.tracker],
             loss_rate=self.config.loss_rate,
         )
+        self.faults = None
+
+    def install_faults(self, plane=None):
+        """Arm the engine with a fault plane (partitions, degraded links).
+
+        Returns the installed :class:`~repro.faults.plane.FaultPlane` so
+        callers can attach controls to it. While the plane has no active
+        fault, exchanges take the fast path and runs stay bit-identical to
+        a fault-free deployment.
+        """
+        if plane is None:
+            from repro.faults.plane import FaultPlane
+
+            plane = FaultPlane()
+        self.faults = plane
+        self.engine.faults = plane
+        return plane
 
     # -- stack installation ------------------------------------------------------
 

@@ -52,6 +52,10 @@ class Cyclon(Protocol):
         partner = self._oldest_live(ctx)
         if partner is None:
             return
+        if not ctx.exchange_ok(partner.node_id):
+            # Unreachable, not dead: drop without a tombstone.
+            self.view.remove(partner.node_id)
+            return
         # The shuffle removes the partner from the view before sending.
         self.view.remove(partner.node_id)
         shuffle_out = [self.self_descriptor()]
@@ -78,7 +82,8 @@ class Cyclon(Protocol):
                 break
             if ctx.network.is_alive(candidate.node_id):
                 return candidate
-            self.view.remove(candidate.node_id)
+            # Dead (not merely unreachable): tombstone against resurrection.
+            self.view.purge(candidate.node_id)
         node = ctx.network.random_alive(ctx.rng(), exclude=self.node_id)
         if node is None or not node.has_protocol(self.layer):
             return None

@@ -73,6 +73,13 @@ class PeerSampling(Protocol):
         partner = self._choose_partner(ctx)
         if partner is None:
             return
+        if not ctx.exchange_ok(partner.node_id):
+            # The fault plane cut this exchange (partition, lossy link). A
+            # timed-out partner is unreachable, not dead: remove it so the
+            # oldest-first selection does not retry it forever, but leave no
+            # tombstone — it may legitimately return after healing.
+            self.view.remove(partner.node_id)
+            return
         partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
         assert isinstance(partner_protocol, PeerSampling)
         buffer = self._make_buffer(ctx)
@@ -117,8 +124,10 @@ class PeerSampling(Protocol):
                 break
             if ctx.network.is_alive(candidate.node_id):
                 return candidate
-            # A failed exchange acts as a failure detection: drop the entry.
-            self.view.remove(candidate.node_id)
+            # A failed exchange acts as a failure detection: purge the entry,
+            # leaving a tombstone so stale copies gossiped back by third
+            # parties cannot resurrect the dead descriptor.
+            self.view.purge(candidate.node_id)
         # Empty view: re-bootstrap through the membership oracle (models a
         # node rejoining via the bootstrap service after losing all links).
         self.bootstrap(ctx.rng(), ctx.network, self.params.gossip_size)

@@ -87,6 +87,10 @@ class TMan(Protocol):
         partner = self._select_peer(ctx)
         if partner is None:
             return
+        if not ctx.exchange_ok(partner.node_id):
+            # Unreachable, not dead: drop without a tombstone.
+            self.view.remove(partner.node_id)
+            return
         partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
         assert isinstance(partner_protocol, TMan)
         buffer = self._buffer_for(ctx, partner.profile, partner.node_id)
@@ -117,7 +121,8 @@ class TMan(Protocol):
             if live:
                 return ctx.rng().choice(live)
             for descriptor in ranked:
-                self.view.remove(descriptor.node_id)
+                # Dead peers get tombstones against stale resurrection.
+                self.view.purge(descriptor.node_id)
         return self._random_peer(ctx)
 
     def _own_node(self, ctx: RoundContext):
@@ -132,6 +137,8 @@ class TMan(Protocol):
         for node_id in own.protocol(self.random_layer).neighbors():
             if node_id == self.node_id or not ctx.network.is_alive(node_id):
                 continue
+            if not ctx.reachable(node_id):
+                continue  # behind an active partition cut
             peer = ctx.network.node(node_id)
             if not peer.has_protocol(self.layer):
                 continue
@@ -150,6 +157,8 @@ class TMan(Protocol):
             for node_id in own.protocol(self.random_layer).neighbors():
                 if node_id == self.node_id or not ctx.network.is_alive(node_id):
                     continue
+                if not ctx.reachable(node_id):
+                    continue  # peeking state across the cut would leak it
                 peer = ctx.network.node(node_id)
                 if not peer.has_protocol(self.layer):
                     continue

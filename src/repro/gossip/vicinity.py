@@ -125,6 +125,11 @@ class Vicinity(Protocol):
         partner = self._choose_partner(ctx)
         if partner is None:
             return
+        if not ctx.exchange_ok(partner.node_id):
+            # Unreachable (not dead): drop without a tombstone so the entry
+            # may return once the partition heals or the link recovers.
+            self.view.remove(partner.node_id)
+            return
         partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
         assert isinstance(partner_protocol, Vicinity)
         pool = self._candidate_pool(ctx)
@@ -156,7 +161,8 @@ class Vicinity(Protocol):
                 break
             if ctx.network.is_alive(candidate.node_id):
                 return candidate
-            self.view.remove(candidate.node_id)
+            # Dead (not merely unreachable): tombstone against resurrection.
+            self.view.purge(candidate.node_id)
         return self._random_partner(ctx)
 
     def _own_node(self, ctx: RoundContext):
@@ -182,6 +188,8 @@ class Vicinity(Protocol):
         for node_id in random_view:
             if node_id == self.node_id or not ctx.network.is_alive(node_id):
                 continue
+            if not ctx.reachable(node_id):
+                continue  # behind an active partition cut
             peer = ctx.network.node(node_id)
             if not peer.has_protocol(self.layer):
                 continue
@@ -201,6 +209,8 @@ class Vicinity(Protocol):
             for node_id in own.protocol(source).neighbors():
                 if node_id == self.node_id or not ctx.network.is_alive(node_id):
                     continue
+                if not ctx.reachable(node_id):
+                    continue  # peeking state across the cut would leak it
                 peer = ctx.network.node(node_id)
                 if not peer.has_protocol(self.layer):
                     continue

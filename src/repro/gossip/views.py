@@ -27,15 +27,35 @@ class PartialView:
     When an insertion overflows the capacity, the *oldest* descriptor is
     evicted by default (the healer-friendly policy); callers can supply a
     different eviction key.
+
+    **Tombstones.** :meth:`purge` removes a descriptor *and* blocks its
+    re-insertion: a node confirmed dead must not be resurrected by stale
+    copies still circulating in other views (the zombie-descriptor problem
+    under pause/resume churn). Only an age-0 descriptor — which, under the
+    in-transit aging rule, can only originate from the owning node in the
+    current round — clears the tombstone, proving the node is back. Each
+    tombstone expires after ``tombstone_ttl`` aging steps so the table stays
+    bounded across long churn runs.
     """
 
-    __slots__ = ("capacity", "_entries")
+    __slots__ = ("capacity", "_entries", "_tombstones", "tombstone_ttl")
 
-    def __init__(self, capacity: int, entries: Iterable[Descriptor] = ()):
+    def __init__(
+        self,
+        capacity: int,
+        entries: Iterable[Descriptor] = (),
+        tombstone_ttl: int = 64,
+    ):
         if capacity < 1:
             raise ConfigurationError(f"view capacity must be >= 1, got {capacity}")
+        if tombstone_ttl < 1:
+            raise ConfigurationError(
+                f"tombstone_ttl must be >= 1, got {tombstone_ttl}"
+            )
         self.capacity = capacity
+        self.tombstone_ttl = tombstone_ttl
         self._entries: Dict[int, Descriptor] = {}
+        self._tombstones: Dict[int, int] = {}
         for descriptor in entries:
             self.insert(descriptor)
 
@@ -69,8 +89,14 @@ class PartialView:
 
         Returns ``True`` if the view changed. On overflow the oldest entry is
         evicted; if the incoming descriptor is itself the oldest, it is not
-        inserted.
+        inserted. Tombstoned ids are rejected unless the descriptor is
+        age 0 (a live announcement from the owner itself).
         """
+        remaining = self._tombstones.get(descriptor.node_id)
+        if remaining is not None:
+            if descriptor.age > 0:
+                return False
+            del self._tombstones[descriptor.node_id]
         existing = self._entries.get(descriptor.node_id)
         if existing is not None:
             if descriptor.age < existing.age:
@@ -95,6 +121,22 @@ class PartialView:
         """Drop the entry for ``node_id``; return whether one existed."""
         return self._entries.pop(node_id, None) is not None
 
+    def purge(self, node_id: int) -> bool:
+        """Drop ``node_id`` and tombstone it against stale re-insertion.
+
+        The failure-detection removal: use this when the node was observed
+        *dead* (not merely unreachable), so third-party copies of its
+        descriptor cannot flow back in. A subsequent age-0 descriptor — the
+        node announcing itself after a resume — lifts the tombstone.
+        """
+        existed = self._entries.pop(node_id, None) is not None
+        self._tombstones[node_id] = self.tombstone_ttl
+        return existed
+
+    def is_purged(self, node_id: int) -> bool:
+        """Whether ``node_id`` currently carries a tombstone."""
+        return node_id in self._tombstones
+
     def discard_where(self, predicate: Callable[[Descriptor], bool]) -> int:
         """Remove every descriptor matching ``predicate``; return the count."""
         doomed = [d.node_id for d in self._entries.values() if predicate(d)]
@@ -108,9 +150,17 @@ class PartialView:
             node_id: descriptor.aged()
             for node_id, descriptor in self._entries.items()
         }
+        if self._tombstones:
+            self._tombstones = {
+                node_id: remaining - 1
+                for node_id, remaining in self._tombstones.items()
+                if remaining > 1
+            }
 
     def clear(self) -> None:
+        """Full reset: entries and tombstones both dropped."""
         self._entries.clear()
+        self._tombstones.clear()
 
     def replace(self, descriptors: Iterable[Descriptor]) -> None:
         """Atomically replace the contents (used by select-style protocols)."""

@@ -1,0 +1,63 @@
+"""Recovery-oriented health metrics over a live network.
+
+Complements the structural convergence predicates of
+:mod:`repro.core.convergence` with the *hygiene* measures fault scenarios
+care about: how much of the population's knowledge still points at dead
+nodes, and how partition-local each view has become.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.sim.network import Network
+
+#: Layers whose views carry the overlay's membership knowledge.
+DEFAULT_VIEW_LAYERS: Tuple[str, ...] = ("peer_sampling", "uo1")
+
+
+def dead_descriptor_fraction(
+    network: Network, layers: Sequence[str] = DEFAULT_VIEW_LAYERS
+) -> float:
+    """Fraction of view entries (over live nodes) that point at dead nodes.
+
+    0.0 means every descriptor held anywhere references a live node — the
+    residual after a failure wave measures how completely the healer,
+    descriptor TTLs and tombstones have flushed the casualties.
+    """
+    total = 0
+    dead = 0
+    for node in network.alive_nodes():
+        for layer in layers:
+            if not node.has_protocol(layer):
+                continue
+            for peer_id in node.protocol(layer).neighbors():
+                total += 1
+                if not network.is_alive(peer_id):
+                    dead += 1
+    return dead / total if total else 0.0
+
+
+def cross_island_fraction(network: Network, island_of, layer: str = "uo1") -> float:
+    """Fraction of ``layer`` view entries crossing the given island map.
+
+    ``island_of`` is a mapping (or any ``get``-able) from node id to island.
+    During a partition this decays toward 0 as unreachable entries are
+    evicted; after healing it must climb back — the partition-merge signal.
+    """
+    total = 0
+    crossing = 0
+    for node in network.alive_nodes():
+        if not node.has_protocol(layer):
+            continue
+        own_island = island_of.get(node.node_id)
+        for peer_id in node.protocol(layer).neighbors():
+            total += 1
+            peer_island = island_of.get(peer_id)
+            if (
+                own_island is not None
+                and peer_island is not None
+                and own_island != peer_island
+            ):
+                crossing += 1
+    return crossing / total if total else 0.0

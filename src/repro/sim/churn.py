@@ -45,6 +45,11 @@ class RandomChurn(Control):
     min_population:
         Crashes are suppressed when they would push the live population
         below this floor (a run with zero nodes is meaningless).
+
+    The control keeps O(1) counters, not event lists: long churn runs
+    (production-scale soaks) would otherwise grow per-event state without
+    bound. ``crashes_last_round``/``joins_last_round`` cover the most
+    recent round, ``crashes_total``/``joins_total`` the whole run.
     """
 
     def __init__(
@@ -66,22 +71,28 @@ class RandomChurn(Control):
         self.join_count = join_count
         self.provisioner = provisioner
         self.min_population = min_population
-        self.crashed: List[int] = []
-        self.joined: List[int] = []
+        self.crashes_last_round = 0
+        self.joins_last_round = 0
+        self.crashes_total = 0
+        self.joins_total = 0
 
     def before_round(self, network: Network, round_index: int) -> None:
+        self.crashes_last_round = 0
+        self.joins_last_round = 0
         if self.crash_rate > 0.0:
             for node_id in list(network.alive_ids()):
                 if network.alive_count() <= self.min_population:
                     break
                 if self.rng.random() < self.crash_rate:
                     network.kill(node_id)
-                    self.crashed.append(node_id)
+                    self.crashes_last_round += 1
         for _ in range(self.join_count):
             node = network.create_node()
             assert self.provisioner is not None  # guaranteed by __init__
             self.provisioner(network, node)
-            self.joined.append(node.node_id)
+            self.joins_last_round += 1
+        self.crashes_total += self.crashes_last_round
+        self.joins_total += self.joins_last_round
 
 
 class CatastrophicFailure(Control):
@@ -89,16 +100,29 @@ class CatastrophicFailure(Control):
 
     Models the catastrophic-failure scenario of self-healing overlay work:
     a large correlated crash from which the remaining overlay must recover.
+    ``min_population`` caps the blast radius: the kill never leaves fewer
+    live nodes than the floor (matching :class:`RandomChurn`).
     """
 
-    def __init__(self, rng: random.Random, at_round: int, fraction: float):
+    def __init__(
+        self,
+        rng: random.Random,
+        at_round: int,
+        fraction: float,
+        min_population: int = 8,
+    ):
         if not 0.0 < fraction < 1.0:
             raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
         if at_round < 0:
             raise ConfigurationError(f"at_round must be >= 0, got {at_round}")
+        if min_population < 0:
+            raise ConfigurationError(
+                f"min_population must be >= 0, got {min_population}"
+            )
         self.rng = rng
         self.at_round = at_round
         self.fraction = fraction
+        self.min_population = min_population
         self.fired = False
         self.victims: List[int] = []
 
@@ -107,7 +131,10 @@ class CatastrophicFailure(Control):
             return
         self.fired = True
         alive = list(network.alive_ids())
-        n_victims = int(len(alive) * self.fraction)
+        n_victims = min(
+            int(len(alive) * self.fraction),
+            max(0, len(alive) - self.min_population),
+        )
         self.victims = self.rng.sample(alive, n_victims)
         for node_id in self.victims:
             network.kill(node_id)

@@ -18,6 +18,7 @@ from repro.sim.rng import RandomStreams
 from repro.sim.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plane import FaultPlane
     from repro.sim.controls import Control, Observer
     from repro.sim.node import Node
 
@@ -37,24 +38,58 @@ class RoundContext:
     round: int
     layer: str = ""
     loss_rate: float = 0.0
+    faults: Optional["FaultPlane"] = None
 
     def rng(self):
         """The random stream for the current (layer, node) pair."""
         return self.streams.stream(self.layer, self.node.node_id)
 
-    def exchange_ok(self) -> bool:
+    def exchange_ok(self, peer: Optional[int] = None) -> bool:
         """Whether this round's gossip exchange goes through.
 
-        Models message loss / transient timeouts: with probability
-        ``loss_rate`` the active exchange of this (node, layer, round) is
-        dropped — the protocol skips its turn, exactly what a lost request
-        or reply causes in a real deployment. Gossip protocols are designed
-        to tolerate this (they merely converge more slowly), which ablation
-        A7 quantifies.
+        Two phases, matching the two failure models:
+
+        - ``exchange_ok()`` (no peer, called *before* partner selection)
+          models global memoryless message loss: with probability
+          ``loss_rate`` the active exchange of this (node, layer, round) is
+          dropped — the protocol skips its turn, exactly what a lost request
+          or reply causes in a real deployment. Gossip protocols are
+          designed to tolerate this (they merely converge more slowly),
+          which ablation A7 quantifies.
+        - ``exchange_ok(peer)`` (called *after* a partner is chosen)
+          consults the installed fault plane: a network partition drops
+          every exchange across the cut, and per-link quality overrides add
+          correlated loss and extra latency on degraded paths. Without an
+          active fault plane this phase is free and always succeeds, so
+          fault-free runs are bit-identical to the pre-faults engine.
         """
-        if self.loss_rate <= 0.0:
+        if peer is None:
+            if self.loss_rate <= 0.0:
+                return True
+            return (
+                self.streams.stream("loss", self.layer, self.node.node_id).random()
+                >= self.loss_rate
+            )
+        if self.faults is None or not self.faults.active:
             return True
-        return self.streams.stream("loss", self.layer, self.node.node_id).random() >= self.loss_rate
+        return self.faults.exchange_ok(
+            self.streams.stream("linkfaults", self.layer, self.node.node_id),
+            self.node.node_id,
+            peer,
+            transport=self.transport,
+            layer=self.layer,
+        )
+
+    def reachable(self, peer: int) -> bool:
+        """Whether ``peer`` is on this node's side of any active partition.
+
+        Used by harvest-style shortcuts that read a peer's state directly
+        (a simulator idiom for piggybacked knowledge): state of a node
+        behind the cut must not leak across it.
+        """
+        if self.faults is None or not self.faults.active:
+            return True
+        return self.faults.reachable(self.node.node_id, peer)
 
 
 class Engine:
@@ -73,6 +108,11 @@ class Engine:
         Measurement hooks run *after* the node steps of each round. An
         observer's :meth:`~repro.sim.controls.Observer.observe` may return
         ``True`` to request an early stop (e.g. "all layers converged").
+    faults:
+        Optional :class:`~repro.faults.plane.FaultPlane` consulted by every
+        peer-addressed exchange (partitions, degraded links). Fault
+        controls mutate the plane at round boundaries; ``None`` (default)
+        keeps the engine on the fast fault-free path.
     """
 
     def __init__(
@@ -83,6 +123,7 @@ class Engine:
         controls: Iterable["Control"] = (),
         observers: Iterable["Observer"] = (),
         loss_rate: float = 0.0,
+        faults: Optional["FaultPlane"] = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -92,6 +133,7 @@ class Engine:
         self.controls: List["Control"] = list(controls)
         self.observers: List["Observer"] = list(observers)
         self.loss_rate = loss_rate
+        self.faults = faults
         self.round = 0
 
     def add_control(self, control: "Control") -> None:
@@ -123,6 +165,7 @@ class Engine:
                 streams=self.streams,
                 round=self.round,
                 loss_rate=self.loss_rate,
+                faults=self.faults,
             )
             for layer, protocol in node.stack():
                 ctx.layer = layer

@@ -112,10 +112,17 @@ class Network:
             return self._nodes[rng.choice(alive)]
         if len(alive) == 1 and alive[0] == exclude:
             return None
-        while True:
+        # Bounded rejection sampling: with >= 2 live candidates the excluded
+        # id is hit with p <= 1/2 per draw, so 8 draws fail with p <= 2^-8.
+        # The deterministic fallback keeps the method total (no unbounded
+        # retry loop on adversarial rng streams) at the cost of one filtered
+        # copy in the rare miss case.
+        for _ in range(8):
             node_id = rng.choice(alive)
             if node_id != exclude:
                 return self._nodes[node_id]
+        candidates = [node_id for node_id in alive if node_id != exclude]
+        return self._nodes[rng.choice(candidates)]
 
     # -- sizes ------------------------------------------------------------------
 

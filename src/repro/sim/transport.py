@@ -22,6 +22,13 @@ class Transport:
         self.costs = costs or TransportCosts()
         self._bytes: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
         self._messages: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        # Fault-plane accounting: exchanges that never completed (partition
+        # cuts, lossy links, timeouts) and exchanges that completed late
+        # (degraded links), bucketed like the byte series.
+        self._dropped: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        self._drop_reasons: Dict[str, int] = defaultdict(int)
+        self._delayed: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        self._delay_sum: Dict[str, float] = defaultdict(float)
         self.round = 0
 
     def begin_round(self, round_index: int) -> None:
@@ -47,6 +54,20 @@ class Transport:
         total = self.record_message(layer, request_descriptors)
         total += self.record_message(layer, response_descriptors)
         return total
+
+    def record_dropped(self, layer: str, reason: str = "loss") -> None:
+        """Account one exchange lost to the fault plane on ``layer``.
+
+        ``reason`` is a free-form tag (``"partition"``, ``"loss"``,
+        ``"timeout"``) aggregated over the whole run.
+        """
+        self._dropped[layer][self.round] += 1
+        self._drop_reasons[reason] += 1
+
+    def record_delayed(self, layer: str, extra_latency: float) -> None:
+        """Account one exchange that completed late on a degraded link."""
+        self._delayed[layer][self.round] += 1
+        self._delay_sum[layer] += extra_latency
 
     # -- queries -------------------------------------------------------------
 
@@ -74,7 +95,33 @@ class Transport:
         per_round = self._bytes.get(layer, {})
         return [per_round.get(r, 0) for r in range(rounds)]
 
+    def dropped_for(self, layer: str, round_index: int) -> int:
+        return self._dropped.get(layer, {}).get(round_index, 0)
+
+    def total_dropped(self, layer: Optional[str] = None) -> int:
+        if layer is not None:
+            return sum(self._dropped.get(layer, {}).values())
+        return sum(sum(per_round.values()) for per_round in self._dropped.values())
+
+    def drop_reasons(self) -> Dict[str, int]:
+        """Drop counts by cause over the whole run."""
+        return dict(self._drop_reasons)
+
+    def total_delayed(self, layer: Optional[str] = None) -> int:
+        if layer is not None:
+            return sum(self._delayed.get(layer, {}).values())
+        return sum(sum(per_round.values()) for per_round in self._delayed.values())
+
+    def mean_extra_latency(self, layer: str) -> float:
+        """Mean extra latency over the delayed exchanges of ``layer``."""
+        count = self.total_delayed(layer)
+        return self._delay_sum[layer] / count if count else 0.0
+
     def reset(self) -> None:
         self._bytes.clear()
         self._messages.clear()
+        self._dropped.clear()
+        self._drop_reasons.clear()
+        self._delayed.clear()
+        self._delay_sum.clear()
         self.round = 0

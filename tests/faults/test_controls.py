@@ -1,0 +1,251 @@
+"""Tests for the fault-injection controls."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.controls import (
+    LinkDegradation,
+    Partition,
+    PauseResume,
+    ZoneOutage,
+)
+from repro.faults.plane import FaultPlane, LinkQuality
+from repro.faults.zones import ZoneMap
+from repro.gossip.views import PartialView
+from repro.sim.network import Network
+
+
+class FakeGossip:
+    """Just enough protocol surface for rendezvous re-seeding."""
+
+    def __init__(self, capacity=8):
+        self.view = PartialView(capacity)
+
+
+def make_network(count, with_views=False):
+    net = Network()
+    for node in net.create_nodes(count):
+        if with_views:
+            node.attach("peer_sampling", FakeGossip())
+    return net
+
+
+class TestPartitionValidation:
+    def test_window(self):
+        plane = FaultPlane()
+        with pytest.raises(ConfigurationError):
+            Partition(plane, at_round=-1, heal_round=5, rng=random.Random(0))
+        with pytest.raises(ConfigurationError):
+            Partition(plane, at_round=5, heal_round=5, rng=random.Random(0))
+
+    def test_needs_rng_or_custom_split(self):
+        with pytest.raises(ConfigurationError):
+            Partition(FaultPlane(), at_round=0, heal_round=5)
+
+    def test_islands_floor(self):
+        with pytest.raises(ConfigurationError):
+            Partition(
+                FaultPlane(), at_round=0, heal_round=5,
+                islands=1, rng=random.Random(0),
+            )
+
+    def test_rendezvous_validation(self):
+        with pytest.raises(ConfigurationError):
+            Partition(
+                FaultPlane(), at_round=0, heal_round=5,
+                rng=random.Random(0), rendezvous=-1,
+            )
+        # A custom split without an rng cannot re-seed at heal time.
+        with pytest.raises(ConfigurationError):
+            Partition(
+                FaultPlane(), at_round=0, heal_round=5,
+                island_of=lambda ids: {nid: nid % 2 for nid in ids},
+            )
+
+
+class TestPartitionLifecycle:
+    def test_fires_and_heals_on_schedule(self):
+        plane = FaultPlane()
+        net = make_network(8)
+        control = Partition(
+            plane, at_round=1, heal_round=3, rng=random.Random(0), rendezvous=0
+        )
+        control.before_round(net, 0)
+        assert not control.fired and not plane.partition_active
+        control.before_round(net, 1)
+        assert control.fired and control.active
+        assert plane.partition_active
+        islands = plane.islands()
+        assert len(islands) == 2
+        assert sum(len(island) for island in islands) == 8
+        control.before_round(net, 2)
+        assert plane.partition_active
+        control.before_round(net, 3)
+        assert control.healed and not control.active
+        assert not plane.partition_active
+        assert [event.kind for event in plane.events] == ["partition", "heal"]
+
+    def test_custom_split(self):
+        plane = FaultPlane()
+        net = make_network(6)
+        control = Partition(
+            plane,
+            at_round=0,
+            heal_round=9,
+            island_of=lambda ids: {nid: nid % 3 for nid in ids},
+            rendezvous=0,
+        )
+        control.before_round(net, 0)
+        assert len(plane.islands()) == 3
+        assert not plane.reachable(0, 1)
+        assert plane.reachable(0, 3)
+
+    def test_rendezvous_seeds_cross_island_contacts(self):
+        plane = FaultPlane()
+        net = make_network(10, with_views=True)
+        control = Partition(
+            plane, at_round=0, heal_round=2, rng=random.Random(3), rendezvous=2
+        )
+        control.before_round(net, 0)
+        island_of = {
+            node_id: index
+            for index, members in enumerate(plane.islands())
+            for node_id in members
+        }
+        control.before_round(net, 2)
+        seeded = [
+            (node.node_id, descriptor)
+            for node in net.nodes()
+            for descriptor in node.protocol("peer_sampling").view
+        ]
+        # Two seeds per island, each pointing across the former cut.
+        assert len(seeded) == 4
+        for node_id, descriptor in seeded:
+            assert island_of[node_id] != island_of[descriptor.node_id]
+            assert descriptor.age == 0
+        assert "rendezvous=4" in plane.events_of("heal")[0].detail
+
+    def test_rendezvous_zero_leaves_views_untouched(self):
+        plane = FaultPlane()
+        net = make_network(6, with_views=True)
+        control = Partition(
+            plane, at_round=0, heal_round=1, rng=random.Random(0), rendezvous=0
+        )
+        control.before_round(net, 0)
+        control.before_round(net, 1)
+        assert all(
+            len(node.protocol("peer_sampling").view) == 0 for node in net.nodes()
+        )
+        assert "rendezvous=0" in plane.events_of("heal")[0].detail
+
+
+class TestZoneOutage:
+    def make_zone_plane(self, count=8):
+        net = make_network(count)
+        zones = ZoneMap.round_robin(net.node_ids(), ["za", "zb"])
+        return net, FaultPlane(zones=zones)
+
+    def test_needs_zone_map(self):
+        with pytest.raises(ConfigurationError):
+            ZoneOutage(FaultPlane(), zone="za", at_round=0)
+
+    def test_mode_validation(self):
+        _, plane = self.make_zone_plane()
+        with pytest.raises(ConfigurationError):
+            ZoneOutage(plane, zone="za", at_round=0, mode="explode")
+        with pytest.raises(ConfigurationError):
+            ZoneOutage(plane, zone="za", at_round=0, mode="pause")
+        with pytest.raises(ConfigurationError):
+            ZoneOutage(plane, zone="za", at_round=0, mode="kill", restore_round=5)
+
+    def test_kill_takes_whole_zone_down(self):
+        net, plane = self.make_zone_plane(8)
+        control = ZoneOutage(plane, zone="za", at_round=2, mode="kill")
+        control.before_round(net, 0)
+        assert net.alive_count() == 8
+        control.before_round(net, 2)
+        assert control.victims == [0, 2, 4, 6]
+        assert net.alive_count() == 4
+        assert all(net.is_alive(node_id) for node_id in (1, 3, 5, 7))
+        assert plane.events_of("zone_kill")
+
+    def test_pause_revives_zombies(self):
+        net, plane = self.make_zone_plane(8)
+        control = ZoneOutage(
+            plane, zone="zb", at_round=0, mode="pause", restore_round=3
+        )
+        control.before_round(net, 0)
+        assert net.alive_count() == 4
+        control.before_round(net, 3)
+        assert net.alive_count() == 8
+        assert plane.events_of("zone_restore")[0].detail.endswith("revived=4")
+
+
+class TestPauseResume:
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            PauseResume(
+                FaultPlane(), random.Random(0),
+                at_round=0, resume_round=5, fraction=0.0,
+            )
+
+    def test_pause_then_resume(self):
+        plane = FaultPlane()
+        net = make_network(20)
+        control = PauseResume(
+            plane, random.Random(1),
+            at_round=1, resume_round=4, fraction=0.5, min_population=4,
+        )
+        control.before_round(net, 1)
+        assert len(control.paused) == 10
+        assert net.alive_count() == 10
+        assert all(net.node(nid).attributes.get("paused") for nid in control.paused)
+        control.before_round(net, 4)
+        assert net.alive_count() == 20
+        assert all(
+            "paused" not in net.node(nid).attributes for nid in control.paused
+        )
+
+    def test_min_population_caps_pause(self):
+        control = PauseResume(
+            FaultPlane(), random.Random(1),
+            at_round=0, resume_round=5, fraction=0.9, min_population=8,
+        )
+        net = make_network(10)
+        control.before_round(net, 0)
+        assert net.alive_count() == 8
+
+
+class TestLinkDegradation:
+    def test_needs_a_scope(self):
+        with pytest.raises(ConfigurationError):
+            LinkDegradation(FaultPlane(), at_round=0, quality=LinkQuality(loss=0.5))
+
+    def test_installs_and_restores_rules(self):
+        zones = ZoneMap.round_robin(range(8), ["za", "zb"])
+        plane = FaultPlane(zones=zones)
+        net = make_network(8)
+        control = LinkDegradation(
+            plane,
+            at_round=1,
+            quality=LinkQuality(loss=0.5, latency=0.2),
+            pairs=[(0, 1)],
+            nodes=[2],
+            zone_pairs=[("za", "zb")],
+            restore_round=4,
+        )
+        control.before_round(net, 0)
+        assert not plane.links.active
+        control.before_round(net, 1)
+        assert plane.quality(0, 1).loss == 0.5
+        assert plane.quality(2, 7).loss == 0.5
+        assert plane.quality(1, 4).loss == 0.5  # za <-> zb
+        control.before_round(net, 4)
+        assert not plane.links.active
+        assert plane.quality(0, 1).loss == 0.0
+        kinds = [event.kind for event in plane.events]
+        assert kinds == ["degrade", "restore"]

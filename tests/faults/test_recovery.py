@@ -1,0 +1,139 @@
+"""Tests for the self-healing verification machinery."""
+
+from __future__ import annotations
+
+from repro.faults.plane import FaultEvent, FaultPlane
+from repro.faults.recovery import EventRecovery, RecoveryObserver
+from repro.gossip.views import PartialView
+from repro.metrics.recovery import cross_island_fraction, dead_descriptor_fraction
+from repro.sim.network import Network
+
+
+class ScriptedObserver(RecoveryObserver):
+    """Observer with a scripted predicate series (no real deployment)."""
+
+    def __init__(self, plane, script):
+        super().__init__(
+            plane,
+            assembly_provider=lambda: None,
+            role_map_provider=lambda: None,
+            uo1_view_size=8,
+            layers=sorted(script),
+        )
+        self.script = script
+
+    def _predicate(self, layer, network):
+        return self.script[layer][len(self.rounds) - 1]
+
+
+def run_script(plane, script):
+    observer = ScriptedObserver(plane, script)
+    network = Network()
+    n_rounds = len(next(iter(script.values())))
+    for round_index in range(n_rounds):
+        observer.observe(network, round_index)
+    return observer.report()
+
+
+class TestEventRecovery:
+    def test_repaired_and_slowest(self):
+        recovery = EventRecovery(
+            event=FaultEvent(3, "heal"),
+            repair_rounds={"core": 4, "uo1": 9},
+        )
+        assert recovery.repaired
+        assert recovery.slowest_repair == 9
+
+    def test_unrepaired(self):
+        recovery = EventRecovery(
+            event=FaultEvent(3, "heal"),
+            repair_rounds={"core": 4, "uo1": None},
+        )
+        assert not recovery.repaired
+        assert recovery.slowest_repair is None
+
+
+class TestRecoveryReport:
+    def make_report(self):
+        plane = FaultPlane()
+        plane.record_event(2, "partition")
+        plane.record_event(5, "heal")
+        #          round:  0     1     2      3      4     5      6     7
+        script = {
+            "core": [True, True, False, False, True, False, False, True],
+            "uo1":  [True, True, False, True,  True, False, True,  True],
+        }
+        return run_script(plane, script)
+
+    def test_time_to_repair_relative_to_event(self):
+        report = self.make_report()
+        # After the partition at r2: core first True at r4, uo1 at r3.
+        assert report.time_to_repair("partition", "core") == 2
+        assert report.time_to_repair("partition", "uo1") == 1
+        # After the heal at r5: core at r7, uo1 at r6.
+        assert report.time_to_repair("heal", "core") == 2
+        assert report.time_to_repair("heal", "uo1") == 1
+        assert report.time_to_repair("nope", "core") is None
+
+    def test_partition_merge_is_slowest_of_uo1_and_core(self):
+        report = self.make_report()
+        assert report.partition_merge_rounds == 2
+
+    def test_healed_is_final_state(self):
+        report = self.make_report()
+        assert report.healed
+        assert report.final_converged == {"core": True, "uo1": True}
+
+    def test_never_repaired_layer(self):
+        plane = FaultPlane()
+        plane.record_event(0, "heal")
+        report = run_script(
+            plane, {"core": [False, False, False], "uo1": [True, True, True]}
+        )
+        assert report.time_to_repair("heal", "core") is None
+        assert report.partition_merge_rounds is None
+        assert not report.healed
+        assert not report.recoveries[0].repaired
+
+    def test_render_mentions_events_and_final_state(self):
+        rendered = self.make_report().render()
+        assert "time-to-repair" in rendered
+        assert "r5 heal" in rendered
+        assert "core=ok" in rendered
+        assert "partition merge" in rendered
+        unhealed = run_script(
+            FaultPlane(), {"core": [False], "uo1": [False]}
+        ).render()
+        assert "NOT CONVERGED" in unhealed
+
+
+class FakeViewProtocol:
+    def __init__(self, peer_ids):
+        self.view = PartialView(16)
+        self._peers = list(peer_ids)
+
+    def neighbors(self):
+        return list(self._peers)
+
+
+class TestHygieneMetrics:
+    def test_dead_descriptor_fraction(self):
+        net = Network()
+        net.create_nodes(4)
+        net.node(0).attach("uo1", FakeViewProtocol([1, 2, 3]))
+        net.node(1).attach("uo1", FakeViewProtocol([0]))
+        net.kill(3)
+        # Live views hold 4 entries total; exactly one (0 -> 3) is dead.
+        assert dead_descriptor_fraction(net, layers=["uo1"]) == 0.25
+
+    def test_dead_fraction_empty_network(self):
+        assert dead_descriptor_fraction(Network()) == 0.0
+
+    def test_cross_island_fraction(self):
+        net = Network()
+        net.create_nodes(4)
+        net.node(0).attach("uo1", FakeViewProtocol([1, 2]))
+        net.node(2).attach("uo1", FakeViewProtocol([3]))
+        island_of = {0: 0, 1: 0, 2: 1, 3: 1}
+        # Entries: 0->1 (intra), 0->2 (cross), 2->3 (intra).
+        assert cross_island_fraction(net, island_of) == 1 / 3

@@ -139,6 +139,60 @@ class TestSelection:
         assert len(view) == 0
 
 
+class TestTombstones:
+    def test_purge_removes_and_blocks_stale_reinsertion(self):
+        view = make_view(4, [(1, 3), (2, 0)])
+        assert view.purge(1)
+        assert 1 not in view
+        assert view.is_purged(1)
+        assert not view.insert(Descriptor(1, 2))
+        assert 1 not in view
+
+    def test_purge_of_absent_node_still_tombstones(self):
+        view = make_view(4)
+        assert not view.purge(9)
+        assert view.is_purged(9)
+        assert not view.insert(Descriptor(9, 1))
+
+    def test_age_zero_announcement_lifts_tombstone(self):
+        view = make_view(4, [(1, 3)])
+        view.purge(1)
+        assert view.insert(Descriptor(1, 0))
+        assert 1 in view
+        assert not view.is_purged(1)
+        # Once lifted, ordinary descriptors flow again.
+        view.remove(1)
+        assert view.insert(Descriptor(1, 5))
+
+    def test_tombstone_expires_after_ttl_aging_steps(self):
+        view = PartialView(4, tombstone_ttl=3)
+        view.purge(1)
+        view.increase_age()
+        view.increase_age()
+        assert view.is_purged(1)
+        view.increase_age()
+        assert not view.is_purged(1)
+        assert view.insert(Descriptor(1, 7))
+
+    def test_replace_keeps_tombstones(self):
+        view = make_view(4, [(1, 0), (2, 0)])
+        view.purge(3)
+        view.replace([Descriptor(5, 0), Descriptor(3, 4)])
+        assert 3 not in view  # stale id filtered by the surviving tombstone
+        assert set(view.ids()) == {5}
+
+    def test_clear_drops_tombstones(self):
+        view = make_view(4, [(1, 0)])
+        view.purge(2)
+        view.clear()
+        assert not view.is_purged(2)
+        assert view.insert(Descriptor(2, 9))
+
+    def test_ttl_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartialView(4, tombstone_ttl=0)
+
+
 # -- property-based invariants --------------------------------------------------
 
 operations = st.lists(
@@ -187,6 +241,50 @@ def test_insert_keeps_youngest_per_node(entries):
         best[node_id] = min(best.get(node_id, age), age)
     for node_id, age in best.items():
         assert view.get(node_id).age == age
+
+
+purge_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "fresh_insert", "purge", "age", "remove"]),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=1, max_value=12),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=8), ops=purge_ops)
+def test_purged_descriptor_never_resurrected_without_fresh_announcement(
+    capacity, ops
+):
+    """The pause/resume zombie property: once a node is purged (observed
+    dead), no stale descriptor may re-enter the view until either the node
+    itself announces with an age-0 descriptor (a resume) or the tombstone's
+    TTL expires — whichever an adversarial gossip stream tries first."""
+    ttl = 5
+    view = PartialView(capacity, tombstone_ttl=ttl)
+    tombstoned_for = {}  # node_id -> remaining aging steps
+    for op, node_id, age in ops:
+        if op == "insert":
+            view.insert(Descriptor(node_id, age))  # stale copy (age >= 1)
+        elif op == "fresh_insert":
+            view.insert(Descriptor(node_id, 0))  # the owner announcing itself
+            tombstoned_for.pop(node_id, None)
+        elif op == "purge":
+            view.purge(node_id)
+            tombstoned_for[node_id] = ttl
+        elif op == "age":
+            view.increase_age()
+            tombstoned_for = {
+                nid: left - 1 for nid, left in tombstoned_for.items() if left > 1
+            }
+        elif op == "remove":
+            view.remove(node_id)
+        for nid, _ in tombstoned_for.items():
+            assert nid not in view, (
+                f"purged node {nid} resurrected by a stale descriptor"
+            )
 
 
 @settings(max_examples=60, deadline=None)

@@ -34,8 +34,9 @@ class TestRandomChurnBehavior:
         churn = RandomChurn(random.Random(1), crash_rate=0.1, min_population=10)
         churn.before_round(net, 0)
         # ~20 expected; allow generous slack for a single draw.
-        assert 5 <= len(churn.crashed) <= 45
-        assert all(not net.is_alive(nid) for nid in churn.crashed)
+        assert 5 <= churn.crashes_last_round <= 45
+        assert churn.crashes_total == churn.crashes_last_round
+        assert net.alive_count() == 200 - churn.crashes_last_round
 
     def test_min_population_floor(self):
         net = Network()
@@ -57,7 +58,10 @@ class TestRandomChurnBehavior:
         churn.before_round(net, 0)
         assert len(provisioned) == 2
         assert net.size() == 6
-        assert churn.joined == provisioned
+        assert churn.joins_last_round == 2
+        churn.before_round(net, 1)
+        assert churn.joins_last_round == 2
+        assert churn.joins_total == 4
 
     def test_zero_rates_are_noop(self):
         net = Network()
@@ -88,3 +92,19 @@ class TestCatastrophicFailure:
         # Firing again must do nothing.
         control.before_round(net, 4)
         assert net.alive_count() == 20
+
+    def test_min_population_caps_blast_radius(self):
+        net = Network()
+        net.create_nodes(20)
+        control = CatastrophicFailure(
+            random.Random(2), at_round=0, fraction=0.9, min_population=12
+        )
+        control.before_round(net, 0)
+        assert net.alive_count() == 12
+        assert len(control.victims) == 8
+
+    def test_min_population_validation(self):
+        with pytest.raises(ConfigurationError):
+            CatastrophicFailure(
+                random.Random(0), at_round=0, fraction=0.5, min_population=-1
+            )

@@ -105,3 +105,24 @@ class TestRandomAlive:
         net = Network()
         net.create_nodes(5)
         assert net.count_where(lambda n: n.node_id % 2 == 0) == 3
+
+    def test_bounded_retry_falls_back_deterministically(self):
+        """An adversarial rng that always draws the excluded id must not
+        loop forever: after the bounded retries the draw is made over the
+        explicitly filtered candidate list."""
+
+        class AlwaysFirst:
+            def __init__(self):
+                self.calls = 0
+
+            def choice(self, seq):
+                self.calls += 1
+                return seq[0]
+
+        net = Network()
+        net.create_nodes(3)
+        rng = AlwaysFirst()
+        node = net.random_alive(rng, exclude=0)
+        assert node is not None and node.node_id == 1
+        # 8 rejected draws plus the single fallback draw.
+        assert rng.calls == 9
