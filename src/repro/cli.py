@@ -4,6 +4,11 @@ Commands
 --------
 ``validate FILE``
     Parse + compile a DSL topology file; report errors with positions.
+``lint [PATHS…]``
+    Static verification without deploying anything: run every assembly
+    rule (``RPR…``) over the given ``.topo`` files/directories, and with
+    ``--self-check`` the determinism rules (``DET…``) over ``repro``'s own
+    source. Exits 1 when any error-severity diagnostic is found.
 ``show FILE``
     Print the normalized (pretty-printed) form of a topology file.
 ``shapes``
@@ -49,6 +54,19 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         + (f", declared nodes {assembly.total_nodes}" if assembly.total_nodes else "")
     )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.diagnostics import has_errors
+    from repro.lint import lint_paths, render_json, render_text
+
+    if not args.paths and not args.self_check:
+        print("error: lint needs at least one path or --self-check", file=sys.stderr)
+        return 2
+    diagnostics = lint_paths(args.paths, with_self_check=args.self_check)
+    render = render_json if args.format == "json" else render_text
+    print(render(diagnostics))
+    return 1 if has_errors(diagnostics) else 0
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -158,6 +176,27 @@ def build_parser() -> argparse.ArgumentParser:
     validate = subparsers.add_parser("validate", help="check a DSL topology file")
     validate.add_argument("file")
     validate.set_defaults(func=_cmd_validate)
+
+    lint = subparsers.add_parser(
+        "lint", help="statically verify topology files and/or the framework itself"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help=".topo files or directories to scan recursively",
+    )
+    lint.add_argument(
+        "--self-check",
+        action="store_true",
+        help="run the determinism (DET) rules over the repro package source",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     show = subparsers.add_parser("show", help="pretty-print a topology file")
     show.add_argument("file")

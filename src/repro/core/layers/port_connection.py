@@ -117,7 +117,7 @@ class PortConnection(Protocol):
     def neighbors(self) -> List[int]:
         """Remote managers this node is linked to, where it manages a port."""
         out = set()
-        for link, local_manager, remote_manager in self.realized_links():
+        for _link, local_manager, remote_manager in self.realized_links():
             if local_manager == self.node_id:
                 out.add(remote_manager)
         return sorted(out)

@@ -1,0 +1,98 @@
+"""Structured diagnostics shared by the compiler and the static analyzers.
+
+A :class:`Diagnostic` is one coded finding tied to a source location.  The
+DSL compiler emits them for semantic errors (fail-fast callers still get the
+classic :class:`~repro.errors.DslSemanticError`, built from the same data),
+and the :mod:`repro.lint` subsystem emits them for every assembly-verifier
+(``RPR…``) and determinism (``DET…``) rule.
+
+Keeping the dataclass here — below both ``repro.dsl`` and ``repro.lint`` in
+the import graph — lets the two share one diagnostic currency without
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Severity levels, ordered most severe first (used for sorting/reporting).
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One coded finding of a static check.
+
+    Attributes
+    ----------
+    code:
+        Rule identifier (``RPR105``, ``DET003``, ...); see the catalog in
+        :mod:`repro.lint.catalog` and ``docs/lint.md``.
+    severity:
+        ``"error"`` or ``"warning"``; only errors fail a lint run.
+    message:
+        Human-readable description of this specific finding.
+    file:
+        Source file the finding refers to, when known (``None`` for
+        assemblies built programmatically).
+    line, column:
+        1-based position; ``0`` when no location is available.
+    """
+
+    code: str
+    severity: str
+    message: str
+    file: Optional[str] = None
+    line: int = 0
+    column: int = 0
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.file or "", self.line, self.column, self.code)
+
+    def format(self) -> str:
+        """GCC-style one-line rendering, ``file:line:col: severity CODE: msg``."""
+        prefix = ""
+        if self.file:
+            prefix = self.file
+            if self.line:
+                prefix += f":{self.line}"
+                if self.column:
+                    prefix += f":{self.column}"
+            prefix += ": "
+        elif self.line:
+            prefix = f"line {self.line}: "
+        return f"{prefix}{self.severity} {self.code}: {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+        }
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable order: by file, position, then code."""
+    return sorted(diagnostics, key=Diagnostic.sort_key)
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(diag.is_error for diag in diagnostics)
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    counts = {ERROR: 0, WARNING: 0}
+    for diag in diagnostics:
+        counts[diag.severity] = counts.get(diag.severity, 0) + 1
+    return counts

@@ -8,9 +8,25 @@ problems.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
-    """Base class of every exception raised by the framework."""
+    """Base class of every exception raised by the framework.
+
+    Every framework error can carry an optional diagnostic ``code`` (e.g.
+    ``RPR105``) identifying the static-analysis rule it corresponds to; the
+    :mod:`repro.lint` subsystem reports the same codes without raising. The
+    code is metadata only — it never changes the exception message.
+    """
+
+    #: Diagnostic rule code (``RPR…``), or ``None`` for uncoded errors.
+    code: Optional[str] = None
+
+    def __init__(self, *args: object, code: Optional[str] = None):
+        super().__init__(*args)
+        if code is not None:
+            self.code = code
 
 
 class ConfigurationError(ReproError):
@@ -27,6 +43,18 @@ class TopologyError(ReproError):
 
 class AssemblyError(TopologyError):
     """An invalid assembly description (unknown ports, dangling links, ...)."""
+
+
+class ShapeSizeError(TopologyError, ConfigurationError):
+    """A component size a shape cannot host (coded ``RPR105``).
+
+    Derives from both :class:`TopologyError` (the historical type raised by
+    :meth:`Shape.validate_size`) and :class:`ConfigurationError` (it is,
+    semantically, a configuration mistake a static check can catch), so both
+    existing ``except`` clauses keep working.
+    """
+
+    code = "RPR105"
 
 
 class DslError(ReproError):
@@ -50,7 +78,36 @@ class DslSyntaxError(DslError):
 
 
 class DslSemanticError(DslError):
-    """A well-formed DSL program that violates a semantic rule."""
+    """A well-formed DSL program that violates a semantic rule.
+
+    Carries structured fields so tooling (the linter, IDE integrations) can
+    consume the location and rule code without re-parsing the message:
+
+    Attributes
+    ----------
+    raw_message:
+        The description without the location suffix.
+    line, column:
+        1-based position of the offending construct (0 when unknown).
+    code:
+        The ``RPR…`` rule code of the violated semantic check, or ``None``.
+
+    ``str(exc)`` keeps the historical ``"message (line L, column C)"``
+    format, so callers matching on text are unaffected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        code: "Optional[str]" = None,
+    ):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}", code=code)
+        self.raw_message = message
+        self.line = line
+        self.column = column
 
 
 class ConvergenceTimeout(ReproError):

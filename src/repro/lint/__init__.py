@@ -1,0 +1,53 @@
+"""Static verification of assembly programs and of the framework itself.
+
+The shift-left counterpart of the simulator: a broken assembly (a port no
+link reaches, a hypercube of 12, an unreachable island) should fail in
+milliseconds at ``repro lint`` time with a coded, located diagnostic — not
+after hundreds of simulated rounds as mysterious non-convergence.
+
+Two prongs, one diagnostic currency (:class:`~repro.diagnostics.Diagnostic`):
+
+- :func:`lint_program` / :func:`lint_assembly` / :func:`lint_topo_file` —
+  the assembly verifier (``RPR…`` rules);
+- :func:`lint_python_source` / :func:`self_check` — the determinism
+  invariant linter over ``repro``'s own source (``DET…`` rules).
+
+``python -m repro lint [paths…] [--self-check] [--format json]`` is the CLI
+face; the full rule catalog lives in :mod:`repro.lint.catalog` and
+``docs/lint.md``.
+"""
+
+from repro.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    count_by_severity,
+    has_errors,
+    sort_diagnostics,
+)
+from repro.lint.assembly_rules import lint_assembly, lint_program
+from repro.lint.catalog import CATALOG, Rule, severity_of
+from repro.lint.determinism import lint_python_source, self_check
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import collect_topo_files, lint_paths, lint_topo_file
+
+__all__ = [
+    "CATALOG",
+    "Diagnostic",
+    "ERROR",
+    "Rule",
+    "WARNING",
+    "collect_topo_files",
+    "count_by_severity",
+    "has_errors",
+    "lint_assembly",
+    "lint_paths",
+    "lint_program",
+    "lint_python_source",
+    "lint_topo_file",
+    "render_json",
+    "render_text",
+    "self_check",
+    "severity_of",
+    "sort_diagnostics",
+]

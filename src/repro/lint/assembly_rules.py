@@ -1,0 +1,443 @@
+"""Prong 1: the assembly verifier (``RPR…`` rules).
+
+Analyzes a parsed DSL program — or an already-built
+:class:`~repro.core.Assembly` — *without running the simulator* and reports
+everything that would otherwise only surface as mysterious non-convergence
+hundreds of simulated rounds later: dangling links, infeasible shapes and
+budgets, dead ports, unreachable islands.
+
+Two entry points:
+
+- :func:`lint_program` — full check of a :class:`~repro.dsl.ast.TopologyDecl`
+  with per-declaration source locations. Compiler semantic errors
+  (``RPR100``–``RPR109``) are produced by running the DSL compiler in
+  diagnostic-collection mode; the structural warnings are computed here on a
+  location-aware model of the program.
+- :func:`lint_assembly` — the same structural checks on a programmatic
+  assembly (no locations), e.g. one built with the
+  :class:`~repro.dsl.builder.TopologyBuilder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.diagnostics import ERROR, WARNING, Diagnostic, sort_diagnostics
+from repro.errors import AssemblyError, ConfigurationError, TopologyError
+from repro.core.assembly import Assembly
+from repro.core.port import PortSelector, RankSelector, make_selector
+from repro.dsl.ast import TopologyDecl
+from repro.dsl.compiler import compile_ast
+from repro.shapes.base import Shape
+from repro.shapes.registry import make_shape
+
+
+@dataclass
+class _Port:
+    name: str
+    selector: Optional[PortSelector]
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class _Component:
+    name: str
+    group: str  # the declaration name (replicas share one group)
+    shape: Optional[Shape]
+    size: Optional[int]
+    weight: float
+    ports: List[_Port] = field(default_factory=list)
+    line: int = 0
+    column: int = 0
+
+
+@dataclass
+class _Model:
+    """A lint-friendly view of a topology: tolerant of broken declarations."""
+
+    name: str
+    components: Dict[str, _Component] = field(default_factory=dict)
+    #: Valid concrete links as ((comp, port), (comp, port), line, column).
+    links: List[Tuple[Tuple[str, str], Tuple[str, str], int, int]] = field(
+        default_factory=list
+    )
+    #: Every (comp, port) endpoint referenced by any link, valid or not.
+    referenced: Set[Tuple[str, str]] = field(default_factory=set)
+    total_nodes: Optional[int] = None
+    line: int = 0
+    column: int = 0
+
+
+# -- model construction ---------------------------------------------------------
+
+
+def _model_from_tree(tree: TopologyDecl) -> _Model:
+    """Best-effort semantic model; compile errors are someone else's job."""
+    model = _Model(name=tree.name, total_nodes=tree.nodes, line=tree.line, column=tree.column)
+    replica_map: Dict[str, List[str]] = {}
+    for decl in tree.components:
+        size = None
+        weight = 1.0
+        shape_params = {}
+        for param in decl.params:
+            if param.name == "size":
+                if isinstance(param.value, int) and not isinstance(param.value, bool):
+                    size = param.value
+            elif param.name == "weight":
+                if isinstance(param.value, (int, float)) and not isinstance(
+                    param.value, bool
+                ):
+                    weight = float(param.value)
+            else:
+                shape_params[param.name] = param.value
+        try:
+            shape: Optional[Shape] = make_shape(decl.shape, **shape_params)
+        except ConfigurationError:
+            shape = None
+        ports = []
+        for port in decl.ports:
+            try:
+                selector: Optional[PortSelector] = make_selector(port.selector)
+            except AssemblyError:
+                selector = None
+            ports.append(_Port(port.name, selector, port.line, port.column))
+        names = (
+            [decl.name]
+            if decl.replicas is None
+            else [f"{decl.name}{index}" for index in range(decl.replicas)]
+        )
+        if decl.replicas is not None:
+            replica_map[decl.name] = names
+        for name in names:
+            if name in model.components:
+                continue  # duplicate declarations are reported as RPR107
+            model.components[name] = _Component(
+                name=name,
+                group=decl.name,
+                shape=shape,
+                size=size,
+                weight=weight,
+                ports=ports,
+                line=decl.line,
+                column=decl.column,
+            )
+    for decl in tree.links:
+        sides = []
+        for component, index, port in (
+            (decl.a_component, decl.a_index, decl.a_port),
+            (decl.b_component, decl.b_index, decl.b_port),
+        ):
+            if component in replica_map:
+                names = replica_map[component]
+                if index == "*":
+                    refs = [(name, port) for name in names]
+                elif isinstance(index, int) and 0 <= index < len(names):
+                    refs = [(names[index], port)]
+                else:
+                    refs = []
+            elif index is None:
+                refs = [(component, port)]
+            else:
+                refs = []
+            sides.append(refs)
+        a_side, b_side = sides
+        model.referenced.update(a_side)
+        model.referenced.update(b_side)
+        if len(a_side) > 1 and len(b_side) > 1:
+            continue
+        for a_ref in a_side:
+            for b_ref in b_side:
+                if a_ref == b_ref:
+                    continue
+                if _endpoint_exists(model, a_ref) and _endpoint_exists(model, b_ref):
+                    model.links.append((a_ref, b_ref, decl.line, decl.column))
+    return model
+
+
+def _model_from_assembly(assembly: Assembly) -> _Model:
+    model = _Model(name=assembly.name, total_nodes=assembly.total_nodes)
+    for spec in assembly.components.values():
+        model.components[spec.name] = _Component(
+            name=spec.name,
+            group=spec.name,
+            shape=spec.shape,
+            size=spec.size,
+            weight=spec.weight,
+            ports=[_Port(port.name, port.selector) for port in spec.ports],
+        )
+    for link in assembly.links:
+        a_ref = (link.a.component, link.a.port)
+        b_ref = (link.b.component, link.b.port)
+        model.referenced.update((a_ref, b_ref))
+        model.links.append((a_ref, b_ref, 0, 0))
+    return model
+
+
+def _endpoint_exists(model: _Model, ref: Tuple[str, str]) -> bool:
+    component = model.components.get(ref[0])
+    return component is not None and any(p.name == ref[1] for p in component.ports)
+
+
+# -- structural checks ------------------------------------------------------------
+
+
+def _check_unreferenced_ports(model: _Model, out: List[Diagnostic], file: Optional[str]) -> None:
+    """RPR201: a declared port no link ever uses."""
+    seen_groups: Set[Tuple[str, str]] = set()
+    for component in model.components.values():
+        for port in component.ports:
+            group_key = (component.group, port.name)
+            if group_key in seen_groups:
+                continue
+            seen_groups.add(group_key)
+            used = any(
+                (peer.name, port.name) in model.referenced
+                for peer in model.components.values()
+                if peer.group == component.group
+            )
+            if not used:
+                out.append(
+                    Diagnostic(
+                        code="RPR201",
+                        severity=WARNING,
+                        message=(
+                            f"port {component.group}.{port.name} is never "
+                            f"referenced by any link"
+                        ),
+                        file=file,
+                        line=port.line,
+                        column=port.column,
+                    )
+                )
+
+
+def _check_islands(model: _Model, out: List[Diagnostic], file: Optional[str]) -> None:
+    """RPR202: the component graph is not connected."""
+    names = list(model.components)
+    if len(names) < 2:
+        return
+    adjacency: Dict[str, Set[str]] = {name: set() for name in names}
+    for a_ref, b_ref, _, _ in model.links:
+        adjacency[a_ref[0]].add(b_ref[0])
+        adjacency[b_ref[0]].add(a_ref[0])
+    unvisited = dict.fromkeys(names)  # insertion-ordered set of pending names
+    islands: List[List[str]] = []
+    while unvisited:
+        start = next(iter(unvisited))
+        stack = [start]
+        island = []
+        while stack:
+            current = stack.pop()
+            if current not in unvisited:
+                continue
+            del unvisited[current]
+            island.append(current)
+            stack.extend(sorted(adjacency[current], reverse=True))
+        islands.append(sorted(island))
+    if len(islands) < 2:
+        return
+    islands.sort(key=len, reverse=True)
+    mainland = islands[0]
+    for island in islands[1:]:
+        anchor = model.components[island[0]]
+        out.append(
+            Diagnostic(
+                code="RPR202",
+                severity=WARNING,
+                message=(
+                    f"component(s) {', '.join(island)} are unreachable from "
+                    f"{', '.join(mainland[:3])}"
+                    + ("…" if len(mainland) > 3 else "")
+                    + " — no link joins the two groups"
+                ),
+                file=file,
+                line=anchor.line,
+                column=anchor.column,
+            )
+        )
+
+
+def _check_over_subscription(model: _Model, out: List[Diagnostic], file: Optional[str]) -> None:
+    """RPR203: two linked ports of one component electing the same member."""
+    reported_groups: Set[Tuple[str, str, str]] = set()
+    for component in model.components.values():
+        by_rule: Dict[str, List[_Port]] = {}
+        for port in component.ports:
+            if port.selector is None:
+                continue
+            if (component.name, port.name) not in model.referenced:
+                continue  # unlinked ports are RPR201's business
+            by_rule.setdefault(port.selector.spec(), []).append(port)
+        for rule, ports in by_rule.items():
+            if len(ports) < 2:
+                continue
+            names = ", ".join(port.name for port in ports)
+            group_key = (component.group, rule, names)
+            if group_key in reported_groups:
+                continue  # one report per replicated declaration
+            reported_groups.add(group_key)
+            anchor = ports[1]
+            out.append(
+                Diagnostic(
+                    code="RPR203",
+                    severity=WARNING,
+                    message=(
+                        f"component {component.group!r}: linked ports {names} "
+                        f"all elect the same member ({rule}); that node "
+                        f"carries every one of their links"
+                    ),
+                    file=file,
+                    line=anchor.line,
+                    column=anchor.column,
+                )
+            )
+
+
+def _check_rank_selectors(model: _Model, out: List[Diagnostic], file: Optional[str]) -> None:
+    """RPR204: rank(K) can never elect anyone in a size-S component, K >= S."""
+    seen_groups: Set[Tuple[str, str]] = set()
+    for component in model.components.values():
+        if component.size is None:
+            continue
+        for port in component.ports:
+            if not isinstance(port.selector, RankSelector):
+                continue
+            if port.selector.rank < component.size:
+                continue
+            group_key = (component.group, port.name)
+            if group_key in seen_groups:
+                continue
+            seen_groups.add(group_key)
+            out.append(
+                Diagnostic(
+                    code="RPR204",
+                    severity=WARNING,
+                    message=(
+                        f"port {component.group}.{port.name}: selector "
+                        f"rank({port.selector.rank}) is unsatisfiable in a "
+                        f"component of size {component.size}"
+                    ),
+                    file=file,
+                    line=port.line,
+                    column=port.column,
+                )
+            )
+
+
+def _check_starvation(model: _Model, out: List[Diagnostic], file: Optional[str]) -> None:
+    """RPR205: a weighted component whose proportional share rounds to zero."""
+    if model.total_nodes is None:
+        return
+    weighted = [c for c in model.components.values() if c.size is None]
+    if not weighted:
+        return
+    fixed = sum(c.size for c in model.components.values() if c.size is not None)
+    pool = model.total_nodes - fixed
+    total_weight = sum(c.weight for c in weighted)
+    if total_weight <= 0:
+        return
+    for component in weighted:
+        share = pool * component.weight / total_weight
+        if share < 1:
+            out.append(
+                Diagnostic(
+                    code="RPR205",
+                    severity=WARNING,
+                    message=(
+                        f"component {component.name!r} (weight "
+                        f"{component.weight:g}) gets {max(0.0, share):.2f} of the "
+                        f"{max(0, pool)} unreserved node(s) and may deploy empty"
+                    ),
+                    file=file,
+                    line=component.line,
+                    column=component.column,
+                )
+            )
+
+
+def _check_sizes(
+    model: _Model,
+    out: List[Diagnostic],
+    file: Optional[str],
+    include_feasibility: bool,
+) -> None:
+    """RPR105 (assembly path only) and RPR206 degenerate-size warnings."""
+    seen_groups: Set[str] = set()
+    for component in model.components.values():
+        if component.shape is None or component.size is None:
+            continue
+        if component.group in seen_groups:
+            continue
+        seen_groups.add(component.group)
+        infeasible = False
+        if include_feasibility:
+            try:
+                component.shape.validate_size(component.size)
+            except TopologyError as exc:
+                infeasible = True
+                out.append(
+                    Diagnostic(
+                        code="RPR105",
+                        severity=ERROR,
+                        message=f"component {component.group!r}: {exc}",
+                        file=file,
+                        line=component.line,
+                        column=component.column,
+                    )
+                )
+        else:
+            infeasible = component.shape.size_feasibility(component.size) is not None
+        if not infeasible and component.size < component.shape.min_size:
+            out.append(
+                Diagnostic(
+                    code="RPR206",
+                    severity=WARNING,
+                    message=(
+                        f"component {component.group!r}: size {component.size} is "
+                        f"degenerate for shape {component.shape.name!r} "
+                        f"(meaningful from {component.shape.min_size})"
+                    ),
+                    file=file,
+                    line=component.line,
+                    column=component.column,
+                )
+            )
+
+
+def _structural_checks(
+    model: _Model, file: Optional[str], include_feasibility: bool
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    _check_unreferenced_ports(model, out, file)
+    _check_islands(model, out, file)
+    _check_over_subscription(model, out, file)
+    _check_rank_selectors(model, out, file)
+    _check_starvation(model, out, file)
+    _check_sizes(model, out, file, include_feasibility)
+    return out
+
+
+# -- entry points ------------------------------------------------------------------
+
+
+def lint_program(tree: TopologyDecl, file: Optional[str] = None) -> List[Diagnostic]:
+    """All ``RPR`` diagnostics for one parsed DSL program."""
+    diagnostics: List[Diagnostic] = []
+    compile_ast(tree, diagnostics=diagnostics, file=file)
+    model = _model_from_tree(tree)
+    # Compiler errors already cover feasibility (RPR105); only warnings here.
+    diagnostics.extend(_structural_checks(model, file, include_feasibility=False))
+    return sort_diagnostics(diagnostics)
+
+
+def lint_assembly(assembly: Assembly, file: Optional[str] = None) -> List[Diagnostic]:
+    """Structural diagnostics for a programmatically-built assembly.
+
+    Construction already enforced reference validity, uniqueness, and the
+    node budget; this adds everything construction does not check — size
+    feasibility and the full warning set.
+    """
+    model = _model_from_assembly(assembly)
+    return sort_diagnostics(_structural_checks(model, file, include_feasibility=True))

@@ -1,0 +1,311 @@
+"""Prong 2: the determinism invariant linter (``DET…`` rules).
+
+An :mod:`ast`-based checker over the framework's *own* Python source. The
+multi-seed evaluation is only honest if seed *s* always denotes the same
+random universe; these rules machine-enforce the conventions that keep it
+so as the codebase grows:
+
+- ``DET001``/``DET002`` — every random draw must flow from the seed-derived
+  streams of :mod:`repro.sim.rng`: no interpreter-global ``random.*`` calls
+  and no unseeded ``random.Random()``/``SystemRandom`` anywhere outside
+  that module.
+- ``DET003`` — no wall-clock reads in simulation-facing packages (``sim``,
+  ``core``, ``gossip``, ``faults``): simulated time is the round counter.
+- ``DET004`` — no iteration over bare ``set``/``frozenset`` values in
+  ordering-sensitive packages (``gossip``, ``core``, ``sim``): hash order
+  must never feed a view merge or a stochastic choice. ``sorted(...)``,
+  ``min``/``max``, and membership tests are all fine.
+- ``DET005`` — no ``dict.popitem()`` in those packages (insertion-order
+  coupling in layer exchanges).
+
+Paths are interpreted relative to the ``repro`` package root, so the rules
+apply identically whether the tree is linted in-place or from an sdist.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.diagnostics import ERROR, Diagnostic, sort_diagnostics
+
+#: The only module allowed to touch the ``random`` module directly.
+RNG_MODULE = "sim/rng.py"
+
+#: Packages where wall-clock reads are forbidden (DET003).
+WALLCLOCK_PATHS = ("sim/", "core/", "gossip/", "faults/")
+
+#: Packages where set-iteration order and popitem are forbidden (DET004/005).
+ORDERING_PATHS = ("gossip/", "core/", "sim/")
+
+_WALLCLOCK_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+_WALLCLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+#: Builtins whose call materializes its argument in iteration order.
+_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+
+def _in_paths(rel_path: str, prefixes: Sequence[str]) -> bool:
+    return any(rel_path.startswith(prefix) for prefix in prefixes)
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """One file's worth of DET findings."""
+
+    def __init__(self, rel_path: str, file: Optional[str]):
+        self.rel_path = rel_path
+        self.file = file
+        self.diagnostics: List[Diagnostic] = []
+        #: Local names bound to the ``random`` module (``import random``,
+        #: ``import random as rnd``).
+        self.random_aliases: Set[str] = set()
+        #: Local names for ``random.Random`` / functions imported from random.
+        self.from_random: Set[str] = set()
+        #: Local names bound to the ``time`` / ``datetime`` modules.
+        self.time_aliases: Set[str] = set()
+        self.datetime_aliases: Set[str] = set()
+        #: Names imported from datetime (``datetime``, ``date`` classes).
+        self.datetime_classes: Set[str] = set()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(bound)
+            elif alias.name == "time":
+                self.time_aliases.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                self.from_random.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self.datetime_classes.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _emit(self, code: str, message: str, node: ast.AST) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=ERROR,
+                message=message,
+                file=self.file,
+                line=getattr(node, "lineno", 0),
+                column=getattr(node, "col_offset", -1) + 1,
+            )
+        )
+
+    def _is_set_valued(self, node: ast.expr) -> bool:
+        """Syntactically certain the expression is an unordered set."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    # -- rules ---------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        in_rng_module = self.rel_path == RNG_MODULE
+        func = node.func
+        # DET001 / DET002: draws outside the seeded-stream discipline.
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base in self.random_aliases and not in_rng_module:
+                if attr == "SystemRandom":
+                    self._emit(
+                        "DET002",
+                        "random.SystemRandom is OS-seeded and never reproducible",
+                        node,
+                    )
+                elif attr == "Random":
+                    if not node.args and not node.keywords:
+                        self._emit(
+                            "DET002",
+                            "random.Random() without a seed draws from OS entropy; "
+                            "derive the seed from repro.sim.rng streams",
+                            node,
+                        )
+                else:
+                    self._emit(
+                        "DET001",
+                        f"direct random.{attr}() uses the interpreter-global RNG; "
+                        f"use a named stream from repro.sim.rng instead",
+                        node,
+                    )
+            # DET003: wall clock in simulation paths.
+            if _in_paths(self.rel_path, WALLCLOCK_PATHS):
+                if base in self.time_aliases and attr in _WALLCLOCK_TIME_ATTRS:
+                    self._emit(
+                        "DET003",
+                        f"wall-clock read time.{attr}() in a simulation path; "
+                        f"simulated logic must use round counters",
+                        node,
+                    )
+                elif (
+                    base in self.datetime_classes
+                    and attr in _WALLCLOCK_DATETIME_ATTRS
+                ):
+                    self._emit(
+                        "DET003",
+                        f"wall-clock read {base}.{attr}() in a simulation path; "
+                        f"simulated logic must use round counters",
+                        node,
+                    )
+        # datetime.datetime.now() spelled through the module.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in self.datetime_aliases
+            and func.value.attr in ("datetime", "date")
+            and func.attr in _WALLCLOCK_DATETIME_ATTRS
+            and _in_paths(self.rel_path, WALLCLOCK_PATHS)
+        ):
+            self._emit(
+                "DET003",
+                f"wall-clock read datetime.{func.value.attr}.{func.attr}() in a "
+                f"simulation path; simulated logic must use round counters",
+                node,
+            )
+        # Bare names imported from random: ``from random import choice``.
+        if (
+            isinstance(func, ast.Name)
+            and func.id in self.from_random
+            and not in_rng_module
+        ):
+            if func.id in ("Random", "SystemRandom"):
+                if func.id == "SystemRandom" or (not node.args and not node.keywords):
+                    self._emit(
+                        "DET002",
+                        f"{func.id}() constructed without a derived seed",
+                        node,
+                    )
+            else:
+                self._emit(
+                    "DET001",
+                    f"{func.id}() imported from random uses the interpreter-global "
+                    f"RNG; use a named stream from repro.sim.rng instead",
+                    node,
+                )
+        if _in_paths(self.rel_path, ORDERING_PATHS):
+            # DET004: list(set(...)) and friends materialize hash order.
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_SENSITIVE_BUILTINS
+                and node.args
+                and self._is_set_valued(node.args[0])
+            ):
+                self._emit(
+                    "DET004",
+                    f"{func.id}() over a bare set leaks hash ordering into "
+                    f"downstream decisions; wrap the set in sorted(...)",
+                    node,
+                )
+            # DET005: dict.popitem().
+            if isinstance(func, ast.Attribute) and func.attr == "popitem":
+                self._emit(
+                    "DET005",
+                    "popitem() depends on insertion-order bookkeeping; pop an "
+                    "explicit deterministic key instead",
+                    node,
+                )
+        self.generic_visit(node)
+
+    def _check_iteration(self, iterable: ast.expr) -> None:
+        if self._is_set_valued(iterable):
+            self._emit(
+                "DET004",
+                "iteration over a bare set leaks hash ordering into downstream "
+                "decisions; wrap the set in sorted(...)",
+                iterable,
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        if _in_paths(self.rel_path, ORDERING_PATHS):
+            self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if _in_paths(self.rel_path, ORDERING_PATHS):
+            self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+
+def lint_python_source(
+    source: str, rel_path: str, file: Optional[str] = None
+) -> List[Diagnostic]:
+    """DET diagnostics for one Python source text.
+
+    ``rel_path`` is the path relative to the ``repro`` package root (e.g.
+    ``gossip/views.py``) and selects which rule sets apply; ``file`` is the
+    on-disk path reported in diagnostics (defaults to ``rel_path``).
+    """
+    if file is None:
+        file = rel_path
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                code="DET001",
+                severity=ERROR,
+                message=f"cannot parse for determinism checks: {exc.msg}",
+                file=file,
+                line=exc.lineno or 0,
+                column=exc.offset or 0,
+            )
+        ]
+    visitor = _DeterminismVisitor(rel_path, file)
+    visitor.visit(tree)
+    return visitor.diagnostics
+
+
+def package_root() -> str:
+    """The directory of the installed ``repro`` package."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def iter_python_files(root: Optional[str] = None) -> Iterable[str]:
+    """Every ``.py`` file under the package root, deterministically ordered."""
+    base = root or package_root()
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def self_check(root: Optional[str] = None) -> List[Diagnostic]:
+    """Run the determinism linter over the framework's own source tree."""
+    base = root or package_root()
+    diagnostics: List[Diagnostic] = []
+    for path in iter_python_files(base):
+        rel_path = os.path.relpath(path, base).replace(os.sep, "/")
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        diagnostics.extend(lint_python_source(source, rel_path, file=path))
+    return sort_diagnostics(diagnostics)

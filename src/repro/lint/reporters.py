@@ -1,0 +1,43 @@
+"""Diagnostic reporters: the human and machine faces of a lint run."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.diagnostics import Diagnostic, count_by_severity, sort_diagnostics
+from repro.lint.catalog import CATALOG
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """One GCC-style line per finding plus a summary tail."""
+    ordered = sort_diagnostics(diagnostics)
+    lines: List[str] = [diag.format() for diag in ordered]
+    counts = count_by_severity(ordered)
+    if not ordered:
+        lines.append("clean: no diagnostics")
+    else:
+        lines.append(f"{counts['error']} error(s), {counts['warning']} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """A stable JSON document: findings plus severity totals.
+
+    Each finding carries its catalog title so consumers need not ship the
+    rule table; unknown codes degrade to a ``null`` title.
+    """
+    ordered = sort_diagnostics(diagnostics)
+    counts = count_by_severity(ordered)
+    payload = {
+        "diagnostics": [
+            {
+                **diag.to_json(),
+                "title": CATALOG[diag.code].title if diag.code in CATALOG else None,
+            }
+            for diag in ordered
+        ],
+        "errors": counts["error"],
+        "warnings": counts["warning"],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

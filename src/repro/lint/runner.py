@@ -1,0 +1,73 @@
+"""Lint-run orchestration: file discovery and the top-level entry points.
+
+``repro lint`` hands its path arguments here: ``.topo`` files (and every
+``.topo`` found under directory arguments, recursively) go through the
+assembly verifier; ``--self-check`` adds the determinism sweep of the
+installed ``repro`` package itself.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+from repro.diagnostics import ERROR, Diagnostic, sort_diagnostics
+from repro.errors import ConfigurationError, DslSyntaxError
+from repro.dsl.parser import parse_source
+from repro.lint.assembly_rules import lint_program
+from repro.lint.determinism import self_check
+
+#: Extension of DSL topology programs.
+TOPO_SUFFIX = ".topo"
+
+
+def collect_topo_files(paths: Sequence[str]) -> List[str]:
+    """Expand file/directory arguments into a sorted list of ``.topo`` files.
+
+    Unknown paths raise :class:`~repro.errors.ConfigurationError`; a
+    directory containing no ``.topo`` files contributes nothing (the caller
+    decides whether an empty run is noteworthy).
+    """
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(dirnames)
+                for filename in sorted(filenames):
+                    if filename.endswith(TOPO_SUFFIX):
+                        found.append(os.path.join(dirpath, filename))
+        else:
+            raise ConfigurationError(f"lint: no such file or directory: {path!r}")
+    return sorted(dict.fromkeys(found))
+
+
+def lint_topo_file(path: str) -> List[Diagnostic]:
+    """All diagnostics for one ``.topo`` file (syntax errors included)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = parse_source(source)
+    except DslSyntaxError as exc:
+        return [
+            Diagnostic(
+                code="RPR001",
+                severity=ERROR,
+                message=str(exc),
+                file=path,
+                line=exc.line,
+                column=exc.column,
+            )
+        ]
+    return lint_program(tree, file=path)
+
+
+def lint_paths(paths: Sequence[str], with_self_check: bool = False) -> List[Diagnostic]:
+    """Lint every ``.topo`` under ``paths``; optionally add the self-check."""
+    diagnostics: List[Diagnostic] = []
+    for path in collect_topo_files(paths):
+        diagnostics.extend(lint_topo_file(path))
+    if with_self_check:
+        diagnostics.extend(self_check())
+    return sort_diagnostics(diagnostics)

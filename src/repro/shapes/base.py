@@ -3,9 +3,20 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, ClassVar, Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
-from repro.errors import TopologyError
+from repro.errors import ShapeSizeError, TopologyError
 
 #: A rank's coordinate in the shape's profile space (int, tuple, ...).
 Coord = Any
@@ -26,12 +37,34 @@ class Shape(ABC):
     #: Registry name (``ring``, ``star``, ...), set by each concrete shape.
     name: ClassVar[str] = ""
 
+    #: Smallest size at which the shape is structurally meaningful (a ring
+    #: needs 3 members to be a cycle, a wheel needs a hub plus a 3-rim, ...).
+    #: Sizes below this still *deploy* — degenerate instances are sometimes
+    #: wanted (a 1-member bootstrap clique) — but ``repro lint`` warns
+    #: (``RPR206``). Hard infeasibility goes through :meth:`size_feasibility`.
+    min_size: ClassVar[int] = 1
+
     # -- validation -------------------------------------------------------------
 
     def validate_size(self, size: int) -> None:
         """Raise :class:`TopologyError` if the shape cannot host ``size`` ranks."""
         if size < 1:
             raise TopologyError(f"{self.name}: size must be >= 1, got {size}")
+        reason = self.size_feasibility(size)
+        if reason is not None:
+            raise ShapeSizeError(f"{self.name}: {reason}")
+
+    def size_feasibility(self, size: int) -> Optional[str]:
+        """Why ``size`` is infeasible for this shape, or ``None`` if it fits.
+
+        The static-verification hook: shapes with structural size
+        constraints (a hypercube needs a power of two, a grid a composite
+        size) return a human-readable reason string; :meth:`validate_size`
+        turns it into a coded :class:`~repro.errors.ShapeSizeError` and the
+        linter reports it as ``RPR105`` *before* anything is deployed.
+        Sizes below 1 never reach this hook.
+        """
+        return None
 
     # -- geometry -----------------------------------------------------------------
 

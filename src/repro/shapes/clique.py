@@ -6,7 +6,7 @@ star-of-cliques example), consensus groups, state-machine-replication cells.
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import ClassVar, FrozenSet
 
 from repro.shapes.base import Metric, Shape
 
@@ -21,6 +21,7 @@ class Clique(Shape):
     """
 
     name = "clique"
+    min_size: ClassVar[int] = 2  # replication groups of one replicate nothing
 
     def metric(self, size: int) -> Metric:
         self.validate_size(size)

@@ -3,10 +3,30 @@
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, FrozenSet, Optional, Tuple
+from typing import Any, ClassVar, Dict, FrozenSet, Optional, Tuple
 
 from repro.errors import TopologyError
 from repro.shapes.base import Coord, Metric, Shape
+
+
+def mesh_feasibility(size: int, rows: Optional[int]) -> Optional[str]:
+    """Shared grid/torus size check: why ``size`` is infeasible, or ``None``.
+
+    With explicit ``rows``, the size must divide evenly. Without, a prime
+    ``size >= 3`` silently degenerates to a 1×N chain — almost always a
+    sizing mistake, so it is rejected; an intentional single-row mesh is
+    still expressible with ``rows = 1``.
+    """
+    if rows is not None:
+        if rows < 1 or size % rows != 0:
+            return f"{rows} rows do not divide size {size}"
+        return None
+    if size >= 3 and all(size % divisor for divisor in range(2, math.isqrt(size) + 1)):
+        return (
+            f"size {size} is prime and degenerates to a 1×{size} chain; "
+            f"use a composite size or pass rows = 1 explicitly"
+        )
+    return None
 
 
 def grid_dimensions(size: int, rows: Optional[int] = None) -> Tuple[int, int]:
@@ -39,6 +59,7 @@ class Grid(Shape):
     """
 
     name = "grid"
+    min_size: ClassVar[int] = 4  # anything smaller is a point, an edge, or a chain
 
     def __init__(self, rows: Optional[int] = None):
         self.rows = rows
@@ -46,9 +67,8 @@ class Grid(Shape):
     def params(self) -> Dict[str, Any]:
         return {} if self.rows is None else {"rows": self.rows}
 
-    def validate_size(self, size: int) -> None:
-        super().validate_size(size)
-        grid_dimensions(size, self.rows)  # raises on mismatch
+    def size_feasibility(self, size: int) -> Optional[str]:
+        return mesh_feasibility(size, self.rows)
 
     def coordinate(self, rank: int, size: int) -> Coord:
         self._check_rank(rank, size)

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import ClassVar, FrozenSet, Optional
 
-from repro.errors import TopologyError
 from repro.shapes.base import Metric, Shape
 
 
@@ -18,13 +17,12 @@ class Hypercube(Shape):
     """
 
     name = "hypercube"
+    min_size: ClassVar[int] = 2  # a 0-cube is a single isolated vertex
 
-    def validate_size(self, size: int) -> None:
-        super().validate_size(size)
+    def size_feasibility(self, size: int) -> Optional[str]:
         if size & (size - 1):
-            raise TopologyError(
-                f"hypercube: size must be a power of two, got {size}"
-            )
+            return f"size must be a power of two, got {size}"
+        return None
 
     def metric(self, size: int) -> Metric:
         self.validate_size(size)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet
+from typing import Any, ClassVar, Dict, FrozenSet
 
 from repro.errors import TopologyError
 from repro.shapes.base import Metric, Shape
@@ -18,6 +18,7 @@ class KRegularRing(Shape):
     """
 
     name = "kring"
+    min_size: ClassVar[int] = 3  # same cycle minimum as the plain ring
 
     def __init__(self, k: int = 2):
         if k < 1:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import ClassVar, FrozenSet
 
 from repro.shapes.base import Metric, Shape
 
@@ -14,6 +14,7 @@ class Line(Shape):
     """
 
     name = "line"
+    min_size: ClassVar[int] = 2  # a chain needs two endpoints
 
     def metric(self, size: int) -> Metric:
         self.validate_size(size)

@@ -9,7 +9,7 @@ paper's shape spectrum.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, Mapping
+from typing import Any, ClassVar, Dict, FrozenSet, Iterable, Mapping
 
 from repro.errors import TopologyError
 from repro.shapes.base import Metric, Shape
@@ -24,6 +24,7 @@ class RandomGraph(Shape):
     """
 
     name = "random"
+    min_size: ClassVar[int] = 1  # any population can gossip unstructured
 
     def __init__(self, min_degree: int = 3):
         if min_degree < 0:

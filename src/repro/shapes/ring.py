@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import ClassVar, FrozenSet
 
 from repro.shapes.base import Metric, Shape
 
@@ -16,6 +16,7 @@ class Ring(Shape):
     """
 
     name = "ring"
+    min_size: ClassVar[int] = 3  # below 3 the cycle degenerates to an edge or a point
 
     def metric(self, size: int) -> Metric:
         self.validate_size(size)

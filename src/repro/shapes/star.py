@@ -7,7 +7,7 @@ cliques.
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import ClassVar, FrozenSet
 
 from repro.shapes.base import Coord, Metric, Shape
 
@@ -25,6 +25,7 @@ class Star(Shape):
     """
 
     name = "star"
+    min_size: ClassVar[int] = 2  # a hub with no leaf is just a point
 
     def coordinate(self, rank: int, size: int) -> Coord:
         self._check_rank(rank, size)

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Optional
+from typing import Any, ClassVar, Dict, FrozenSet, Optional
 
 from repro.shapes.base import Coord, Metric, Shape
-from repro.shapes.grid import grid_dimensions
+from repro.shapes.grid import grid_dimensions, mesh_feasibility
 
 
 class Torus(Shape):
@@ -18,6 +18,7 @@ class Torus(Shape):
     """
 
     name = "torus"
+    min_size: ClassVar[int] = 4  # a wrapping mesh needs at least a 2×2 cell
 
     def __init__(self, rows: Optional[int] = None):
         self.rows = rows
@@ -25,9 +26,8 @@ class Torus(Shape):
     def params(self) -> Dict[str, Any]:
         return {} if self.rows is None else {"rows": self.rows}
 
-    def validate_size(self, size: int) -> None:
-        super().validate_size(size)
-        grid_dimensions(size, self.rows)
+    def size_feasibility(self, size: int) -> Optional[str]:
+        return mesh_feasibility(size, self.rows)
 
     def coordinate(self, rank: int, size: int) -> Coord:
         self._check_rank(rank, size)

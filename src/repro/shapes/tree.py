@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
+from typing import ClassVar, FrozenSet, List
 
 from repro.shapes.base import Metric, Shape
 
@@ -44,6 +44,7 @@ class BinaryTree(Shape):
     """
 
     name = "tree"
+    min_size: ClassVar[int] = 3  # a root and both children
 
     def metric(self, size: int) -> Metric:
         self.validate_size(size)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import ClassVar, FrozenSet
 
 from repro.shapes.base import Coord, Metric, Shape
 
@@ -21,6 +21,7 @@ class Wheel(Shape):
     """
 
     name = "wheel"
+    min_size: ClassVar[int] = 4  # a hub plus the smallest rim ring
 
     def coordinate(self, rank: int, size: int) -> Coord:
         self._check_rank(rank, size)

@@ -45,7 +45,7 @@ class TestConvergence:
     def test_line_converges(self):
         n = 32
         world = line_world(n, seed=2)
-        for round_index in range(40):
+        for _round in range(40):
             world.run(1)
             if line_converged(world, n):
                 break

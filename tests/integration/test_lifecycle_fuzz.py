@@ -117,7 +117,7 @@ class DeploymentLifecycle(RuleBasedStateMachine):
     @invariant()
     def spare_accounting_consistent(self):
         role_map = self.deployment.role_map
-        for node_id, rank in role_map.members(SPARE_COMPONENT):
+        for node_id, _rank in role_map.members(SPARE_COMPONENT):
             assert role_map.role(node_id).is_spare
 
     def teardown(self):

@@ -1,0 +1,161 @@
+"""Assembly-verifier (RPR) rules: one bad fixture per rule, plus model checks."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.diagnostics import ERROR, WARNING, has_errors
+from repro.dsl import TopologyBuilder
+from repro.lint import lint_assembly, lint_topo_file
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: fixture file → (expected code, expected line, expected severity).
+EXPECTED = [
+    ("rpr001_syntax_error.topo", "RPR001", None, ERROR),
+    ("rpr100_unknown_shape.topo", "RPR100", 2, ERROR),
+    ("rpr101_unknown_component.topo", "RPR101", 5, ERROR),
+    ("rpr102_unknown_port.topo", "RPR102", 8, ERROR),
+    ("rpr103_duplicate_link.topo", "RPR103", 9, ERROR),
+    ("rpr104_self_link.topo", "RPR104", 5, ERROR),
+    ("rpr105_size_infeasible.topo", "RPR105", 2, ERROR),
+    ("rpr106_node_budget.topo", "RPR106", 1, ERROR),
+    ("rpr107_duplicate_component.topo", "RPR107", 3, ERROR),
+    ("rpr108_bad_replica_index.topo", "RPR108", 8, ERROR),
+    ("rpr109_empty_topology.topo", "RPR109", 1, ERROR),
+    ("rpr201_unreferenced_port.topo", "RPR201", 3, WARNING),
+    ("rpr202_island.topo", "RPR202", 3, WARNING),
+    ("rpr203_over_subscription.topo", "RPR203", 4, WARNING),
+    ("rpr204_rank_unsatisfiable.topo", "RPR204", 3, WARNING),
+    ("rpr205_starvation.topo", "RPR205", 5, WARNING),
+    ("rpr206_degenerate_size.topo", "RPR206", 2, WARNING),
+]
+
+
+@pytest.mark.parametrize("fixture,code,line,severity", EXPECTED)
+def test_fixture_yields_documented_code(fixture, code, line, severity):
+    path = os.path.join(FIXTURES, fixture)
+    diagnostics = lint_topo_file(path)
+    matching = [diag for diag in diagnostics if diag.code == code]
+    assert matching, (
+        f"{fixture}: expected {code}, got "
+        f"{[(d.code, d.line, d.message) for d in diagnostics]}"
+    )
+    found = matching[0]
+    assert found.severity == severity
+    assert found.file == path
+    if line is not None:
+        assert found.line == line, f"{fixture}: {code} at line {found.line}, wanted {line}"
+    else:
+        assert found.line > 0
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    [name for name, _, _, severity in EXPECTED if severity == WARNING],
+)
+def test_warning_fixtures_have_no_errors(fixture):
+    """Warning fixtures must stay compilable — only RPR2xx should fire."""
+    diagnostics = lint_topo_file(os.path.join(FIXTURES, fixture))
+    assert not has_errors(diagnostics), [
+        (d.code, d.message) for d in diagnostics if d.is_error
+    ]
+
+
+class TestLintAssembly:
+    """The programmatic (builder) entry point, no source locations."""
+
+    def test_clean_assembly(self):
+        builder = TopologyBuilder("Clean")
+        builder.component("a", "ring", size=8).port("p", "lowest_id")
+        builder.component("b", "clique", size=4).port("q", "lowest_id")
+        builder.link(("a", "p"), ("b", "q"))
+        assert lint_assembly(builder.build()) == []
+
+    def test_unreferenced_port_warning(self):
+        builder = TopologyBuilder("Dangling")
+        builder.component("a", "ring", size=8).port("unused", "lowest_id")
+        diagnostics = lint_assembly(builder.build())
+        assert [diag.code for diag in diagnostics] == ["RPR201"]
+        assert diagnostics[0].severity == WARNING
+        assert diagnostics[0].file is None
+
+    def test_island_warning(self):
+        builder = TopologyBuilder("Split")
+        builder.component("a", "ring", size=8)
+        builder.component("b", "ring", size=8)
+        diagnostics = lint_assembly(builder.build())
+        assert "RPR202" in [diag.code for diag in diagnostics]
+
+    def test_size_feasibility_is_checked_here(self):
+        # The builder does not deploy, so an infeasible size only surfaces
+        # through the linter (construction never calls validate_size).
+        builder = TopologyBuilder("BadCube")
+        builder.component("cube", "hypercube", size=12)
+        diagnostics = lint_assembly(builder.build())
+        assert [diag.code for diag in diagnostics] == ["RPR105"]
+        assert diagnostics[0].is_error
+
+    def test_degenerate_size_warning(self):
+        builder = TopologyBuilder("Tiny")
+        builder.component("lonely", "clique", size=1)
+        diagnostics = lint_assembly(builder.build())
+        assert [diag.code for diag in diagnostics] == ["RPR206"]
+
+    def test_over_subscription_via_aliases(self):
+        # hub is an alias of rank(0): the two selectors are provably equal.
+        builder = TopologyBuilder("Oversub")
+        star = builder.component("a", "star", size=8)
+        star.port("front", "hub").port("back", "rank(0)")
+        builder.component("b", "clique", size=4).port("q", "lowest_id")
+        builder.component("c", "clique", size=4).port("q", "lowest_id")
+        builder.link(("a", "front"), ("b", "q"))
+        builder.link(("a", "back"), ("c", "q"))
+        diagnostics = lint_assembly(builder.build())
+        assert "RPR203" in [diag.code for diag in diagnostics]
+
+    def test_distinct_selectors_not_flagged(self):
+        builder = TopologyBuilder("Fine")
+        ring = builder.component("a", "ring", size=8)
+        ring.port("west", "rank(0)").port("east", "rank(4)")
+        builder.component("b", "clique", size=4).port("q", "lowest_id")
+        builder.component("c", "clique", size=4).port("q", "lowest_id")
+        builder.link(("a", "west"), ("b", "q"))
+        builder.link(("a", "east"), ("c", "q"))
+        assert lint_assembly(builder.build()) == []
+
+
+class TestReplicaHandling:
+    def test_replicated_ports_counted_through_fanout(self, tmp_path):
+        source = """topology R {
+    component shard[3] : clique(size = 4) {
+        port head : lowest_id
+    }
+    component hub : star(size = 4) {
+        port south : hub
+    }
+    link shard[*].head -- hub.south
+}
+"""
+        path = tmp_path / "replicas.topo"
+        path.write_text(source, encoding="utf-8")
+        assert lint_topo_file(str(path)) == []
+
+    def test_partially_linked_replicas_not_flagged(self, tmp_path):
+        # One pinned replica reference is enough to consider the port used.
+        source = """topology R {
+    component shard[2] : clique(size = 4) {
+        port head : lowest_id
+    }
+    component hub : star(size = 4) {
+        port south : hub
+    }
+    link shard[0].head -- hub.south
+    link shard[1].head -- hub.south
+}
+"""
+        path = tmp_path / "pinned.topo"
+        path.write_text(source, encoding="utf-8")
+        assert lint_topo_file(str(path)) == []

@@ -1,0 +1,77 @@
+"""Collect-mode compilation and the structured fields on DslSemanticError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics import Diagnostic
+from repro.dsl import compile_source
+from repro.errors import DslSemanticError
+
+BROKEN = """topology Broken {
+    component a : ring(size = 8) {
+        port p : lowest_id
+    }
+    link a.p -- ghost.q
+    link a.p -- a.p
+}
+"""
+
+CLEAN = """topology Clean {
+    component a : ring(size = 8) {
+        port p : lowest_id
+    }
+    component b : clique(size = 4) {
+        port q : lowest_id
+    }
+    link a.p -- b.q
+}
+"""
+
+
+class TestCollectMode:
+    def test_collects_instead_of_raising(self):
+        collected: list = []
+        assembly = compile_source(BROKEN, diagnostics=collected, file="broken.topo")
+        assert assembly is None
+        codes = [diag.code for diag in collected]
+        assert "RPR101" in codes  # ghost component
+        assert "RPR104" in codes  # self-link
+        for diag in collected:
+            assert isinstance(diag, Diagnostic)
+            assert diag.file == "broken.topo"
+            assert diag.line > 0
+
+    def test_clean_source_returns_assembly(self):
+        collected: list = []
+        assembly = compile_source(CLEAN, diagnostics=collected)
+        assert collected == []
+        assert assembly is not None
+        assert assembly.name == "Clean"
+
+    def test_default_mode_still_raises(self):
+        with pytest.raises(DslSemanticError):
+            compile_source(BROKEN)
+
+
+class TestStructuredError:
+    def test_fields_populated(self):
+        with pytest.raises(DslSemanticError) as excinfo:
+            compile_source(BROKEN)
+        exc = excinfo.value
+        assert exc.line == 5
+        assert exc.column >= 1
+        assert exc.code == "RPR101"
+        assert "ghost" in exc.raw_message
+
+    def test_message_format_unchanged(self):
+        exc = DslSemanticError("nope", line=3, column=7)
+        assert str(exc) == "nope (line 3, column 7)"
+        assert exc.raw_message == "nope"
+
+    def test_code_is_optional_metadata(self):
+        # Hand-raised errors carry no code; the compiler always attaches one.
+        exc = DslSemanticError("nope", line=1, column=1)
+        assert exc.code is None
+        coded = DslSemanticError("nope", line=1, column=1, code="RPR109")
+        assert coded.code == "RPR109"

@@ -1,0 +1,260 @@
+"""Determinism-invariant (DET) rules on synthetic snippets, plus the self-check."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_python_source, self_check
+
+
+def lint_snippet(source: str, rel_path: str = "gossip/synthetic.py"):
+    return lint_python_source(textwrap.dedent(source), rel_path)
+
+
+def codes(diagnostics):
+    return [diag.code for diag in diagnostics]
+
+
+class TestDet001ModuleLevelRandom:
+    def test_direct_module_call_flagged(self):
+        diags = lint_snippet(
+            """
+            import random
+
+            def shuffle(xs):
+                random.shuffle(xs)
+            """
+        )
+        assert codes(diags) == ["DET001"]
+        assert diags[0].line == 5
+
+    def test_aliased_module_flagged(self):
+        diags = lint_snippet(
+            """
+            import random as rnd
+
+            def pick(xs):
+                return rnd.choice(xs)
+            """
+        )
+        assert codes(diags) == ["DET001"]
+
+    def test_from_import_flagged(self):
+        diags = lint_snippet(
+            """
+            from random import choice
+
+            def pick(xs):
+                return choice(xs)
+            """
+        )
+        assert codes(diags) == ["DET001"]
+
+    def test_rng_module_is_exempt(self):
+        diags = lint_snippet(
+            """
+            import random
+
+            def stream(seed):
+                return random.Random(seed)
+            """,
+            rel_path="sim/rng.py",
+        )
+        assert diags == []
+
+    def test_instance_methods_not_flagged(self):
+        # Calls on an rng *instance* are the sanctioned pattern.
+        diags = lint_snippet(
+            """
+            def pick(rng, xs):
+                return rng.choice(xs)
+            """
+        )
+        assert diags == []
+
+
+class TestDet002UnseededRng:
+    def test_unseeded_random_flagged(self):
+        diags = lint_snippet(
+            """
+            import random
+
+            def fresh():
+                return random.Random()
+            """
+        )
+        assert codes(diags) == ["DET002"]
+
+    def test_seeded_random_allowed(self):
+        diags = lint_snippet(
+            """
+            import random
+
+            def fresh(seed):
+                return random.Random(seed)
+            """
+        )
+        assert diags == []
+
+    def test_system_random_always_flagged(self):
+        diags = lint_snippet(
+            """
+            import random
+
+            def fresh():
+                return random.SystemRandom(42)
+            """
+        )
+        assert codes(diags) == ["DET002"]
+
+
+class TestDet003WallClock:
+    def test_time_time_flagged_in_sim_path(self):
+        diags = lint_snippet(
+            """
+            import time
+
+            def now():
+                return time.time()
+            """,
+            rel_path="sim/engine.py",
+        )
+        assert codes(diags) == ["DET003"]
+
+    def test_datetime_now_flagged(self):
+        diags = lint_snippet(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+            rel_path="faults/plane.py",
+        )
+        assert codes(diags) == ["DET003"]
+
+    def test_module_spelling_flagged(self):
+        diags = lint_snippet(
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            rel_path="core/runtime.py",
+        )
+        assert codes(diags) == ["DET003"]
+
+    def test_wall_clock_fine_outside_sim_paths(self):
+        # Reporting/analysis code may legitimately timestamp its output.
+        diags = lint_snippet(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            rel_path="metrics/report.py",
+        )
+        assert diags == []
+
+
+class TestDet004SetIteration:
+    def test_for_over_set_call_flagged(self):
+        diags = lint_snippet(
+            """
+            def merge(views):
+                for entry in set(views):
+                    yield entry
+            """
+        )
+        assert codes(diags) == ["DET004"]
+
+    def test_comprehension_over_set_literal_flagged(self):
+        diags = lint_snippet(
+            """
+            def ids():
+                return [x for x in {3, 1, 2}]
+            """
+        )
+        assert codes(diags) == ["DET004"]
+
+    def test_list_of_set_flagged(self):
+        diags = lint_snippet(
+            """
+            def order(xs):
+                return list(set(xs))
+            """
+        )
+        assert codes(diags) == ["DET004"]
+
+    def test_sorted_set_allowed(self):
+        diags = lint_snippet(
+            """
+            def order(xs):
+                for x in sorted(set(xs)):
+                    yield x
+            """
+        )
+        assert diags == []
+
+    def test_plain_iterables_allowed(self):
+        diags = lint_snippet(
+            """
+            def order(xs):
+                for x in xs:
+                    yield x
+                return list(xs)
+            """
+        )
+        assert diags == []
+
+    def test_not_enforced_outside_ordering_paths(self):
+        diags = lint_snippet(
+            """
+            def order(xs):
+                return list(set(xs))
+            """,
+            rel_path="analysis/export.py",
+        )
+        assert diags == []
+
+
+class TestDet005Popitem:
+    def test_popitem_flagged(self):
+        diags = lint_snippet(
+            """
+            def drain(d):
+                return d.popitem()
+            """,
+            rel_path="core/layers/uo1.py",
+        )
+        assert codes(diags) == ["DET005"]
+
+    def test_pop_with_key_allowed(self):
+        diags = lint_snippet(
+            """
+            def drain(d, key):
+                return d.pop(key)
+            """,
+            rel_path="core/layers/uo1.py",
+        )
+        assert diags == []
+
+
+class TestSelfCheck:
+    def test_framework_source_is_clean(self):
+        """The enforced invariant: repro's own tree has zero DET findings."""
+        assert self_check() == []
+
+    def test_positions_reported(self, tmp_path):
+        bad = tmp_path / "gossip"
+        bad.mkdir()
+        (bad / "views.py").write_text(
+            "import random\n\n\ndef f():\n    return random.random()\n",
+            encoding="utf-8",
+        )
+        diags = self_check(root=str(tmp_path))
+        assert codes(diags) == ["DET001"]
+        assert diags[0].line == 5
+        assert diags[0].file.endswith("views.py")
