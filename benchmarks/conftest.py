@@ -8,7 +8,9 @@ survive the pytest capture. Scales follow ``REPRO_SCALE`` (``ci`` default /
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Optional
 
 import pytest
 
@@ -17,12 +19,24 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture
 def record_result():
-    """Print a result table and archive it under benchmarks/results/."""
+    """Print a result table and archive it under benchmarks/results/.
 
-    def _record(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
+    ``data``, when given, is archived alongside the text table as a JSON
+    sidecar (``<name>.json``) so trajectory tooling can diff runs without
+    parsing aligned tables.
+    """
+
+    def _record(name: str, text: str, data: Optional[dict] = None) -> None:
+        # parents=True: a fresh checkout (or a results dir pruned by CI
+        # artifact collection) must not crash the first recording bench.
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        if data is not None:
+            sidecar = RESULTS_DIR / f"{name}.json"
+            sidecar.write_text(
+                json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
         print(f"\n{text}\n[archived to {path}]")
 
     return _record

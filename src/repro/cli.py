@@ -19,9 +19,11 @@ Commands
 ``export FILE``
     Converge the topology and dump the realized overlay as Graphviz DOT or
     an edge list.
-``bench {fig2,fig3,fig4,e2,e3}``
-    Regenerate one of the paper's figures/experiments at the current
-    ``REPRO_SCALE`` and print its table.
+``bench [gossip|fig2|fig3|fig4|e2|e3]``
+    Without a target (or with ``gossip``), run the deterministic gossip
+    hot-path workload matrix, print its table, and write the
+    ``BENCH_gossip.json`` trajectory. With a figure/experiment target,
+    regenerate it at the current ``REPRO_SCALE`` and print its table.
 ``faults --scenario NAME``
     Run one scenario of the fault-injection suite (or the whole matrix)
     and print its self-healing report: per-layer time-to-repair, residual
@@ -122,7 +124,20 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     target = args.target
-    if target == "fig2":
+    if target == "gossip":
+        from repro.perf.bench import format_bench, run_bench, write_bench
+
+        report = run_bench(
+            scale=args.scale,
+            seeds=args.seeds,
+            master_seed=args.seed,
+            parallel=args.parallel,
+        )
+        print(format_bench(report))
+        written = write_bench(report, json_path=args.output)
+        for path in written:
+            print(f"wrote {path}")
+    elif target == "fig2":
         from repro.experiments.fig2 import format_fig2, run_fig2
 
         print(format_fig2(run_fig2()))
@@ -222,8 +237,40 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--max-rounds", type=int, default=120)
     export.set_defaults(func=_cmd_export)
 
-    bench = subparsers.add_parser("bench", help="regenerate a paper figure")
-    bench.add_argument("target", choices=("fig2", "fig3", "fig4", "e2", "e3"))
+    bench = subparsers.add_parser(
+        "bench", help="run the perf workload matrix or regenerate a paper figure"
+    )
+    bench.add_argument(
+        "target",
+        nargs="?",
+        default="gossip",
+        choices=("gossip", "fig2", "fig3", "fig4", "e2", "e3"),
+        help="'gossip' (default) runs the hot-path workload matrix",
+    )
+    bench.add_argument(
+        "--scale",
+        choices=("ci", "full"),
+        default="ci",
+        help="workload matrix size for the gossip target (default: ci)",
+    )
+    bench.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="seeds per workload cell (default: per-scale preset)",
+    )
+    bench.add_argument("--seed", type=int, default=1, help="master seed (default: 1)")
+    bench.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        help="worker processes for the gossip target (default: auto)",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_gossip.json",
+        help="trajectory path for the gossip target (default: BENCH_gossip.json)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     from repro.faults.scenarios import SCENARIOS

@@ -13,6 +13,7 @@ to realize links, and what applications can use for inter-component traffic.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional
 
 from repro.core.profiles import NodeProfile
@@ -182,11 +183,28 @@ class DistantComponentOverlay(Protocol):
             return None
         return rng.choice(candidates)
 
+    def _bucket_heads(self, component: str, limit: int) -> List[Descriptor]:
+        """The ``limit`` youngest contacts of one bucket, in contacts() order.
+
+        nsmallest == sorted[:k] (same key, same ties) in O(n log k); the
+        round-robin below never consumes more than ``limit`` entries from a
+        single bucket, so the tail of the full ranking is never needed.
+        """
+        bucket = self.buckets.get(component)
+        if bucket is None:
+            return []
+        return heapq.nsmallest(
+            limit, bucket.descriptors(), key=lambda d: (d.age, d.node_id)
+        )
+
     def _make_buffer(self, ctx: RoundContext) -> List[Descriptor]:
         """Self plus the youngest contact of each known component, round-robin
         until the message budget is reached."""
         buffer = [self.self_descriptor()]
-        per_component = [self.contacts(name) for name in self.known_components()]
+        limit = self.gossip_contacts - 1
+        per_component = [
+            self._bucket_heads(name, limit) for name in self.known_components()
+        ]
         depth = 0
         while len(buffer) < self.gossip_contacts:
             added = False

@@ -17,8 +17,11 @@ Every experiment driver takes its parameters from
 from __future__ import annotations
 
 import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.baselines.monolithic import elementary_convergence
 from repro.core.assembly import Assembly
@@ -27,6 +30,9 @@ from repro.core.runtime import Runtime, RuntimeConfig
 from repro.metrics.stats import Stats, summarize
 from repro.shapes.base import Shape
 from repro.sim.config import GossipParams
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
 
 #: Series names as they appear in the paper's figure legends. The five
 #: series of Figures 2 and 3 are the five *sub-procedures* of the runtime:
@@ -108,28 +114,92 @@ def current_scale() -> ExperimentScale:
     return _CI_SCALE
 
 
+def resolve_parallelism(parallel: Optional[int] = None) -> int:
+    """How many worker processes a multi-seed run should use.
+
+    Explicit ``parallel`` wins; then the ``REPRO_PARALLEL`` environment
+    variable; then all cores at ``full`` scale (the paper's 25-seed sweeps
+    are embarrassingly parallel) and 1 at ``ci`` scale, where runs are
+    short enough that process start-up would dominate.
+    """
+    if parallel is not None:
+        return max(1, parallel)
+    env = os.environ.get("REPRO_PARALLEL", "").strip()
+    if env:
+        return max(1, int(env))
+    if current_scale().name == "full":
+        return os.cpu_count() or 1
+    return 1
+
+
+def run_parallel_seeds(
+    worker: Callable[[_Task], _Result],
+    tasks: Sequence[_Task],
+    parallel: Optional[int] = None,
+) -> List[_Result]:
+    """Run ``worker`` over ``tasks`` across processes, preserving task order.
+
+    The multi-seed fan-out: simulations are embarrassingly parallel across
+    seeds, so each task runs in its own process under
+    :class:`~concurrent.futures.ProcessPoolExecutor`. Determinism is
+    unaffected — every task derives its own random universe from its seed
+    (see :func:`repro.sim.rng.spawn_seeds`) and results come back in task
+    order, so parallel and serial runs are byte-identical (pinned by
+    tests/sim/test_determinism.py).
+
+    ``worker`` and every task must be picklable (module-level callables,
+    primitive/dataclass tasks). If the platform refuses process pools (a
+    sandbox without semaphores) or something in the task graph cannot be
+    pickled, the run silently degrades to the serial loop — same results,
+    only wall-clock changes.
+    """
+    tasks = list(tasks)
+    workers = resolve_parallelism(parallel)
+    workers = min(workers, len(tasks))
+    if workers <= 1:
+        return [worker(task) for task in tasks]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(worker, tasks))
+    except (OSError, pickle.PicklingError, AttributeError, BrokenProcessPool):
+        return [worker(task) for task in tasks]
+
+
+def _convergence_worker(task) -> Dict[str, Optional[int]]:
+    """One seed of :func:`measure_convergence` (module-level: must pickle)."""
+    assembly, n_nodes, seed, max_rounds, config = task
+    runtime = Runtime(assembly, config=config, seed=seed)
+    deployment = runtime.deploy(n_nodes)
+    report = deployment.run_until_converged(max_rounds)
+    return {
+        layer: report.round_of(layer) for layer in ConvergenceTracker.ALL_LAYERS
+    }
+
+
 def measure_convergence(
     assembly: Assembly,
     n_nodes: int,
     seeds: Sequence[int],
     max_rounds: int = 120,
     config: Optional[RuntimeConfig] = None,
+    parallel: Optional[int] = None,
 ) -> Dict[str, Stats]:
     """Per-layer rounds-to-converge of the full runtime, averaged over seeds.
 
     Returns a mapping from tracker layer name (``core``, ``uo1``, ``uo2``,
     ``port_selection``, ``port_connection``) to :class:`Stats`; seeds that
-    miss the budget count as failures, never as numbers.
+    miss the budget count as failures, never as numbers. Seeds fan out
+    across processes per :func:`resolve_parallelism` (all cores at ``full``
+    scale); per-seed results are identical either way.
     """
+    tasks = [(assembly, n_nodes, seed, max_rounds, config) for seed in seeds]
+    reports = run_parallel_seeds(_convergence_worker, tasks, parallel=parallel)
     per_layer: Dict[str, list] = {
         layer: [] for layer in ConvergenceTracker.ALL_LAYERS
     }
-    for seed in seeds:
-        runtime = Runtime(assembly, config=config, seed=seed)
-        deployment = runtime.deploy(n_nodes)
-        report = deployment.run_until_converged(max_rounds)
+    for report in reports:
         for layer in per_layer:
-            per_layer[layer].append(report.round_of(layer))
+            per_layer[layer].append(report[layer])
     return {layer: summarize(samples) for layer, samples in per_layer.items()}
 
 

@@ -10,6 +10,7 @@ there to give the best self-healing behaviour.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import List, Optional
 
@@ -169,8 +170,14 @@ class PeerSampling(Protocol):
             return len(pool) - params.view_size
 
         if excess() > 0 and params.healer > 0:
-            by_age = sorted(pool.values(), key=lambda d: (-d.age, d.node_id))
-            for descriptor in by_age[: min(params.healer, excess())]:
+            # nsmallest == sorted[:k] (same key, same ties) in O(n log k);
+            # the healer wave only ever needs the H oldest entries.
+            doomed = heapq.nsmallest(
+                min(params.healer, excess()),
+                pool.values(),
+                key=lambda d: (-d.age, d.node_id),
+            )
+            for descriptor in doomed:
                 del pool[descriptor.node_id]
         if excess() > 0 and params.swapper > 0:
             swaps = min(params.swapper, excess())

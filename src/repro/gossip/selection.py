@@ -8,12 +8,29 @@ protocols.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Dict, Iterable, List
 
 from repro.gossip.descriptors import Descriptor, youngest
 
 #: Profiles are opaque to the gossip layer; shapes and the runtime define them.
 Profile = Any
+
+
+def _top_k(decorated: List[tuple], k: int) -> List[tuple]:
+    """The ``k`` smallest decorated tuples, in ascending order.
+
+    Exactly ``sorted(decorated)[:k]`` either way (the tuples embed unique
+    node ids, so the order is total and both algorithms must agree); the
+    split picks the faster one. CPython's C ``sorted`` beats the partly
+    Python-level ``heapq.nsmallest`` loop until the pool is several times
+    larger than ``k`` — gossip pools are usually view+buffer sized, but
+    assembly-fed candidate pools (UO1 → core feeds, large helper layers)
+    do outgrow it.
+    """
+    if len(decorated) <= 4 * k:
+        return sorted(decorated)[:k]
+    return heapq.nsmallest(k, decorated)
 
 
 class Proximity:
@@ -85,11 +102,58 @@ def select_closest(
     Deduplicates by node id (youngest wins), applies the proximity's
     eligibility filter, and never returns ``exclude_id`` (a node must not
     select itself as its own neighbour).
+
+    This is *the* hot loop of every gossip round (see docs/performance.md),
+    so it is written for per-descriptor cost: dedupe inlined (no helper
+    call per item), the eligibility call skipped when the proximity uses
+    the vacuous default, distances pulled from the proximity's memo dict at
+    C speed when one is bound to ``reference``, and the ranking done over
+    pre-decorated ``(distance, node_id, ...)`` tuples by :func:`_top_k`
+    (``heapq.nsmallest`` in O(n log k) once the pool outgrows ``k``, a C
+    sort below that). Node ids are unique after deduplication, so the
+    (distance, id) prefix is a total order and ties cannot reorder between
+    this and the reference ``sorted`` implementation (pinned by
+    tests/gossip/test_selection_properties.py).
     """
-    pool = [
-        descriptor
-        for descriptor in dedupe_youngest(descriptors)
-        if descriptor.node_id != exclude_id
-        and proximity.eligible(reference, descriptor.profile)
-    ]
-    return rank_by_distance(pool, reference, proximity)[:k]
+    best: Dict[int, Descriptor] = {}
+    for descriptor in descriptors:
+        node_id = descriptor.node_id
+        current = best.get(node_id)
+        if current is None or descriptor.age < current.age:
+            best[node_id] = descriptor
+    best.pop(exclude_id, None)
+
+    eligible = proximity.eligible
+    if getattr(eligible, "__func__", None) is Proximity.eligible:
+        eligible = None  # the base implementation is vacuously true
+
+    lookup = getattr(proximity, "lookup_for", None)
+    memo = lookup(reference) if lookup is not None else None
+    decorated = []
+    if memo is not None:
+        memo_get, compute = memo
+        for descriptor in best.values():
+            if eligible is not None and not eligible(reference, descriptor.profile):
+                continue
+            profile = descriptor.profile
+            distance = memo_get(profile)
+            if distance is None:
+                distance = compute(profile)
+            decorated.append((distance, descriptor.node_id, descriptor))
+    else:
+        # Unwrap delegation layers so the loop pays one call per distance:
+        # a DistanceCache computes exactly base.distance(a, b) for every
+        # query, and the default Proximity.distance only forwards to the
+        # raw metric callable (overriding subclasses keep their frame).
+        source = getattr(proximity, "base", proximity)
+        if type(source).distance is Proximity.distance:
+            distance_fn = source._distance
+        else:
+            distance_fn = source.distance
+        for descriptor in best.values():
+            if eligible is not None and not eligible(reference, descriptor.profile):
+                continue
+            decorated.append(
+                (distance_fn(reference, descriptor.profile), descriptor.node_id, descriptor)
+            )
+    return [item[2] for item in _top_k(decorated, k)]

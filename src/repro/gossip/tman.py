@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.gossip.descriptors import Descriptor
 from repro.gossip.selection import Profile, Proximity, select_closest
 from repro.gossip.views import PartialView
+from repro.perf.cache import DistanceCache
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.protocol import Protocol
@@ -57,6 +58,10 @@ class TMan(Protocol):
         self.descriptor_ttl = descriptor_ttl or max(24, 2 * self.params.view_size)
         self.view = PartialView(self.params.view_size)
         self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
+        # Memoized self-referenced distances (see Vicinity: ranking-function
+        # evaluation dominates the round; the reference changes only on
+        # reconfiguration).
+        self._distances = DistanceCache(proximity, profile)
 
     def self_descriptor(self) -> Descriptor:
         return self._self_descriptor
@@ -64,14 +69,14 @@ class TMan(Protocol):
     def set_profile(self, profile: Profile) -> None:
         self.profile = profile
         self._self_descriptor = Descriptor(self.node_id, age=0, profile=profile)
+        self._distances.rebind(profile)
         self.view.discard_where(
             lambda d: not self.proximity.eligible(profile, d.profile)
         )
 
     def neighbors(self) -> List[int]:
         best = self.view.closest(
-            self.target_degree,
-            lambda d: self.proximity.distance(self.profile, d.profile),
+            self.target_degree, lambda d: self._distances.to(d.profile)
         )
         return [descriptor.node_id for descriptor in best]
 
@@ -115,7 +120,7 @@ class TMan(Protocol):
         """Uniform draw from the ψ closest live view entries."""
         while len(self.view):
             ranked = self.view.closest(
-                self.psi, lambda d: self.proximity.distance(self.profile, d.profile)
+                self.psi, lambda d: self._distances.to(d.profile)
             )
             live = [d for d in ranked if ctx.network.is_alive(d.node_id)]
             if live:
@@ -178,7 +183,7 @@ class TMan(Protocol):
         return select_closest(
             pool,
             reference,
-            self.proximity,
+            self._distances,
             self.params.gossip_size,
             exclude_id=recipient_id,
         )
@@ -191,7 +196,7 @@ class TMan(Protocol):
         best = select_closest(
             self._fresh(pool),
             self.profile,
-            self.proximity,
+            self._distances,
             self.params.view_size,
             exclude_id=self.node_id,
         )

@@ -21,6 +21,7 @@ from repro.gossip.descriptors import Descriptor
 from repro.gossip.peer_sampling import PeerSampling
 from repro.gossip.selection import Profile, Proximity, select_closest
 from repro.gossip.views import PartialView
+from repro.perf.cache import DistanceCache
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.protocol import Protocol
@@ -86,6 +87,12 @@ class Vicinity(Protocol):
         self.descriptor_ttl = descriptor_ttl or max(24, 2 * self.params.view_size)
         self.view = PartialView(self.params.view_size)
         self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
+        # The per-node memoized distance cache: every round this node ranks
+        # the same few dozen candidate profiles against its own profile, and
+        # ranking-function evaluation dominates the gossip round. The cache
+        # is a drop-in Proximity, so partner-referenced rankings pass
+        # through it unmemoized and unchanged.
+        self._distances = DistanceCache(proximity, profile)
 
     # -- descriptor & profile ---------------------------------------------------
 
@@ -97,10 +104,13 @@ class Vicinity(Protocol):
         """Adopt a new profile (assembly reconfiguration).
 
         Entries that are no longer eligible under the new profile are
-        discarded immediately so the view re-converges from valid state.
+        discarded immediately so the view re-converges from valid state,
+        and the memoized distances — all measured from the old profile —
+        are invalidated.
         """
         self.profile = profile
         self._self_descriptor = Descriptor(self.node_id, age=0, profile=profile)
+        self._distances.rebind(profile)
         self.view.discard_where(
             lambda d: not self.proximity.eligible(profile, d.profile)
         )
@@ -109,7 +119,7 @@ class Vicinity(Protocol):
 
     def neighbors(self) -> List[int]:
         best = self.view.closest(
-            self.target_degree, lambda d: self.proximity.distance(self.profile, d.profile)
+            self.target_degree, lambda d: self._distances.to(d.profile)
         )
         return [descriptor.node_id for descriptor in best]
 
@@ -239,7 +249,7 @@ class Vicinity(Protocol):
         return select_closest(
             self._fresh(pool) + [self.self_descriptor()],
             reference,
-            self.proximity,
+            self._distances,
             self.params.gossip_size,
             exclude_id=recipient_id,
         )
@@ -264,7 +274,7 @@ class Vicinity(Protocol):
         best = select_closest(
             self._fresh(pool + [d.aged() for d in received]),
             self.profile,
-            self.proximity,
+            self._distances,
             self.params.view_size,
             exclude_id=self.node_id,
         )

@@ -8,6 +8,7 @@ are evaluated on.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
@@ -36,9 +37,20 @@ class PartialView:
     current round — clears the tombstone, proving the node is back. Each
     tombstone expires after ``tombstone_ttl`` aging steps so the table stays
     bounded across long churn runs.
+
+    **Lazy aging.** :meth:`increase_age` does not rewrite the descriptor
+    table; it increments an *age debt* that is settled (applied in one pass)
+    the first time the view is actually read or age-sensitively mutated.
+    The id-index — the ``node_id → descriptor`` dict *is* the index — is
+    therefore maintained incrementally: id-only operations (``len``,
+    ``in``, :meth:`ids`, :meth:`remove`) never trigger a rebuild, and a
+    view that is aged but not otherwise touched in a round (a lost
+    exchange, an idle UO2 bucket) costs O(1) instead of O(view size).
+    Observable state is identical to eager aging; the equivalence is pinned
+    by tests/gossip/test_views_properties.py.
     """
 
-    __slots__ = ("capacity", "_entries", "_tombstones", "tombstone_ttl")
+    __slots__ = ("capacity", "_entries", "_tombstones", "tombstone_ttl", "_age_debt")
 
     def __init__(
         self,
@@ -56,8 +68,32 @@ class PartialView:
         self.tombstone_ttl = tombstone_ttl
         self._entries: Dict[int, Descriptor] = {}
         self._tombstones: Dict[int, int] = {}
+        self._age_debt = 0
         for descriptor in entries:
             self.insert(descriptor)
+
+    def _settle(self) -> None:
+        """Apply any deferred aging so entries carry their true age.
+
+        Called by every operation whose outcome (or escaping descriptors)
+        depends on ages. Aging a descriptor by the accumulated debt in one
+        pass is exactly equivalent to aging it once per round: ``aged`` is
+        pure addition, and tombstones expire after ``remaining`` steps
+        whether those steps are applied singly or batched.
+        """
+        debt = self._age_debt
+        if not debt:
+            return
+        self._age_debt = 0
+        entries = self._entries
+        for node_id in entries:
+            entries[node_id] = entries[node_id].aged(debt)
+        if self._tombstones:
+            self._tombstones = {
+                node_id: remaining - debt
+                for node_id, remaining in self._tombstones.items()
+                if remaining - debt >= 1
+            }
 
     # -- basic container protocol --------------------------------------------
 
@@ -68,15 +104,18 @@ class PartialView:
         return node_id in self._entries
 
     def __iter__(self) -> Iterator[Descriptor]:
+        self._settle()
         return iter(self._entries.values())
 
     def get(self, node_id: int) -> Optional[Descriptor]:
+        self._settle()
         return self._entries.get(node_id)
 
     def ids(self) -> List[int]:
         return list(self._entries.keys())
 
     def descriptors(self) -> List[Descriptor]:
+        self._settle()
         return list(self._entries.values())
 
     def is_full(self) -> bool:
@@ -92,6 +131,7 @@ class PartialView:
         inserted. Tombstoned ids are rejected unless the descriptor is
         age 0 (a live announcement from the owner itself).
         """
+        self._settle()
         remaining = self._tombstones.get(descriptor.node_id)
         if remaining is not None:
             if descriptor.age > 0:
@@ -129,65 +169,93 @@ class PartialView:
         descriptor cannot flow back in. A subsequent age-0 descriptor — the
         node announcing itself after a resume — lifts the tombstone.
         """
+        self._settle()  # a fresh tombstone must not absorb pre-purge debt
         existed = self._entries.pop(node_id, None) is not None
         self._tombstones[node_id] = self.tombstone_ttl
         return existed
 
     def is_purged(self, node_id: int) -> bool:
         """Whether ``node_id`` currently carries a tombstone."""
+        self._settle()
         return node_id in self._tombstones
 
     def discard_where(self, predicate: Callable[[Descriptor], bool]) -> int:
         """Remove every descriptor matching ``predicate``; return the count."""
+        self._settle()
         doomed = [d.node_id for d in self._entries.values() if predicate(d)]
         for node_id in doomed:
             del self._entries[node_id]
         return len(doomed)
 
     def increase_age(self) -> None:
-        """Age every descriptor by one round (start of a gossip step)."""
-        self._entries = {
-            node_id: descriptor.aged()
-            for node_id, descriptor in self._entries.items()
-        }
-        if self._tombstones:
-            self._tombstones = {
-                node_id: remaining - 1
-                for node_id, remaining in self._tombstones.items()
-                if remaining > 1
-            }
+        """Age every descriptor by one round (start of a gossip step).
+
+        O(1): the round is added to the view's age debt and applied lazily
+        on the next age-sensitive access (see the class docstring).
+        """
+        self._age_debt += 1
 
     def clear(self) -> None:
-        """Full reset: entries and tombstones both dropped."""
+        """Full reset: entries, tombstones, and pending age debt dropped."""
         self._entries.clear()
         self._tombstones.clear()
+        self._age_debt = 0
 
     def replace(self, descriptors: Iterable[Descriptor]) -> None:
-        """Atomically replace the contents (used by select-style protocols)."""
-        self._entries.clear()
+        """Atomically replace the contents (used by select-style protocols).
+
+        Semantically an entry-clear followed by :meth:`insert` per
+        descriptor (pinned by tests/gossip/test_views_properties.py); the
+        common cases — unique ids, no overflow, the output of a select
+        step — are inlined because select-style protocols call this every
+        exchange and a full ``insert`` per descriptor is measurable there.
+        """
+        self._settle()  # tombstones must observe pre-replace aging
+        entries = self._entries
+        entries.clear()
+        tombstones = self._tombstones
+        capacity = self.capacity
         for descriptor in descriptors:
-            self.insert(descriptor)
+            node_id = descriptor.node_id
+            if tombstones:
+                remaining = tombstones.get(node_id)
+                if remaining is not None:
+                    if descriptor.age > 0:
+                        continue
+                    del tombstones[node_id]
+            existing = entries.get(node_id)
+            if existing is None:
+                if len(entries) < capacity:
+                    entries[node_id] = descriptor
+                else:
+                    self.insert(descriptor)  # overflow: full eviction policy
+            elif descriptor.age < existing.age:
+                entries[node_id] = descriptor
 
     # -- selection ---------------------------------------------------------------
 
     def oldest(self) -> Optional[Descriptor]:
         """The entry with the highest age (ties broken by lowest node id)."""
+        self._settle()
         if not self._entries:
             return None
         return max(self._entries.values(), key=lambda d: (d.age, -d.node_id))
 
     def youngest(self) -> Optional[Descriptor]:
+        self._settle()
         if not self._entries:
             return None
         return min(self._entries.values(), key=lambda d: (d.age, d.node_id))
 
     def random(self, rng: random.Random) -> Optional[Descriptor]:
+        self._settle()
         if not self._entries:
             return None
         return self._entries[rng.choice(list(self._entries.keys()))]
 
     def sample(self, rng: random.Random, k: int) -> List[Descriptor]:
         """Up to ``k`` distinct entries, uniformly at random."""
+        self._settle()
         values = list(self._entries.values())
         if k >= len(values):
             return values
@@ -196,9 +264,18 @@ class PartialView:
     def closest(
         self, k: int, key: Callable[[Descriptor], float]
     ) -> List[Descriptor]:
-        """The ``k`` entries minimizing ``key`` (stable tie-break on node id)."""
-        ranked = sorted(self._entries.values(), key=lambda d: (key(d), d.node_id))
-        return ranked[:k]
+        """The ``k`` entries minimizing ``key`` (stable tie-break on node id).
+
+        Ranks over the (key, id) total order, so the result is exactly
+        ``sorted(...)[:k]`` — via ``heapq.nsmallest`` in O(n log k) when
+        the view is several times larger than ``k``, via a C sort below
+        that (see :func:`repro.gossip.selection._top_k`).
+        """
+        self._settle()
+        entries = self._entries.values()
+        if len(entries) <= 4 * k:
+            return sorted(entries, key=lambda d: (key(d), d.node_id))[:k]
+        return heapq.nsmallest(k, entries, key=lambda d: (key(d), d.node_id))
 
     def truncate_closest(self, k: int, key: Callable[[Descriptor], float]) -> None:
         """Keep only the ``k`` entries minimizing ``key``."""
@@ -211,14 +288,16 @@ class PartialView:
         """Remove the ``count`` oldest entries (peer-sampling healer step)."""
         if count <= 0:
             return
-        ranked = sorted(
-            self._entries.values(), key=lambda d: (-d.age, d.node_id)
+        self._settle()
+        ranked = heapq.nsmallest(
+            count, self._entries.values(), key=lambda d: (-d.age, d.node_id)
         )
-        for descriptor in ranked[:count]:
+        for descriptor in ranked:
             del self._entries[descriptor.node_id]
 
     def drop_random(self, rng: random.Random, count: int) -> None:
         """Remove ``count`` uniformly random entries."""
+        self._settle()
         count = min(count, len(self._entries))
         for descriptor in rng.sample(list(self._entries.values()), count):
             del self._entries[descriptor.node_id]

@@ -10,7 +10,10 @@ so as the codebase grows:
   and no unseeded ``random.Random()``/``SystemRandom`` anywhere outside
   that module.
 - ``DET003`` — no wall-clock reads in simulation-facing packages (``sim``,
-  ``core``, ``gossip``, ``faults``): simulated time is the round counter.
+  ``core``, ``gossip``, ``faults``) nor in the simulation-side half of the
+  perf subsystem (``perf/cache.py``, ``perf/digest.py``,
+  ``perf/workloads.py``): simulated time is the round counter. Timing
+  belongs to the harness (``perf/bench.py``) alone.
 - ``DET004`` — no iteration over bare ``set``/``frozenset`` values in
   ordering-sensitive packages (``gossip``, ``core``, ``sim``): hash order
   must never feed a view merge or a stochastic choice. ``sorted(...)``,
@@ -33,8 +36,19 @@ from repro.diagnostics import ERROR, Diagnostic, sort_diagnostics
 #: The only module allowed to touch the ``random`` module directly.
 RNG_MODULE = "sim/rng.py"
 
-#: Packages where wall-clock reads are forbidden (DET003).
-WALLCLOCK_PATHS = ("sim/", "core/", "gossip/", "faults/")
+#: Packages/files where wall-clock reads are forbidden (DET003). The perf
+#: subsystem is split on purpose: its workloads, digests, and caches are
+#: simulation-side (results must be a pure function of (config, seed)),
+#: while perf/bench.py is the one sanctioned timing harness.
+WALLCLOCK_PATHS = (
+    "sim/",
+    "core/",
+    "gossip/",
+    "faults/",
+    "perf/cache.py",
+    "perf/digest.py",
+    "perf/workloads.py",
+)
 
 #: Packages where set-iteration order and popitem are forbidden (DET004/005).
 ORDERING_PATHS = ("gossip/", "core/", "sim/")

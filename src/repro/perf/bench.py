@@ -1,0 +1,201 @@
+"""The timing harness behind ``repro bench`` — the perf trajectory writer.
+
+This is the *only* perf module allowed to read the wall clock (the DET003
+linter pins the others to simulated time): it wraps each deterministic
+workload run with ``time.perf_counter`` and aggregates the results into a
+:class:`BenchReport`, serialized as ``BENCH_gossip.json`` at the repo root
+plus an aligned text table under ``benchmarks/results/``. Future PRs regress
+against that trajectory: wall times are environment-dependent, but
+rounds-to-convergence, message/byte counts, and per-seed digests must only
+move when the simulation's semantics deliberately change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.harness import run_parallel_seeds
+from repro.metrics.report import render_table
+from repro.metrics.stats import summarize
+from repro.perf.workloads import Workload, run_workload, workload_matrix
+from repro.sim.rng import spawn_seeds
+
+#: Schema version of the BENCH_*.json trajectory format.
+SCHEMA = 1
+
+#: Seeds per workload cell at each scale.
+SEEDS_PER_SCALE = {"ci": 2, "full": 5}
+
+
+def _timed_worker(task: Tuple[Workload, int]) -> Tuple[dict, float]:
+    """Run one (workload, seed) cell and time it (module-level: must pickle).
+
+    Returns the result as a plain dict so the parent never depends on class
+    identity across process boundaries.
+    """
+    workload, seed = task
+    start = time.perf_counter()
+    result = run_workload(workload, seed)
+    return result.to_dict(), time.perf_counter() - start
+
+
+@dataclass
+class WorkloadSummary:
+    """All seeds of one matrix cell, with timing."""
+
+    workload: Workload
+    seeds: Tuple[int, ...]
+    results: List[dict]
+    wall_times: List[float]
+
+    def to_dict(self) -> Dict:
+        rounds = [r["rounds_to_converge"] for r in self.results]
+        stats = summarize(rounds)
+        return {
+            "name": self.workload.name,
+            "shape": self.workload.shape,
+            "n_nodes": self.workload.n_nodes,
+            "max_rounds": self.workload.max_rounds,
+            "seeds": list(self.seeds),
+            "converged": sum(1 for r in rounds if r is not None),
+            "rounds_to_converge": {
+                "mean": None if stats.n == 0 else round(stats.mean, 2),
+                "ci90": round(stats.ci90, 2),
+                "failures": stats.failures,
+            },
+            "wall_time_s": {
+                "mean": round(sum(self.wall_times) / len(self.wall_times), 4),
+                "min": round(min(self.wall_times), 4),
+                "max": round(max(self.wall_times), 4),
+            },
+            "messages": sum(r["messages"] for r in self.results),
+            "bytes": sum(r["bytes"] for r in self.results),
+            "peak_view_size": max(r["peak_view_size"] for r in self.results),
+            "digests": [r["digest"] for r in self.results],
+        }
+
+
+@dataclass
+class BenchReport:
+    """One full bench run over the workload matrix."""
+
+    scale: str
+    master_seed: int
+    parallel: Optional[int]
+    summaries: List[WorkloadSummary] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        cells = [summary.to_dict() for summary in self.summaries]
+        return {
+            "schema": SCHEMA,
+            "suite": "gossip",
+            "scale": self.scale,
+            "master_seed": self.master_seed,
+            "workloads": cells,
+            "totals": {
+                "wall_time_s": round(
+                    sum(sum(s.wall_times) for s in self.summaries), 4
+                ),
+                "messages": sum(cell["messages"] for cell in cells),
+                "bytes": sum(cell["bytes"] for cell in cells),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def run_bench(
+    scale: str = "ci",
+    seeds: Optional[int] = None,
+    master_seed: int = 1,
+    parallel: Optional[int] = None,
+) -> BenchReport:
+    """Run the fixed workload matrix at ``scale`` and collect the report.
+
+    Every (workload, seed) cell is an independent task for the parallel
+    multi-seed runner; seeds derive deterministically from ``master_seed``
+    and the workload name, so two bench runs measure identical simulations
+    regardless of worker count.
+    """
+    matrix = workload_matrix(scale)
+    n_seeds = seeds or SEEDS_PER_SCALE.get(scale, 2)
+    tasks: List[Tuple[Workload, int]] = []
+    for workload in matrix:
+        for seed in spawn_seeds(master_seed, n_seeds, "bench", workload.name):
+            tasks.append((workload, seed))
+    outcomes = run_parallel_seeds(_timed_worker, tasks, parallel=parallel)
+    report = BenchReport(scale=scale, master_seed=master_seed, parallel=parallel)
+    index = 0
+    for workload in matrix:
+        cell = outcomes[index : index + n_seeds]
+        report.summaries.append(
+            WorkloadSummary(
+                workload=workload,
+                seeds=tuple(task[1] for task in tasks[index : index + n_seeds]),
+                results=[result for result, _ in cell],
+                wall_times=[wall for _, wall in cell],
+            )
+        )
+        index += n_seeds
+    return report
+
+
+def format_bench(report: BenchReport) -> str:
+    """Render the report as the aligned table archived under benchmarks/."""
+    headers = (
+        "workload",
+        "nodes",
+        "seeds",
+        "rounds",
+        "wall s (mean)",
+        "messages",
+        "kB",
+        "peak view",
+    )
+    rows = []
+    for summary in report.summaries:
+        cell = summary.to_dict()
+        mean_rounds = cell["rounds_to_converge"]["mean"]
+        rows.append(
+            (
+                cell["name"],
+                cell["n_nodes"],
+                len(cell["seeds"]),
+                "n/a" if mean_rounds is None else f"{mean_rounds:.1f}",
+                f"{cell['wall_time_s']['mean']:.3f}",
+                cell["messages"],
+                f"{cell['bytes'] / 1024:.0f}",
+                cell["peak_view_size"],
+            )
+        )
+    title = (
+        f"repro bench — gossip hot-path workload matrix "
+        f"(scale={report.scale}, master_seed={report.master_seed})"
+    )
+    return render_table(headers, rows, title=title)
+
+
+def write_bench(
+    report: BenchReport,
+    json_path: str = "BENCH_gossip.json",
+    results_dir: Optional[str] = "benchmarks/results",
+) -> List[str]:
+    """Write the JSON trajectory (and the text table); return written paths."""
+    written = []
+    path = pathlib.Path(json_path)
+    if path.parent != pathlib.Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report.to_json(), encoding="utf-8")
+    written.append(str(path))
+    if results_dir is not None:
+        directory = pathlib.Path(results_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        table_path = directory / "bench_gossip.txt"
+        table_path.write_text(format_bench(report) + "\n", encoding="utf-8")
+        written.append(str(table_path))
+    return written

@@ -1,0 +1,41 @@
+"""Canonical fingerprints of simulation outcomes.
+
+Two digests back the determinism guarantees the perf work relies on:
+
+- :func:`overlay_digest` hashes the realized overlay (every node's neighbour
+  list at a layer) — two runs of the same seed must produce byte-identical
+  digests, serial or parallel, optimized selection path or not;
+- :func:`result_digest` hashes any JSON-representable result record, the
+  form the bench trajectory stores per workload.
+
+Simulation-side module: no wall-clock reads (DET003 applies here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Sequence
+
+
+def overlay_digest(network, layers: Sequence[str]) -> str:
+    """SHA-256 over the (node → neighbours) relation of ``layers``.
+
+    The encoding is canonical — nodes and layers in sorted order, neighbour
+    lists in protocol order (neighbour order is itself deterministic under
+    a fixed seed, and part of what the digest pins).
+    """
+    record = {}
+    for node in sorted(network.alive_nodes(), key=lambda n: n.node_id):
+        per_layer = {}
+        for layer in sorted(layers):
+            if node.has_protocol(layer):
+                per_layer[layer] = list(node.protocol(layer).neighbors())
+        record[node.node_id] = per_layer
+    return result_digest(record)
+
+
+def result_digest(record: Any) -> str:
+    """SHA-256 hex digest of a canonical JSON encoding of ``record``."""
+    material = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()

@@ -1,0 +1,184 @@
+"""The fixed, deterministic workload matrix behind ``repro bench``.
+
+Each workload deploys the *elementary* gossip stack — global peer sampling
+feeding one Vicinity overlay — over one shape at one node count, and runs it
+to shape convergence. That is exactly the hot path this subsystem optimizes
+(per-round view ranking and merging), with none of the assembly runtime's
+upper layers diluting the measurement.
+
+Simulation-side module: everything here is driven by seeds and round
+counters; wall-clock timing lives in :mod:`repro.perf.bench` only (the
+determinism linter enforces this split, DET003).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.gossip.peer_sampling import PeerSampling
+from repro.gossip.selection import Proximity
+from repro.gossip.vicinity import Vicinity
+from repro.perf.digest import overlay_digest
+from repro.shapes import make_shape
+from repro.sim.config import GossipParams, TransportCosts
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.rng import RandomStreams
+from repro.sim.transport import Transport
+
+#: Layer labels of the two-protocol elementary stack.
+PS_LAYER = "peer_sampling"
+OVERLAY_LAYER = "overlay"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One cell of the bench matrix: a shape at a node count.
+
+    Frozen and built from primitives only, so it pickles cleanly into the
+    parallel multi-seed runner's worker processes.
+    """
+
+    name: str
+    shape: str
+    n_nodes: int
+    max_rounds: int = 60
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of one (workload, seed) run — everything but wall time."""
+
+    workload: str
+    seed: int
+    rounds_to_converge: Optional[int]
+    executed: int
+    messages: int
+    bytes: int
+    peak_view_size: int
+    digest: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "rounds_to_converge": self.rounds_to_converge,
+            "executed": self.executed,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "peak_view_size": self.peak_view_size,
+            "digest": self.digest,
+        }
+
+
+#: The trajectory matrices. Shapes are chosen to cover distinct metric
+#: structure (1-D ring/line orders, 2-D grids, uniform cliques, recursive
+#: trees/hypercubes); node counts set the candidate-pool pressure. CI cells
+#: all converge within a couple of simulated seconds so the perf-smoke job
+#: stays cheap; ``full`` raises the counts for real trend lines.
+_CI_MATRIX: Tuple[Workload, ...] = (
+    Workload("ring-64", "ring", 64),
+    Workload("ring-256", "ring", 256),
+    Workload("grid-64", "grid", 64),
+    Workload("torus-64", "torus", 64),
+    Workload("hypercube-64", "hypercube", 64),
+    Workload("kring-96", "kring", 96),
+    Workload("tree-63", "tree", 63),
+    Workload("clique-32", "clique", 32),
+)
+
+_FULL_MATRIX: Tuple[Workload, ...] = (
+    Workload("ring-256", "ring", 256),
+    Workload("ring-1024", "ring", 1024, max_rounds=120),
+    Workload("grid-256", "grid", 256),
+    Workload("grid-1024", "grid", 1024, max_rounds=120),
+    Workload("torus-256", "torus", 256),
+    Workload("kring-1024", "kring", 1024, max_rounds=120),
+    Workload("hypercube-256", "hypercube", 256),
+    Workload("tree-255", "tree", 255),
+    Workload("clique-128", "clique", 128, max_rounds=120),
+)
+
+
+def workload_matrix(scale: str = "ci") -> Tuple[Workload, ...]:
+    """The fixed matrix for ``scale`` (``ci`` default, or ``full``)."""
+    return _FULL_MATRIX if scale == "full" else _CI_MATRIX
+
+
+def run_workload(workload: Workload, seed: int) -> WorkloadResult:
+    """Deploy, converge, and measure one workload under one seed.
+
+    Deterministic: the result (digest included) is a pure function of
+    ``(workload, seed)``, which is what lets the parallel runner fan seeds
+    out across processes without changing any number.
+    """
+    shape = make_shape(workload.shape)
+    n_nodes = workload.n_nodes
+    params = GossipParams()
+    network = Network()
+    streams = RandomStreams(seed)
+    transport = Transport(TransportCosts())
+    nodes = network.create_nodes(n_nodes)
+    metric = shape.metric(n_nodes)
+    proximity = Proximity(metric)
+    view_size = shape.view_size(n_nodes, params.view_size)
+    sized = GossipParams(
+        view_size=view_size,
+        gossip_size=min(params.gossip_size, view_size + 1),
+        healer=params.healer,
+        swapper=params.swapper,
+    )
+    rank_of: Dict[int, int] = {}
+    for rank, node in enumerate(nodes):
+        rank_of[node.node_id] = rank
+        peer_sampling = PeerSampling(node.node_id, params, layer=PS_LAYER)
+        peer_sampling.bootstrap(streams.stream("bootstrap", node.node_id), network)
+        node.attach(PS_LAYER, peer_sampling)
+        node.attach(
+            OVERLAY_LAYER,
+            Vicinity(
+                node.node_id,
+                profile=shape.coordinate(rank, n_nodes),
+                proximity=proximity,
+                params=sized,
+                layer=OVERLAY_LAYER,
+                random_layer=PS_LAYER,
+                target_degree=max(1, shape.rank_degree(rank, n_nodes)),
+            ),
+        )
+    engine = Engine(network, transport, streams)
+
+    def shape_converged() -> bool:
+        adjacency: Dict[int, List[int]] = {}
+        for node in network.alive_nodes():
+            rank = rank_of[node.node_id]
+            adjacency[rank] = [
+                rank_of[other]
+                for other in node.protocol(OVERLAY_LAYER).neighbors()
+                if other in rank_of
+            ]
+        return shape.converged(adjacency, n_nodes)
+
+    peak_view = 0
+    converged_at: Optional[int] = None
+    for round_index in range(workload.max_rounds):
+        engine.run_round()
+        for node in network.alive_nodes():
+            for layer in (PS_LAYER, OVERLAY_LAYER):
+                size = len(node.protocol(layer).view)
+                if size > peak_view:
+                    peak_view = size
+        if shape_converged():
+            converged_at = round_index + 1
+            break
+    return WorkloadResult(
+        workload=workload.name,
+        seed=seed,
+        rounds_to_converge=converged_at,
+        executed=engine.round,
+        messages=transport.total_messages(),
+        bytes=transport.total_bytes(),
+        peak_view_size=peak_view,
+        digest=overlay_digest(network, (PS_LAYER, OVERLAY_LAYER)),
+    )

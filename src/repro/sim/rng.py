@@ -30,6 +30,19 @@ def derive_seed(master_seed: int, *names: Hashable) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def spawn_seeds(master_seed: int, count: int, *names: Hashable) -> Tuple[int, ...]:
+    """``count`` independent child seeds rooted at ``(master_seed, names)``.
+
+    The per-seed derivation used by multi-seed harnesses: each child seed is
+    a pure function of the master seed, the harness's stream names, and the
+    run index — so a parallel fan-out across processes and a serial loop
+    enumerate the *same* random universes in the same order.
+    """
+    return tuple(
+        derive_seed(master_seed, "spawn", *names, index) for index in range(count)
+    )
+
+
 class RandomStreams:
     """A registry of named :class:`random.Random` streams under one master seed.
 

@@ -1,0 +1,132 @@
+"""Property tests pinning the heapq rewrite of descriptor selection.
+
+``select_closest`` used to rank with ``sorted(...)[:k]``; it now uses
+``heapq.nsmallest`` over the same ``(distance, node_id)`` key. These tests
+assert exact equivalence — same descriptors, same order, including ties —
+against a reference implementation kept in its original ``sorted`` form,
+and that routing distances through the memoized :class:`DistanceCache`
+changes nothing either.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.gossip.descriptors import Descriptor  # noqa: E402
+from repro.gossip.selection import (  # noqa: E402
+    FilteredProximity,
+    Proximity,
+    dedupe_youngest,
+    rank_by_distance,
+    select_closest,
+)
+from repro.perf.cache import DistanceCache  # noqa: E402
+
+node_ids = st.integers(min_value=0, max_value=20)
+ages = st.integers(min_value=0, max_value=6)
+profiles = st.integers(min_value=0, max_value=10)
+descriptors = st.builds(Descriptor, node_id=node_ids, age=ages, profile=profiles)
+
+#: Coarse distances on purpose: // 3 buckets many profiles onto the same
+#: distance, so tie-handling between sorted and nsmallest is exercised hard.
+TIE_HEAVY = Proximity(lambda a, b: abs(a - b) // 3)
+EXACT = Proximity(lambda a, b: abs(a - b))
+FILTERED = FilteredProximity(
+    lambda a, b: abs(a - b), lambda a, b: (a + b) % 2 == 0
+)
+PROXIMITIES = (TIE_HEAVY, EXACT, FILTERED)
+
+
+def reference_select(descriptors, reference, proximity, k, exclude_id=-1):
+    """The pre-optimization implementation, verbatim: full sort + slice."""
+    pool = [
+        descriptor
+        for descriptor in dedupe_youngest(descriptors)
+        if descriptor.node_id != exclude_id
+        and proximity.eligible(reference, descriptor.profile)
+    ]
+    ranked = sorted(
+        pool,
+        key=lambda d: (proximity.distance(reference, d.profile), d.node_id),
+    )
+    return ranked[:k]
+
+
+@given(
+    pool=st.lists(descriptors, max_size=30),
+    reference=profiles,
+    k=st.integers(min_value=0, max_value=12),
+    exclude=st.integers(min_value=-1, max_value=20),
+    which=st.integers(min_value=0, max_value=len(PROXIMITIES) - 1),
+)
+@settings(max_examples=300, deadline=None)
+def test_select_closest_matches_sorted_reference(pool, reference, k, exclude, which):
+    proximity = PROXIMITIES[which]
+    expected = reference_select(pool, reference, proximity, k, exclude_id=exclude)
+    actual = select_closest(pool, reference, proximity, k, exclude_id=exclude)
+    assert actual == expected
+    # Order identity, not just set identity: ties must break the same way.
+    assert [d.node_id for d in actual] == [d.node_id for d in expected]
+
+
+@given(
+    pool=st.lists(descriptors, max_size=30),
+    reference=profiles,
+    k=st.integers(min_value=0, max_value=12),
+)
+@settings(max_examples=200, deadline=None)
+def test_select_closest_is_a_prefix_of_the_full_ranking(pool, reference, k):
+    deduped = dedupe_youngest(pool)
+    full = rank_by_distance(deduped, reference, TIE_HEAVY)
+    # rank_by_distance is a stable sort on the same key; with unique ids the
+    # key is a total order, so the nsmallest selection must be its prefix.
+    assert select_closest(pool, reference, TIE_HEAVY, k) == full[:k]
+
+
+@given(
+    pool=st.lists(descriptors, max_size=30),
+    reference=profiles,
+    k=st.integers(min_value=0, max_value=12),
+    which=st.integers(min_value=0, max_value=len(PROXIMITIES) - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_distance_cache_is_transparent_to_selection(pool, reference, k, which):
+    """The overlay hot path ranks through DistanceCache; results must be
+    bit-identical to ranking through the raw proximity."""
+    proximity = PROXIMITIES[which]
+    cached = DistanceCache(proximity, reference)
+    direct = select_closest(pool, reference, proximity, k)
+    assert select_closest(pool, reference, cached, k) == direct
+    # And again, exercising warm-cache hits.
+    assert select_closest(pool, reference, cached, k) == direct
+
+
+@given(
+    pool=st.lists(descriptors, max_size=30),
+    reference=profiles,
+    other=profiles,
+    k=st.integers(min_value=0, max_value=12),
+)
+@settings(max_examples=200, deadline=None)
+def test_distance_cache_passes_through_foreign_references(pool, reference, other, k):
+    """Partner-referenced rankings (buffer selection for the *partner's*
+    profile) flow through the cache unmemoized and unchanged."""
+    cached = DistanceCache(EXACT, reference)
+    assert select_closest(pool, other, cached, k) == select_closest(
+        pool, other, EXACT, k
+    )
+
+
+@given(pool=st.lists(descriptors, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_dedupe_keeps_exactly_one_youngest_copy_per_id(pool):
+    deduped = dedupe_youngest(pool)
+    ids = [d.node_id for d in deduped]
+    assert len(ids) == len(set(ids))
+    for descriptor in deduped:
+        same = [d.age for d in pool if d.node_id == descriptor.node_id]
+        assert descriptor.age == min(same)

@@ -145,6 +145,19 @@ class TestDet003WallClock:
         )
         assert codes(diags) == ["DET003"]
 
+    def test_perf_simulation_side_modules_are_covered(self):
+        # The perf split: workloads/digest/cache are simulation-side and
+        # clock-free; only the bench harness may read the wall clock.
+        snippet = """
+            import time
+
+            def tick():
+                return time.perf_counter()
+            """
+        for rel_path in ("perf/workloads.py", "perf/digest.py", "perf/cache.py"):
+            assert codes(lint_snippet(snippet, rel_path=rel_path)) == ["DET003"]
+        assert lint_snippet(snippet, rel_path="perf/bench.py") == []
+
     def test_wall_clock_fine_outside_sim_paths(self):
         # Reporting/analysis code may legitimately timestamp its output.
         diags = lint_snippet(

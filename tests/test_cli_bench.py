@@ -44,11 +44,67 @@ def fast_drivers(monkeypatch):
     return calls
 
 
+@pytest.fixture
+def fast_bench(monkeypatch):
+    """Replace the gossip bench harness with an instant stub."""
+    calls = {}
+
+    import repro.perf.bench as bench
+
+    def stub_run_bench(scale, seeds, master_seed, parallel):
+        calls["run"] = dict(
+            scale=scale, seeds=seeds, master_seed=master_seed, parallel=parallel
+        )
+        return "<report>"
+
+    def stub_write_bench(report, json_path):
+        calls["write"] = dict(report=report, json_path=json_path)
+        return [json_path, "benchmarks/results/bench_gossip.txt"]
+
+    monkeypatch.setattr(bench, "run_bench", stub_run_bench)
+    monkeypatch.setattr(bench, "format_bench", lambda report: "TABLE[gossip]")
+    monkeypatch.setattr(bench, "write_bench", stub_write_bench)
+    return calls
+
+
 @pytest.mark.parametrize("target", ["fig2", "fig3", "fig4", "e2", "e3"])
 def test_bench_dispatch(fast_drivers, capsys, target):
     assert main(["bench", target]) == 0
     out = capsys.readouterr().out
     assert "TABLE[" in out
+
+
+def test_bench_defaults_to_the_gossip_matrix(fast_bench, capsys):
+    assert main(["bench"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE[gossip]" in out
+    assert "wrote BENCH_gossip.json" in out
+    assert fast_bench["run"] == dict(scale="ci", seeds=None, master_seed=1, parallel=None)
+
+
+def test_bench_gossip_forwards_options(fast_bench, capsys):
+    assert (
+        main(
+            [
+                "bench",
+                "gossip",
+                "--scale",
+                "full",
+                "--seeds",
+                "3",
+                "--seed",
+                "9",
+                "--parallel",
+                "2",
+                "--output",
+                "out/bench.json",
+            ]
+        )
+        == 0
+    )
+    assert fast_bench["run"] == dict(scale="full", seeds=3, master_seed=9, parallel=2)
+    assert fast_bench["write"]["json_path"] == "out/bench.json"
+    assert "wrote out/bench.json" in capsys.readouterr().out
 
 
 def test_bench_rejects_unknown_target(capsys):
