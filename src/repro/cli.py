@@ -28,6 +28,15 @@ Commands
     Run one scenario of the fault-injection suite (or the whole matrix)
     and print its self-healing report: per-layer time-to-repair, residual
     dead-descriptor fraction, and partition-merge time.
+``report FILE``
+    Deploy, converge, and print the consolidated metrics report —
+    convergence rounds, bandwidth split, and live telemetry — through the
+    :class:`~repro.metrics.registry.MetricsRegistry` facade.
+``obs TARGET``
+    The observability window. With a ``.topo`` file: run it instrumented
+    and print/export the telemetry (``--jsonl``, ``--prom``). With a
+    ``.jsonl`` event stream: summarize it post-mortem. ``bench`` and
+    ``faults`` take ``--obs PATH`` to capture telemetry as they run.
 """
 
 from __future__ import annotations
@@ -132,9 +141,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seeds=args.seeds,
             master_seed=args.seed,
             parallel=args.parallel,
+            obs=args.obs is not None,
         )
         print(format_bench(report))
         written = write_bench(report, json_path=args.output)
+        if report.obs is not None:
+            obs = report.obs
+            print(
+                "obs: digests "
+                + ("identical" if obs["digests_identical"] else "DIVERGED")
+                + f", instrumentation overhead {obs['overhead_fraction']:+.1%}"
+            )
+            written.extend(_write_obs_exports(args.obs, report.obs_collector))
         for path in written:
             print(f"wrote {path}")
     elif target == "fig2":
@@ -169,7 +187,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.scenarios import SCENARIOS, format_scenario, run_fault_matrix
 
-    kwargs = {"n_nodes": args.nodes, "seed": args.seed}
+    collector = None
+    if args.obs is not None:
+        from repro.obs.collector import Collector
+
+        collector = Collector(gauge_every=args.gauge_every)
+    kwargs = {"n_nodes": args.nodes, "seed": args.seed, "collector": collector}
     if args.scenario == "matrix":
         results = run_fault_matrix(**kwargs)
     else:
@@ -178,7 +201,79 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         if index:
             print()
         print(format_scenario(result))
+    if collector is not None:
+        for path in _write_obs_exports(args.obs, collector):
+            print(f"wrote {path}")
     return 0 if all(result.healed for result in results) else 1
+
+
+def _write_obs_exports(jsonl_path: str, collector) -> List[str]:
+    """Write the JSONL stream at ``jsonl_path`` and a Prometheus snapshot
+    next to it (same path + ``.prom``); returns the written paths."""
+    from repro.obs.export import write_jsonl, write_prometheus
+
+    written = [jsonl_path]
+    write_jsonl(jsonl_path, collector)
+    prom_path = jsonl_path + ".prom"
+    write_prometheus(prom_path, collector)
+    written.append(prom_path)
+    return written
+
+
+def _instrumented_run(args: argparse.Namespace):
+    """Deploy + converge ``args.file`` with a collector attached."""
+    from repro.obs.hooks import attach_collector
+
+    assembly = _load(args.file)
+    deployment = Runtime(assembly, seed=args.seed).deploy(args.nodes)
+    collector = attach_collector(deployment, gauge_every=args.gauge_every)
+    report = deployment.run_until_converged(args.max_rounds)
+    return deployment, report, collector
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.metrics.registry import MetricsRegistry
+
+    deployment, report, collector = _instrumented_run(args)
+    registry = MetricsRegistry.for_deployment(deployment, report, collector)
+    print(registry.render())
+    return 0 if report.converged else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.metrics.registry import MetricsRegistry
+
+    if args.target.endswith(".jsonl"):
+        from repro.obs.export import read_jsonl
+
+        registry = MetricsRegistry.from_events(read_jsonl(args.target))
+        print(registry.render())
+        return 0
+    deployment, report, collector = _instrumented_run(
+        argparse.Namespace(
+            file=args.target,
+            nodes=args.nodes,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            gauge_every=args.gauge_every,
+        )
+    )
+    registry = MetricsRegistry.from_collector(collector)
+    print(registry.render())
+    written = []
+    if args.jsonl:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(args.jsonl, collector)
+        written.append(args.jsonl)
+    if args.prom:
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(args.prom, collector)
+        written.append(args.prom)
+    for path in written:
+        print(f"wrote {path}")
+    return 0 if report.converged else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_gossip.json",
         help="trajectory path for the gossip target (default: BENCH_gossip.json)",
     )
+    bench.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="verify the zero-interference contract (digest identity + "
+        "overhead) and write the telemetry stream to PATH (JSONL; a "
+        "Prometheus snapshot lands at PATH.prom)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     from repro.faults.scenarios import SCENARIOS
@@ -286,7 +389,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--nodes", type=int, default=128)
     faults.add_argument("--seed", type=int, default=1)
+    faults.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="capture telemetry and write the event stream to PATH (JSONL; "
+        "a Prometheus snapshot lands at PATH.prom)",
+    )
+    faults.add_argument(
+        "--gauge-every",
+        type=int,
+        default=5,
+        help="structural gauge sampling period in rounds, 0 disables "
+        "(default: 5)",
+    )
     faults.set_defaults(func=_cmd_faults)
+
+    report = subparsers.add_parser(
+        "report", help="converge a topology and print the consolidated metrics"
+    )
+    report.add_argument("file")
+    report.add_argument("--nodes", type=int, default=None)
+    report.add_argument("--seed", type=int, default=1)
+    report.add_argument("--max-rounds", type=int, default=120)
+    report.add_argument(
+        "--gauge-every",
+        type=int,
+        default=1,
+        help="structural gauge sampling period in rounds, 0 disables "
+        "(default: 1)",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="run a topology instrumented, or summarize a .jsonl event stream",
+    )
+    obs.add_argument(
+        "target",
+        help="a .topo file to run instrumented, or a .jsonl stream to summarize",
+    )
+    obs.add_argument("--nodes", type=int, default=None)
+    obs.add_argument("--seed", type=int, default=1)
+    obs.add_argument("--max-rounds", type=int, default=120)
+    obs.add_argument(
+        "--gauge-every",
+        type=int,
+        default=1,
+        help="structural gauge sampling period in rounds, 0 disables "
+        "(default: 1)",
+    )
+    obs.add_argument(
+        "--jsonl", default=None, metavar="PATH", help="write the event stream"
+    )
+    obs.add_argument(
+        "--prom",
+        default=None,
+        metavar="PATH",
+        help="write a Prometheus-style text snapshot",
+    )
+    obs.set_defaults(func=_cmd_obs)
 
     return parser
 

@@ -35,7 +35,7 @@ from repro.core.layers import (
 )
 from repro.core.link import PortRef
 from repro.core.roles import RoleMap
-from repro.sim.controls import Observer
+from repro.obs.instrument import Instrument
 from repro.sim.network import Network
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -232,7 +232,7 @@ class ConvergenceReport:
         return max(round_index for round_index in self.rounds.values())
 
 
-class ConvergenceTracker(Observer):
+class ConvergenceTracker(Instrument):
     """Engine observer recording per-layer first convergence.
 
     Parameters

@@ -146,12 +146,19 @@ class PortConnection(Protocol):
         outgoing = dict(self.bindings)
         incoming = partner_protocol.on_gossip(ctx, outgoing)
         ctx.transport.record_exchange(self.layer, len(outgoing), len(incoming))
+        if ctx.obs is not None:
+            ctx.obs.count("exchanges", layer=self.layer)
+            ctx.obs.count("descriptors_sent", len(outgoing), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(incoming), layer=self.layer)
         self._merge(ctx, incoming)
 
     def on_gossip(
         self, ctx: RoundContext, received: Dict[PortRef, Binding]
     ) -> Dict[PortRef, Binding]:
         reply = dict(self.bindings)
+        if ctx.obs is not None:
+            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
         self._merge(ctx, received)
         return reply
 

@@ -121,12 +121,19 @@ class PortSelection(Protocol):
         outgoing = dict(self.beliefs)
         incoming = partner_protocol.on_gossip(ctx, outgoing)
         ctx.transport.record_exchange(self.layer, len(outgoing), len(incoming))
+        if ctx.obs is not None:
+            ctx.obs.count("exchanges", layer=self.layer)
+            ctx.obs.count("descriptors_sent", len(outgoing), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(incoming), layer=self.layer)
         self._merge(ctx, incoming)
 
     def on_gossip(
         self, ctx: RoundContext, received: Dict[str, Belief]
     ) -> Dict[str, Belief]:
         reply = dict(self.beliefs)
+        if ctx.obs is not None:
+            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
         self._merge(ctx, received)
         return reply
 

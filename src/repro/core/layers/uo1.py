@@ -109,12 +109,19 @@ class SameComponentOverlay(Protocol):
         buffer = self._make_buffer(ctx)
         reply = partner_protocol.on_gossip(ctx, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
+        if ctx.obs is not None:
+            ctx.obs.count("exchanges", layer=self.layer)
+            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
         self._merge(ctx, sent=buffer, received=reply)
 
     def on_gossip(
         self, ctx: RoundContext, received: List[Descriptor]
     ) -> List[Descriptor]:
         reply = self._make_buffer(ctx)
+        if ctx.obs is not None:
+            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
         self._merge(ctx, sent=reply, received=received)
         return reply
 
@@ -154,6 +161,8 @@ class SameComponentOverlay(Protocol):
             else:
                 # Dead: tombstone against stale resurrection.
                 self.view.purge(candidate.node_id)
+                if ctx.obs is not None:
+                    ctx.obs.count("dead_purged", layer=self.layer)
         return None
 
     def _partner_valid(self, network: Network, node_id: int) -> bool:
@@ -218,4 +227,8 @@ class SameComponentOverlay(Protocol):
         while excess() > 0:
             victim = rng.choice(list(pool.keys()))
             del pool[victim]
+        if ctx.obs is not None:
+            entering = sum(1 for node_id in pool if node_id not in self.view)
+            ctx.obs.count("view_replacements", layer=self.layer)
+            ctx.obs.count("descriptor_churn", entering, layer=self.layer)
         self.view.replace(pool.values())

@@ -114,30 +114,38 @@ class DistantComponentOverlay(Protocol):
         buffer = self._make_buffer(ctx)
         reply = partner_protocol.on_gossip(ctx, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
-        self._merge(reply)
+        if ctx.obs is not None:
+            ctx.obs.count("exchanges", layer=self.layer)
+            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
+        self._merge(ctx, reply)
 
     def on_gossip(
         self, ctx: RoundContext, received: List[Descriptor]
     ) -> List[Descriptor]:
         reply = self._make_buffer(ctx)
-        self._merge(received)
+        if ctx.obs is not None:
+            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
+        self._merge(ctx, received)
         return reply
 
     # -- internals -----------------------------------------------------------------------
 
-    def _insert(self, descriptor: Descriptor) -> None:
+    def _insert(self, descriptor: Descriptor) -> bool:
+        """Adopt a foreign-component contact; returns whether a bucket changed."""
         profile = descriptor.profile
         if not isinstance(profile, NodeProfile):
-            return
+            return False
         if descriptor.node_id == self.node_id:
-            return
+            return False
         if profile.component == self.profile.component:
-            return  # own component is UO1's job
+            return False  # own component is UO1's job
         bucket = self.buckets.get(profile.component)
         if bucket is None:
             bucket = PartialView(self.capacity)
             self.buckets[profile.component] = bucket
-        bucket.insert(descriptor)
+        return bucket.insert(descriptor)
 
     def _harvest(self, ctx: RoundContext) -> None:
         """Adopt foreign-component peers from the global random view."""
@@ -217,8 +225,11 @@ class DistantComponentOverlay(Protocol):
             depth += 1
         return buffer
 
-    def _merge(self, received: List[Descriptor]) -> None:
+    def _merge(self, ctx: RoundContext, received: List[Descriptor]) -> None:
+        adopted = 0
         for descriptor in received:
             # One hop in transit: stale contacts of dead nodes age out of
             # the buckets instead of bouncing at age 0 (see Vicinity).
-            self._insert(descriptor.aged())
+            adopted += self._insert(descriptor.aged())
+        if ctx.obs is not None and adopted:
+            ctx.obs.count("descriptor_churn", adopted, layer=self.layer)

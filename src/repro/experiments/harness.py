@@ -183,6 +183,7 @@ def measure_convergence(
     max_rounds: int = 120,
     config: Optional[RuntimeConfig] = None,
     parallel: Optional[int] = None,
+    instrument=None,
 ) -> Dict[str, Stats]:
     """Per-layer rounds-to-converge of the full runtime, averaged over seeds.
 
@@ -191,6 +192,11 @@ def measure_convergence(
     miss the budget count as failures, never as numbers. Seeds fan out
     across processes per :func:`resolve_parallelism` (all cores at ``full``
     scale); per-seed results are identical either way.
+
+    ``instrument`` (any :class:`~repro.obs.instrument.Instrument`) receives
+    one ``seed_measured`` event per completed seed. Events are emitted
+    post-hoc from the collected results — worker processes cannot share a
+    sink — so the stream is identical for serial and parallel runs.
     """
     tasks = [(assembly, n_nodes, seed, max_rounds, config) for seed in seeds]
     reports = run_parallel_seeds(_convergence_worker, tasks, parallel=parallel)
@@ -200,6 +206,16 @@ def measure_convergence(
     for report in reports:
         for layer in per_layer:
             per_layer[layer].append(report[layer])
+    if instrument is not None:
+        for seed, report in zip(seeds, reports):
+            instrument.emit(
+                "seed_measured",
+                assembly=assembly.name,
+                nodes=n_nodes,
+                seed=seed,
+                rounds={layer: report[layer] for layer in sorted(report)},
+            )
+            instrument.count("seeds_measured")
     return {layer: summarize(samples) for layer, samples in per_layer.items()}
 
 

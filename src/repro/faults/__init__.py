@@ -10,7 +10,7 @@ The subsystem has four planes, mirroring how real deployments fail:
 - **schedule** (:mod:`~repro.faults.controls`): engine controls that fire
   and heal faults at round boundaries — :class:`Partition`,
   :class:`ZoneOutage`, :class:`PauseResume`, :class:`LinkDegradation`;
-- **verification** (:mod:`~repro.faults.recovery`): the
+- **verification** (:mod:`repro.obs.recovery`, re-exported here): the
   :class:`RecoveryObserver` measuring per-layer time-to-repair against the
   plane's event log, and :mod:`~repro.faults.scenarios`, the standard
   fault-matrix suite behind ``python -m repro faults``.
@@ -30,11 +30,6 @@ from repro.faults.plane import (
     LinkQuality,
     split_by_zone,
     split_islands,
-)
-from repro.faults.recovery import (
-    EventRecovery,
-    RecoveryObserver,
-    RecoveryReport,
 )
 from repro.faults.scenarios import (
     SCENARIOS,
@@ -65,3 +60,16 @@ __all__ = [
     "split_by_zone",
     "split_islands",
 ]
+
+#: Recovery verification moved to repro.obs.recovery; these re-exports are
+#: lazy because obs.recovery itself imports repro.faults.plane (importing it
+#: here at module level would make the package cycle on itself).
+_RECOVERY_EXPORTS = ("EventRecovery", "RecoveryObserver", "RecoveryReport")
+
+
+def __getattr__(name: str):
+    if name in _RECOVERY_EXPORTS:
+        from repro.obs import recovery as _recovery
+
+        return getattr(_recovery, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

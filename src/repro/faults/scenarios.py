@@ -29,8 +29,10 @@ from repro.faults.controls import (
     ZoneOutage,
 )
 from repro.faults.plane import FaultPlane, LinkQuality
-from repro.faults.recovery import RecoveryObserver, RecoveryReport
 from repro.faults.zones import ZoneMap
+from repro.obs.collector import Collector
+from repro.obs.hooks import attach_collector
+from repro.obs.recovery import RecoveryObserver, RecoveryReport
 
 #: Default zone layout of every zone-aware scenario.
 DEFAULT_ZONES = ("zone-a", "zone-b", "zone-c", "zone-d")
@@ -54,7 +56,10 @@ class ScenarioResult:
 
 
 def _deploy(
-    n_nodes: int, seed: int, config: Optional[RuntimeConfig] = None
+    n_nodes: int,
+    seed: int,
+    config: Optional[RuntimeConfig] = None,
+    collector: Optional[Collector] = None,
 ) -> Deployment:
     """A ring-of-rings deployment sized to ``n_nodes`` (extras are spares)."""
     if n_nodes < 32:
@@ -64,19 +69,47 @@ def _deploy(
     ring_size = 16 if n_nodes >= 64 else 8
     n_rings = max(2, n_nodes // ring_size)
     assembly = ring_of_rings(n_rings=n_rings, ring_size=ring_size)
-    return Runtime(assembly, config=config, seed=seed).deploy(n_nodes)
+    deployment = Runtime(assembly, config=config, seed=seed).deploy(n_nodes)
+    if collector is not None:
+        attach_collector(deployment, collector)
+    return deployment
 
 
 def _result(
-    name: str, deployment: Deployment, n_nodes: int, seed: int, deploy_rounds
+    name: str,
+    deployment: Deployment,
+    n_nodes: int,
+    seed: int,
+    deploy_rounds,
+    collector: Optional[Collector] = None,
 ) -> ScenarioResult:
     observer: RecoveryObserver = deployment.recovery  # type: ignore[attr-defined]
+    report = observer.report()
+    if collector is not None:
+        collector.emit(
+            "scenario",
+            scenario=name,
+            nodes=n_nodes,
+            seed=seed,
+            deploy_rounds=deploy_rounds,
+        )
+        # Mirror the fault plane's event log into the telemetry stream: the
+        # plane records injection/heal events as the scenario runs, and
+        # replaying them here keeps worker-side state out of the hot path.
+        for event in observer.plane.events:
+            collector.emit(event.kind, at=event.round, detail=str(event.detail))
+        collector.emit(
+            "scenario_result",
+            scenario=name,
+            healed=report.healed,
+            residual_dead_fraction=report.residual_dead_fraction,
+        )
     return ScenarioResult(
         name=name,
         n_nodes=n_nodes,
         seed=seed,
         deploy_rounds=deploy_rounds,
-        report=observer.report(),
+        report=report,
         drop_reasons=deployment.transport.drop_reasons(),
         delayed_exchanges=deployment.transport.total_delayed(),
     )
@@ -89,12 +122,15 @@ def run_partition(
     window: int = 20,
     recovery_rounds: int = 60,
     converge_rounds: int = 120,
+    collector: Optional[Collector] = None,
 ) -> ScenarioResult:
     """Partition-and-heal: the acceptance scenario of the fault subsystem."""
-    deployment = _deploy(n_nodes, seed)
+    deployment = _deploy(n_nodes, seed, collector=collector)
     deploy_rounds = deployment.run_until_converged(converge_rounds).slowest
     plane = deployment.install_faults()
-    observer = RecoveryObserver.for_deployment(deployment, plane)
+    observer = RecoveryObserver.for_deployment(
+        deployment, plane, instrument=collector
+    )
     deployment.engine.add_observer(observer)
     deployment.recovery = observer  # type: ignore[attr-defined]
     start = deployment.engine.round
@@ -108,7 +144,9 @@ def run_partition(
         )
     )
     deployment.run(window + recovery_rounds)
-    return _result("partition", deployment, n_nodes, seed, deploy_rounds)
+    return _result(
+        "partition", deployment, n_nodes, seed, deploy_rounds, collector=collector
+    )
 
 
 def run_zone_outage(
@@ -118,11 +156,12 @@ def run_zone_outage(
     recovery_rounds: int = 60,
     converge_rounds: int = 120,
     mode: str = "pause",
+    collector: Optional[Collector] = None,
 ) -> ScenarioResult:
     """One availability zone goes dark; paused zones come back as zombies."""
-    deployment = _deploy(n_nodes, seed)
+    deployment = _deploy(n_nodes, seed, collector=collector)
     deploy_rounds = deployment.run_until_converged(converge_rounds).slowest
-    plane = _prepare_zone_plane(deployment)
+    plane = _prepare_zone_plane(deployment, collector=collector)
     start = deployment.engine.round
     restore = start + window if mode == "pause" else None
     deployment.engine.add_control(
@@ -144,14 +183,20 @@ def run_zone_outage(
     else:
         deployment.run(window + recovery_rounds)
     name = "zone-outage" if mode == "pause" else "zone-kill"
-    return _result(name, deployment, n_nodes, seed, deploy_rounds)
+    return _result(
+        name, deployment, n_nodes, seed, deploy_rounds, collector=collector
+    )
 
 
-def _prepare_zone_plane(deployment: Deployment) -> FaultPlane:
+def _prepare_zone_plane(
+    deployment: Deployment, collector: Optional[Collector] = None
+) -> FaultPlane:
     zone_map = ZoneMap.round_robin(deployment.network.node_ids(), DEFAULT_ZONES)
     zone_map.annotate(deployment.network)
     plane = deployment.install_faults(FaultPlane(zones=zone_map))
-    observer = RecoveryObserver.for_deployment(deployment, plane)
+    observer = RecoveryObserver.for_deployment(
+        deployment, plane, instrument=collector
+    )
     deployment.engine.add_observer(observer)
     deployment.recovery = observer  # type: ignore[attr-defined]
     return plane
@@ -163,12 +208,15 @@ def run_catastrophe(
     fraction: float = 0.3,
     recovery_rounds: int = 80,
     converge_rounds: int = 120,
+    collector: Optional[Collector] = None,
 ) -> ScenarioResult:
     """A 30% correlated kill followed by rebalancing and self-repair."""
-    deployment = _deploy(n_nodes, seed)
+    deployment = _deploy(n_nodes, seed, collector=collector)
     deploy_rounds = deployment.run_until_converged(converge_rounds).slowest
     plane = deployment.install_faults()
-    observer = RecoveryObserver.for_deployment(deployment, plane)
+    observer = RecoveryObserver.for_deployment(
+        deployment, plane, instrument=collector
+    )
     deployment.engine.add_observer(observer)
     deployment.recovery = observer  # type: ignore[attr-defined]
     rng = deployment.streams.fork("faults").stream("catastrophe")
@@ -182,7 +230,9 @@ def run_catastrophe(
     deployment.rebalance()
     plane.record_event(deployment.engine.round, "rebalance", "roles reassigned")
     deployment.run(recovery_rounds)
-    return _result("catastrophe", deployment, n_nodes, seed, deploy_rounds)
+    return _result(
+        "catastrophe", deployment, n_nodes, seed, deploy_rounds, collector=collector
+    )
 
 
 def run_flaky_links(
@@ -193,11 +243,12 @@ def run_flaky_links(
     converge_rounds: int = 120,
     loss: float = 0.6,
     latency: float = 0.5,
+    collector: Optional[Collector] = None,
 ) -> ScenarioResult:
     """Degrade the zone-a <-> zone-b paths (loss + latency), then repair."""
-    deployment = _deploy(n_nodes, seed)
+    deployment = _deploy(n_nodes, seed, collector=collector)
     deploy_rounds = deployment.run_until_converged(converge_rounds).slowest
-    plane = _prepare_zone_plane(deployment)
+    plane = _prepare_zone_plane(deployment, collector=collector)
     start = deployment.engine.round
     deployment.engine.add_control(
         LinkDegradation(
@@ -209,7 +260,9 @@ def run_flaky_links(
         )
     )
     deployment.run(window + recovery_rounds)
-    return _result("flaky-links", deployment, n_nodes, seed, deploy_rounds)
+    return _result(
+        "flaky-links", deployment, n_nodes, seed, deploy_rounds, collector=collector
+    )
 
 
 def run_pause_resume(
@@ -219,12 +272,15 @@ def run_pause_resume(
     window: int = 20,
     recovery_rounds: int = 60,
     converge_rounds: int = 120,
+    collector: Optional[Collector] = None,
 ) -> ScenarioResult:
     """Freeze a random quarter of the population; thaw it with stale views."""
-    deployment = _deploy(n_nodes, seed)
+    deployment = _deploy(n_nodes, seed, collector=collector)
     deploy_rounds = deployment.run_until_converged(converge_rounds).slowest
     plane = deployment.install_faults()
-    observer = RecoveryObserver.for_deployment(deployment, plane)
+    observer = RecoveryObserver.for_deployment(
+        deployment, plane, instrument=collector
+    )
     deployment.engine.add_observer(observer)
     deployment.recovery = observer  # type: ignore[attr-defined]
     start = deployment.engine.round
@@ -238,7 +294,9 @@ def run_pause_resume(
         )
     )
     deployment.run(window + recovery_rounds)
-    return _result("pause-resume", deployment, n_nodes, seed, deploy_rounds)
+    return _result(
+        "pause-resume", deployment, n_nodes, seed, deploy_rounds, collector=collector
+    )
 
 
 #: Scenario registry: name -> runner(n_nodes, seed, **defaults).
@@ -252,9 +310,20 @@ SCENARIOS: Dict[str, Callable[..., ScenarioResult]] = {
 }
 
 
-def run_fault_matrix(n_nodes: int = 128, seed: int = 1) -> List[ScenarioResult]:
-    """Run every scenario of the suite at the given scale."""
-    return [runner(n_nodes=n_nodes, seed=seed) for runner in SCENARIOS.values()]
+def run_fault_matrix(
+    n_nodes: int = 128,
+    seed: int = 1,
+    collector: Optional[Collector] = None,
+) -> List[ScenarioResult]:
+    """Run every scenario of the suite at the given scale.
+
+    A shared ``collector`` (if any) sees every scenario's telemetry in
+    sequence; the ``scenario``/``scenario_result`` markers delimit runs.
+    """
+    return [
+        runner(n_nodes=n_nodes, seed=seed, collector=collector)
+        for runner in SCENARIOS.values()
+    ]
 
 
 def format_scenario(result: ScenarioResult) -> str:

@@ -86,6 +86,10 @@ class PeerSampling(Protocol):
         buffer = self._make_buffer(ctx)
         reply = partner_protocol.on_gossip(ctx, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
+        if ctx.obs is not None:
+            ctx.obs.count("exchanges", layer=self.layer)
+            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
         self._apply(ctx, sent=buffer, received=reply)
 
     def on_gossip(
@@ -93,6 +97,9 @@ class PeerSampling(Protocol):
     ) -> List[Descriptor]:
         """Passive side of an exchange: reply with a buffer, then merge."""
         reply = self._make_buffer(ctx)
+        if ctx.obs is not None:
+            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
         self._apply(ctx, sent=reply, received=received)
         return reply
 
@@ -129,6 +136,8 @@ class PeerSampling(Protocol):
             # leaving a tombstone so stale copies gossiped back by third
             # parties cannot resurrect the dead descriptor.
             self.view.purge(candidate.node_id)
+            if ctx.obs is not None:
+                ctx.obs.count("dead_purged", layer=self.layer)
         # Empty view: re-bootstrap through the membership oracle (models a
         # node rejoining via the bootstrap service after losing all links).
         self.bootstrap(ctx.rng(), ctx.network, self.params.gossip_size)
@@ -191,4 +200,8 @@ class PeerSampling(Protocol):
         while excess() > 0:
             victim = ctx.rng().choice(list(pool.keys()))
             del pool[victim]
+        if ctx.obs is not None:
+            entering = sum(1 for node_id in pool if node_id not in self.view)
+            ctx.obs.count("view_replacements", layer=self.layer)
+            ctx.obs.count("descriptor_churn", entering, layer=self.layer)
         self.view.replace(pool.values())

@@ -101,6 +101,10 @@ class TMan(Protocol):
         buffer = self._buffer_for(ctx, partner.profile, partner.node_id)
         reply = partner_protocol.on_gossip(ctx, self.profile, self.node_id, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
+        if ctx.obs is not None:
+            ctx.obs.count("exchanges", layer=self.layer)
+            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
         self._merge(ctx, reply)
 
     def on_gossip(
@@ -111,6 +115,9 @@ class TMan(Protocol):
         received: List[Descriptor],
     ) -> List[Descriptor]:
         reply = self._buffer_for(ctx, requester_profile, requester_id)
+        if ctx.obs is not None:
+            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
         self._merge(ctx, received)
         return reply
 
@@ -128,6 +135,8 @@ class TMan(Protocol):
             for descriptor in ranked:
                 # Dead peers get tombstones against stale resurrection.
                 self.view.purge(descriptor.node_id)
+                if ctx.obs is not None:
+                    ctx.obs.count("dead_purged", layer=self.layer)
         return self._random_peer(ctx)
 
     def _own_node(self, ctx: RoundContext):
@@ -200,4 +209,8 @@ class TMan(Protocol):
             self.params.view_size,
             exclude_id=self.node_id,
         )
+        if ctx.obs is not None:
+            entering = sum(1 for d in best if d.node_id not in self.view)
+            ctx.obs.count("view_replacements", layer=self.layer)
+            ctx.obs.count("descriptor_churn", entering, layer=self.layer)
         self.view.replace(best)

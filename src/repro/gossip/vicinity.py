@@ -146,7 +146,11 @@ class Vicinity(Protocol):
         buffer = self._buffer_from(pool, partner.profile, partner.node_id)
         reply = partner_protocol.on_gossip(ctx, self.profile, self.node_id, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
-        self._merge_pool(pool, reply)
+        if ctx.obs is not None:
+            ctx.obs.count("exchanges", layer=self.layer)
+            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
+        self._merge_pool(ctx, pool, reply)
 
     def on_gossip(
         self,
@@ -158,7 +162,10 @@ class Vicinity(Protocol):
         """Passive side: reply with candidates useful *to the requester*."""
         pool = self._candidate_pool(ctx)
         reply = self._buffer_from(pool, requester_profile, requester_id)
-        self._merge_pool(pool, received)
+        if ctx.obs is not None:
+            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
+            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
+        self._merge_pool(ctx, pool, received)
         return reply
 
     # -- internals ---------------------------------------------------------------------
@@ -173,6 +180,8 @@ class Vicinity(Protocol):
                 return candidate
             # Dead (not merely unreachable): tombstone against resurrection.
             self.view.purge(candidate.node_id)
+            if ctx.obs is not None:
+                ctx.obs.count("dead_purged", layer=self.layer)
         return self._random_partner(ctx)
 
     def _own_node(self, ctx: RoundContext):
@@ -254,7 +263,9 @@ class Vicinity(Protocol):
             exclude_id=recipient_id,
         )
 
-    def _merge_pool(self, pool: List[Descriptor], received: List[Descriptor]) -> None:
+    def _merge_pool(
+        self, ctx: RoundContext, pool: List[Descriptor], received: List[Descriptor]
+    ) -> None:
         """Keep the ``view_size`` eligible candidates closest to self.
 
         Per the Vicinity algorithm, the update pool is the union of the
@@ -278,4 +289,8 @@ class Vicinity(Protocol):
             self.params.view_size,
             exclude_id=self.node_id,
         )
+        if ctx.obs is not None:
+            entering = sum(1 for d in best if d.node_id not in self.view)
+            ctx.obs.count("view_replacements", layer=self.layer)
+            ctx.obs.count("descriptor_churn", entering, layer=self.layer)
         self.view.replace(best)

@@ -10,10 +10,11 @@ so as the codebase grows:
   and no unseeded ``random.Random()``/``SystemRandom`` anywhere outside
   that module.
 - ``DET003`` — no wall-clock reads in simulation-facing packages (``sim``,
-  ``core``, ``gossip``, ``faults``) nor in the simulation-side half of the
-  perf subsystem (``perf/cache.py``, ``perf/digest.py``,
+  ``core``, ``gossip``, ``faults``, ``obs``) nor in the simulation-side
+  half of the perf subsystem (``perf/cache.py``, ``perf/digest.py``,
   ``perf/workloads.py``): simulated time is the round counter. Timing
-  belongs to the harness (``perf/bench.py``) alone.
+  belongs to the harness (``perf/bench.py``) and to the observability
+  subsystem's single sanctioned clock site (``obs/spans.py``) alone.
 - ``DET004`` — no iteration over bare ``set``/``frozenset`` values in
   ordering-sensitive packages (``gossip``, ``core``, ``sim``): hash order
   must never feed a view merge or a stochastic choice. ``sorted(...)``,
@@ -45,10 +46,18 @@ WALLCLOCK_PATHS = (
     "core/",
     "gossip/",
     "faults/",
+    "obs/",
     "perf/cache.py",
     "perf/digest.py",
     "perf/workloads.py",
 )
+
+#: Sanctioned exceptions inside WALLCLOCK_PATHS. ``obs/spans.py`` is the
+#: observability subsystem's one clock site — every span measurement flows
+#: through its ``wall_clock``, so instrumented timing stays auditable and
+#: injectable (tests swap the clock) while the rest of ``obs`` remains
+#: simulation-pure.
+WALLCLOCK_EXEMPT = ("obs/spans.py",)
 
 #: Packages where set-iteration order and popitem are forbidden (DET004/005).
 ORDERING_PATHS = ("gossip/", "core/", "sim/")
@@ -71,6 +80,12 @@ _ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter", "reversed"}
 
 def _in_paths(rel_path: str, prefixes: Sequence[str]) -> bool:
     return any(rel_path.startswith(prefix) for prefix in prefixes)
+
+
+def _wallclock_forbidden(rel_path: str) -> bool:
+    return (
+        _in_paths(rel_path, WALLCLOCK_PATHS) and rel_path not in WALLCLOCK_EXEMPT
+    )
 
 
 class _DeterminismVisitor(ast.NodeVisitor):
@@ -169,7 +184,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
                         node,
                     )
             # DET003: wall clock in simulation paths.
-            if _in_paths(self.rel_path, WALLCLOCK_PATHS):
+            if _wallclock_forbidden(self.rel_path):
                 if base in self.time_aliases and attr in _WALLCLOCK_TIME_ATTRS:
                     self._emit(
                         "DET003",
@@ -195,7 +210,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
             and func.value.value.id in self.datetime_aliases
             and func.value.attr in ("datetime", "date")
             and func.attr in _WALLCLOCK_DATETIME_ATTRS
-            and _in_paths(self.rel_path, WALLCLOCK_PATHS)
+            and _wallclock_forbidden(self.rel_path)
         ):
             self._emit(
                 "DET003",

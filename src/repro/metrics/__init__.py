@@ -7,14 +7,19 @@ deployment's transport, :mod:`~repro.metrics.report` renders the ASCII
 tables the benchmark harness prints, and :mod:`~repro.metrics.recovery`
 measures fault-recovery hygiene (residual dead descriptors, partition
 locality) for the fault-injection subsystem.
+:class:`~repro.metrics.registry.MetricsRegistry` is the facade over all of
+them — the single aggregation path the CLI's ``report`` and ``obs``
+commands consume.
 """
 
 from repro.metrics.bandwidth import per_node_series, total_split
 from repro.metrics.recovery import cross_island_fraction, dead_descriptor_fraction
+from repro.metrics.registry import MetricsRegistry
 from repro.metrics.report import render_series, render_table
 from repro.metrics.stats import Stats, mean, std, summarize
 
 __all__ = [
+    "MetricsRegistry",
     "Stats",
     "cross_island_fraction",
     "dead_descriptor_fraction",

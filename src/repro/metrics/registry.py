@@ -1,0 +1,177 @@
+"""MetricsRegistry — the one aggregation path behind the CLI reports.
+
+Before this facade existed, every command assembled its own ad-hoc mix of
+:mod:`~repro.metrics.stats`, :mod:`~repro.metrics.bandwidth`, and
+:mod:`~repro.metrics.report` calls. The registry consolidates them: feeders
+turn a convergence report, a deployment's transport, a telemetry
+:class:`~repro.obs.collector.Collector`, or a JSONL event stream into named
+table *sections*, and one renderer prints them all. ``repro report`` and
+``repro obs`` differ only in which feeders they call — the aggregation and
+formatting are shared, so the two commands can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.bandwidth import total_split
+from repro.metrics.report import render_table
+
+#: One section: (title, headers, rows of primitives).
+Section = Tuple[str, Tuple[str, ...], List[Tuple[Any, ...]]]
+
+
+class MetricsRegistry:
+    """Named table sections with a single renderer and plain-data export."""
+
+    def __init__(self):
+        self._sections: List[Section] = []
+
+    # -- generic access --------------------------------------------------------
+
+    def add_section(
+        self,
+        title: str,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+    ) -> None:
+        self._sections.append(
+            (title, tuple(headers), [tuple(row) for row in rows])
+        )
+
+    def section(self, title: str) -> Optional[Section]:
+        for candidate in self._sections:
+            if candidate[0] == title:
+                return candidate
+        return None
+
+    def titles(self) -> List[str]:
+        return [title for title, _headers, _rows in self._sections]
+
+    def render(self) -> str:
+        """Every section as an aligned ASCII table, blank-line separated."""
+        blocks = [
+            render_table(headers, rows, title=title)
+            for title, headers, rows in self._sections
+            if rows
+        ]
+        return "\n\n".join(blocks)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data export (JSON-friendly) of every section."""
+        return {
+            title: {"headers": list(headers), "rows": [list(row) for row in rows]}
+            for title, headers, rows in self._sections
+        }
+
+    # -- feeders ----------------------------------------------------------------
+
+    def add_convergence(self, report) -> None:
+        """Per-layer rounds-to-converge from a deployment's run report."""
+        rows = [
+            (layer, "n/a" if rounds is None else rounds)
+            for layer, rounds in sorted(report.rounds.items())
+        ]
+        rows.append(("(executed)", report.executed))
+        self.add_section("convergence (rounds)", ("layer", "rounds"), rows)
+
+    def add_bandwidth(self, deployment, rounds: int) -> None:
+        """The Fig. 4 baseline/overhead split, per node per round."""
+        if not rounds:
+            return
+        split = total_split(
+            deployment.transport, rounds, max(1, deployment.network.alive_count())
+        )
+        rows = [
+            (label, f"{sum(series) / rounds:.0f}")
+            for label, series in sorted(split.items())
+        ]
+        self.add_section(
+            "bandwidth (bytes/node/round)", ("series", "bytes"), rows
+        )
+
+    def add_collector(self, collector) -> None:
+        """Counters, gauges, spans, and the event summary of one collector."""
+        self.add_section(
+            "counters",
+            ("counter", "layer", "value"),
+            [
+                (name, layer or "-", value)
+                for (name, layer), value in sorted(collector.counters.items())
+            ],
+        )
+        self.add_section(
+            "gauges",
+            ("gauge", "layer", "value"),
+            [
+                (name, layer or "-", f"{value:g}")
+                for (name, layer), value in sorted(collector.gauges.items())
+            ],
+        )
+        self.add_section(
+            "spans",
+            ("span", "count", "total s", "mean s"),
+            [
+                (
+                    name,
+                    collector.spans.counts[name],
+                    f"{collector.spans.totals[name]:.4f}",
+                    f"{collector.spans.mean(name):.6f}",
+                )
+                for name in collector.spans.names()
+            ],
+        )
+        self.add_events(collector.events)
+        if collector.unknown_kinds:
+            self.add_section(
+                "unknown event kinds",
+                ("kind", "count"),
+                sorted(collector.unknown_kinds.items()),
+            )
+
+    def add_events(self, events: Iterable[Any]) -> None:
+        """Event summary (count and round range per kind) from any stream.
+
+        Accepts :class:`~repro.obs.trace.TraceEvent` objects — live from a
+        collector or re-read from a JSONL export — so post-mortem analysis
+        of a file goes through the same table as a live run.
+        """
+        per_kind: Dict[str, List[int]] = {}
+        for event in events:
+            per_kind.setdefault(event.kind, []).append(event.round)
+        self.add_section(
+            "events",
+            ("kind", "count", "first round", "last round"),
+            [
+                (kind, len(rounds), min(rounds), max(rounds))
+                for kind, rounds in sorted(per_kind.items())
+            ],
+        )
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def for_deployment(
+        cls, deployment, report, collector=None
+    ) -> "MetricsRegistry":
+        """The full ``repro report`` view: convergence, bandwidth, telemetry."""
+        registry = cls()
+        registry.add_convergence(report)
+        registry.add_bandwidth(deployment, report.executed)
+        if collector is not None:
+            registry.add_collector(collector)
+        return registry
+
+    @classmethod
+    def from_collector(cls, collector) -> "MetricsRegistry":
+        """The ``repro obs`` live view: telemetry sections only."""
+        registry = cls()
+        registry.add_collector(collector)
+        return registry
+
+    @classmethod
+    def from_events(cls, events: Iterable[Any]) -> "MetricsRegistry":
+        """The ``repro obs`` post-mortem view over a JSONL stream."""
+        registry = cls()
+        registry.add_events(events)
+        return registry

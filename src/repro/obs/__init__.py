@@ -1,0 +1,104 @@
+"""Observability — one instrumentation spine for every runtime layer.
+
+Before this subsystem the repository grew four divergent observation
+mechanisms: :class:`~repro.sim.controls.Observer` round hooks, the
+:class:`~repro.sim.trace.Tracer` event log, the fault subsystem's
+``RecoveryObserver``, and the ad-hoc aggregation helpers under
+:mod:`repro.metrics`. ``repro.obs`` replaces them with a single layered
+telemetry pipeline:
+
+- :class:`~repro.obs.instrument.Instrument` — the unified protocol: round
+  observation (``observe``), event emission (``emit``), counters
+  (``count``), gauges (``gauge``), and round-scoped spans
+  (``span_begin``/``span_end``). Every method is a no-op by default, so the
+  disabled hot path costs one ``is None`` check and nothing else (the same
+  contract the tracer always had).
+- :class:`~repro.obs.collector.Collector` — the one concrete sink:
+  per-layer counters (messages, descriptor churn, view replacements),
+  per-round gauges (population, degree distributions, UO2 bucket
+  occupancy, core convergence score), the typed event stream of
+  :mod:`repro.obs.events`, and wall-clock spans timed through the single
+  sanctioned clock site :mod:`repro.obs.spans` (DET003-exempt).
+- :mod:`~repro.obs.export` — JSONL event streams and a Prometheus-style
+  text snapshot, surfaced via ``repro obs`` and the ``--obs`` flag on
+  ``repro bench`` / ``repro faults``.
+
+Collectors are wired in through :func:`~repro.obs.hooks.attach_collector`
+(deployments) or the ``obs=`` parameter of
+:class:`~repro.sim.engine.Engine` (bare engines); instrumentation is
+deliberately excluded from overlay digests, so ``BENCH_gossip.json``
+semantics digests are byte-identical with and without a collector.
+"""
+
+import importlib
+
+#: public name -> defining submodule. Resolution is lazy (PEP 562): eager
+#: imports here would cycle — obs.recovery imports core.convergence and
+#: faults.plane, both of which import obs.instrument through their own
+#: package fronts — and in-repo call sites import the submodules directly
+#: anyway (the package front door is for interactive and downstream use).
+_EXPORTS = {
+    "Collector": "repro.obs.collector",
+    "TAXONOMY": "repro.obs.events",
+    "known_kinds": "repro.obs.events",
+    "read_jsonl": "repro.obs.export",
+    "to_jsonl": "repro.obs.export",
+    "to_prometheus": "repro.obs.export",
+    "write_jsonl": "repro.obs.export",
+    "write_prometheus": "repro.obs.export",
+    "attach_collector": "repro.obs.hooks",
+    "attach_collector_to_engine": "repro.obs.hooks",
+    "NULL_INSTRUMENT": "repro.obs.instrument",
+    "Instrument": "repro.obs.instrument",
+    "NullInstrument": "repro.obs.instrument",
+    "GraphObserver": "repro.obs.observers",
+    "SeriesObserver": "repro.obs.observers",
+    "EventRecovery": "repro.obs.recovery",
+    "RecoveryObserver": "repro.obs.recovery",
+    "RecoveryReport": "repro.obs.recovery",
+    "ConvergenceTracer": "repro.obs.trace",
+    "PopulationTracer": "repro.obs.trace",
+    "TraceEvent": "repro.obs.trace",
+    "Tracer": "repro.obs.trace",
+    "attach_tracer": "repro.obs.trace",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: resolve each name at most once
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "NULL_INSTRUMENT",
+    "TAXONOMY",
+    "Collector",
+    "ConvergenceTracer",
+    "EventRecovery",
+    "GraphObserver",
+    "Instrument",
+    "NullInstrument",
+    "PopulationTracer",
+    "RecoveryObserver",
+    "RecoveryReport",
+    "SeriesObserver",
+    "TraceEvent",
+    "Tracer",
+    "attach_collector",
+    "attach_collector_to_engine",
+    "attach_tracer",
+    "known_kinds",
+    "read_jsonl",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+    "write_prometheus",
+]

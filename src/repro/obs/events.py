@@ -1,0 +1,72 @@
+"""The typed event taxonomy of the observability pipeline.
+
+Every event kind the runtime emits is declared here with a one-line
+description; exporters and dashboards can rely on this registry instead of
+reverse-engineering free-form strings. Emitting an unknown kind is allowed
+(instruments are extensible), but :class:`~repro.obs.collector.Collector`
+counts unknown kinds separately so taxonomy drift is visible.
+
+The event *record* type is :class:`~repro.obs.trace.TraceEvent` — one
+dataclass shared by the tracer and the collector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# -- lifecycle ----------------------------------------------------------------
+EVENT_DEPLOY = "deploy"
+EVENT_NODE_CRASH = "node_crash"
+EVENT_NODE_LEAVE = "node_leave"
+EVENT_NODE_UP = "node_up"
+EVENT_LAYER_CONVERGED = "layer_converged"
+
+# -- faults (mirrors repro.faults.plane.FaultEvent kinds) ---------------------
+EVENT_PARTITION = "partition"
+EVENT_HEAL = "heal"
+EVENT_PAUSE = "pause"
+EVENT_RESUME = "resume"
+EVENT_DEGRADE = "degrade"
+EVENT_RESTORE = "restore"
+EVENT_ZONE_OUTAGE = "zone_outage"
+EVENT_ZONE_RESTORE = "zone_restore"
+EVENT_CATASTROPHE = "catastrophe"
+EVENT_REBALANCE = "rebalance"
+
+# -- harness / scenarios ------------------------------------------------------
+EVENT_SEED_MEASURED = "seed_measured"
+EVENT_SCENARIO = "scenario"
+EVENT_SCENARIO_RESULT = "scenario_result"
+
+#: kind → one-line description. The single source of truth for exporters,
+#: docs/observability.md, and the taxonomy tests.
+TAXONOMY: Dict[str, str] = {
+    EVENT_DEPLOY: "an assembly was deployed onto a node population",
+    EVENT_NODE_CRASH: "a known-alive node was observed dead (still present)",
+    EVENT_NODE_LEAVE: "a known-alive node left the network entirely",
+    EVENT_NODE_UP: "a node appeared alive (join or revival)",
+    EVENT_LAYER_CONVERGED: "a runtime layer's convergence predicate first held",
+    EVENT_PARTITION: "the fault plane split the population into islands",
+    EVENT_HEAL: "an active partition was healed",
+    EVENT_PAUSE: "a set of nodes was frozen (zombie churn)",
+    EVENT_RESUME: "paused nodes were thawed with stale state",
+    EVENT_DEGRADE: "per-link quality overrides were installed (loss/latency)",
+    EVENT_RESTORE: "degraded links were restored to perfect quality",
+    EVENT_ZONE_OUTAGE: "one availability zone went dark",
+    EVENT_ZONE_RESTORE: "a dark availability zone came back",
+    EVENT_CATASTROPHE: "a correlated kill wave removed part of the population",
+    EVENT_REBALANCE: "the role assignment was re-run over the live population",
+    EVENT_SEED_MEASURED: "one seed of a multi-seed measurement completed",
+    EVENT_SCENARIO: "a fault scenario run started",
+    EVENT_SCENARIO_RESULT: "a fault scenario run finished with a verdict",
+}
+
+
+def known_kinds() -> List[str]:
+    """Every declared event kind, sorted."""
+    return sorted(TAXONOMY)
+
+
+def is_known(kind: str) -> bool:
+    """Whether ``kind`` is part of the declared taxonomy."""
+    return kind in TAXONOMY

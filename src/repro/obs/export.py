@@ -1,0 +1,117 @@
+"""Exporters: JSONL event streams and Prometheus-style text snapshots.
+
+Two complementary shapes of the same telemetry:
+
+- **JSONL** — the event stream, one JSON object per line in the namespaced
+  :meth:`~repro.obs.trace.TraceEvent.to_dict` layout. Line-oriented so
+  streams from multiple runs concatenate, and :func:`read_jsonl` also
+  accepts the legacy flat layout (details splatted at the top level).
+- **Prometheus text** — a point-in-time snapshot of the collector's
+  counters, gauges, and span totals in the exposition format, so the
+  output can be diffed, scraped, or pasted into dashboards without any
+  client library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, List, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.collector import Collector
+    from repro.obs.trace import TraceEvent
+
+EventSource = Union["Collector", Iterable["TraceEvent"]]
+
+
+def _events_of(source: EventSource):
+    events = getattr(source, "events", None)
+    return events if events is not None else source
+
+
+def to_jsonl(source: EventSource) -> str:
+    """The event stream as JSONL (one namespaced event per line)."""
+    lines = [
+        json.dumps(event.to_dict(), sort_keys=True) for event in _events_of(source)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(path: str, source: EventSource) -> int:
+    """Write the event stream to ``path``; return the number of events."""
+    text = to_jsonl(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text.count("\n")
+
+
+def read_jsonl(path: str) -> List["TraceEvent"]:
+    """Parse a JSONL event stream (namespaced or legacy flat layout)."""
+    from repro.obs.trace import TraceEvent
+
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+# -- Prometheus text exposition -----------------------------------------------
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    return f"{prefix}_{name}".replace("-", "_").replace(".", "_")
+
+
+def _labels(layer: str) -> str:
+    return f'{{layer="{layer}"}}' if layer else ""
+
+
+def to_prometheus(collector: "Collector", prefix: str = "repro") -> str:
+    """A Prometheus-style text snapshot of the collector's aggregates.
+
+    Counters become ``<prefix>_<name>_total``, gauges ``<prefix>_<name>``,
+    spans ``<prefix>_span_seconds_total`` / ``<prefix>_span_count`` with a
+    ``span`` label. Layer labels are attached where present.
+    """
+    lines: List[str] = []
+    by_counter: dict = {}
+    for (name, layer), value in sorted(collector.counters.items()):
+        by_counter.setdefault(name, []).append((layer, value))
+    for name, series in by_counter.items():
+        metric = _metric_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for layer, value in series:
+            lines.append(f"{metric}{_labels(layer)} {value}")
+    by_gauge: dict = {}
+    for (name, layer), value in sorted(collector.gauges.items()):
+        by_gauge.setdefault(name, []).append((layer, value))
+    for name, series in by_gauge.items():
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        for layer, value in series:
+            lines.append(f"{metric}{_labels(layer)} {value:g}")
+    span_names = collector.spans.names()
+    if span_names:
+        total_metric = _metric_name(prefix, "span_seconds") + "_total"
+        count_metric = _metric_name(prefix, "span_count")
+        lines.append(f"# TYPE {total_metric} counter")
+        for name in span_names:
+            lines.append(
+                f'{total_metric}{{span="{name}"}} '
+                f"{collector.spans.totals[name]:.6f}"
+            )
+        lines.append(f"# TYPE {count_metric} counter")
+        for name in span_names:
+            lines.append(f'{count_metric}{{span="{name}"}} {collector.spans.counts[name]}')
+    events_metric = _metric_name(prefix, "events") + "_total"
+    lines.append(f"# TYPE {events_metric} counter")
+    lines.append(f"{events_metric} {len(collector.events)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, collector: "Collector", prefix: str = "repro") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(collector, prefix=prefix))

@@ -1,0 +1,67 @@
+"""Wiring helpers: attach a collector to a deployment or a bare engine.
+
+The runtime reports telemetry through ``ctx.obs`` — the engine hands every
+:class:`~repro.sim.engine.RoundContext` its instrument, and protocol hot
+paths guard each call with ``if ctx.obs is not None`` so an uninstrumented
+run performs zero observability work. These helpers do the one-time wiring:
+set the engine's sink, bind the round clock, emit the ``deploy`` event, and
+register the population/convergence tracers plus the collector's own
+sampled structural gauges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import events as _events
+from repro.obs.collector import Collector
+from repro.obs.trace import ConvergenceTracer, PopulationTracer
+
+
+def attach_collector(
+    deployment,
+    collector: Optional[Collector] = None,
+    gauge_every: int = 1,
+) -> Collector:
+    """Wire a collector into a deployment; returns the collector.
+
+    Emits ``deploy`` immediately, then records per-layer counters (via the
+    engine's ``ctx.obs``), population and convergence events, sampled
+    structural gauges, and per-round spans as rounds execute. Pass an
+    existing ``collector`` to aggregate several runs into one sink.
+    """
+    if collector is None:
+        collector = Collector(gauge_every=gauge_every)
+    engine = deployment.engine
+    collector.bind_round_source(lambda: engine.round)
+    engine.obs = collector
+    collector.emit(
+        _events.EVENT_DEPLOY,
+        assembly=deployment.assembly.name,
+        nodes=deployment.network.size(),
+        components=len(deployment.assembly.components),
+    )
+    engine.add_observer(PopulationTracer(collector))
+    engine.add_observer(ConvergenceTracer(collector, deployment.tracker))
+    engine.add_observer(collector)
+    return collector
+
+
+def attach_collector_to_engine(
+    engine,
+    collector: Optional[Collector] = None,
+    gauge_every: int = 1,
+) -> Collector:
+    """Wire a collector into a bare :class:`~repro.sim.engine.Engine`.
+
+    The deployment-level conveniences (deploy event, convergence tracer)
+    need oracle state an engine does not have; this variant wires only the
+    sink, the round clock, and the sampled structural gauges — what perf
+    workloads and hand-built simulations need.
+    """
+    if collector is None:
+        collector = Collector(gauge_every=gauge_every)
+    collector.bind_round_source(lambda: engine.round)
+    engine.obs = collector
+    engine.add_observer(collector)
+    return collector

@@ -1,0 +1,82 @@
+"""The unified instrumentation protocol.
+
+:class:`Instrument` merges the three observation mechanisms that grew
+independently — round-boundary measuring hooks (``sim.controls.Observer``),
+the structured event log (``sim.trace.Tracer``), and the fault subsystem's
+recovery verifier (``faults.recovery.RecoveryObserver``) — into one
+interface the whole runtime is written against:
+
+========================  =====================================================
+method                    role
+========================  =====================================================
+``observe``               per-round measurement hook (may request a stop)
+``emit``                  typed lifecycle events (:mod:`repro.obs.events`)
+``count``                 monotonic per-layer counters (messages, churn)
+``gauge``                 last-value per-layer gauges (degrees, occupancy)
+``span_begin``/``span_end``  wall-clock spans (round timing)
+========================  =====================================================
+
+Every method is a no-op returning a falsy value, so a subclass implements
+only the facets it cares about: :class:`~repro.obs.trace.Tracer` records
+events, :class:`~repro.obs.recovery.RecoveryObserver` observes rounds, and
+:class:`~repro.obs.collector.Collector` implements everything. Hot paths
+guard each call with ``if ctx.obs is not None`` — with no collector
+attached, instrumentation costs one attribute check and performs zero
+allocations (the contract the tracer always had, now uniform).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import Network
+
+
+class Instrument:
+    """Base of every measuring hook; all methods default to no-ops.
+
+    Subclasses attached as engine observers get :meth:`observe` called
+    after the node steps of each round; subclasses wired as the engine's
+    ``obs`` sink additionally receive ``count``/``gauge``/``emit``/span
+    calls from inside the protocol layers.
+    """
+
+    # Stateless by construction (and lets NullInstrument stay dict-less);
+    # stateful subclasses simply don't declare __slots__ and get a __dict__.
+    __slots__ = ()
+
+    def observe(self, network: "Network", round_index: int) -> bool:
+        """Record measurements for ``round_index``; return ``True`` to stop."""
+        return False
+
+    def emit(self, kind: str, **details: Any) -> Optional[object]:
+        """Record one lifecycle event (see :mod:`repro.obs.events`)."""
+        return None
+
+    def count(self, name: str, value: int = 1, layer: str = "") -> None:
+        """Add ``value`` to the monotonic counter ``name`` for ``layer``."""
+
+    def gauge(self, name: str, value: float, layer: str = "") -> None:
+        """Set the last-value gauge ``name`` for ``layer``."""
+
+    def span_begin(self, name: str) -> None:
+        """Open the wall-clock span ``name`` (collector-timed)."""
+
+    def span_end(self, name: str) -> None:
+        """Close the wall-clock span ``name``."""
+
+
+class NullInstrument(Instrument):
+    """An explicit do-nothing instrument.
+
+    The runtime's disabled path is ``obs is None`` (cheaper than a method
+    call); this class exists for call sites that want an always-valid
+    instrument reference instead of an optional one.
+    """
+
+    __slots__ = ()
+
+
+#: Shared no-op instance for optional-instrument call sites.
+NULL_INSTRUMENT = NullInstrument()

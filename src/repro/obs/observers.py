@@ -1,0 +1,52 @@
+"""General-purpose round observers (canonical home; ``repro.sim.controls``
+re-exports these for backwards compatibility).
+
+Both observers are written against the unified
+:class:`~repro.obs.instrument.Instrument` protocol: they implement only the
+``observe`` facet and ignore the telemetry methods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.obs.instrument import Instrument
+from repro.sim.network import Network
+
+
+class SeriesObserver(Instrument):
+    """Records one numeric sample per round from a metric function."""
+
+    def __init__(self, name: str, metric: Callable[[Network, int], float]):
+        self.name = name
+        self._metric = metric
+        self.samples: List[float] = []
+
+    def observe(self, network: Network, round_index: int) -> bool:
+        self.samples.append(self._metric(network, round_index))
+        return False
+
+
+class GraphObserver(Instrument):
+    """Snapshots the realized overlay graph of one protocol layer each round.
+
+    The realized graph of a layer is the union of every live node's
+    :meth:`~repro.sim.protocol.Protocol.neighbors` relation — the structure
+    the figures' convergence metric is defined on.
+    """
+
+    def __init__(self, layer: str, keep_history: bool = False):
+        self.layer = layer
+        self.keep_history = keep_history
+        self.current: Dict[int, List[int]] = {}
+        self.history: List[Dict[int, List[int]]] = []
+
+    def observe(self, network: Network, round_index: int) -> bool:
+        snapshot: Dict[int, List[int]] = {}
+        for node in network.alive_nodes():
+            if node.has_protocol(self.layer):
+                snapshot[node.node_id] = list(node.protocol(self.layer).neighbors())
+        self.current = snapshot
+        if self.keep_history:
+            self.history.append(snapshot)
+        return False

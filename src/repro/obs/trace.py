@@ -1,0 +1,187 @@
+"""Structured event tracing (canonical home; ``repro.sim.trace`` is a shim).
+
+A :class:`Tracer` collects timestamped lifecycle events — crashes, joins,
+revivals, convergence transitions — as plain records that can be asserted on
+in tests, printed as a timeline, or dumped to JSON. It is the event-facet of
+the :class:`~repro.obs.instrument.Instrument` protocol: the population and
+convergence tracers below are written against ``Instrument``, so the same
+classes feed a plain :class:`Tracer` *or* a full
+:class:`~repro.obs.collector.Collector` (which also receives their counter
+and gauge calls).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs import events as _events
+from repro.obs.instrument import Instrument
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    round: int
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize with details namespaced under ``"details"``.
+
+        Details used to be splatted into the top level, where a ``round`` or
+        ``kind`` detail key silently shadowed the event's own fields; the
+        namespaced form is unambiguous. :meth:`from_dict` still reads the
+        legacy flat layout.
+        """
+        return {"round": self.round, "kind": self.kind, "details": dict(self.details)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+        """Parse either the namespaced layout or the legacy flat layout."""
+        details = data.get("details")
+        if isinstance(details, dict):
+            extra = {
+                key: value
+                for key, value in data.items()
+                if key not in ("round", "kind", "details")
+            }
+            details = {**details, **extra}
+        else:  # legacy: details splatted at the top level
+            details = {
+                key: value
+                for key, value in data.items()
+                if key not in ("round", "kind")
+            }
+        return cls(round=int(data["round"]), kind=str(data["kind"]), details=details)
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.round:>4}] {self.kind}{' ' + details if details else ''}"
+
+
+class Tracer(Instrument):
+    """An append-only event log keyed by simulation round."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._round_source: Callable[[], int] = lambda: 0
+
+    def bind_round_source(self, source: Callable[[], int]) -> None:
+        """Attach the clock (usually ``lambda: engine.round``)."""
+        self._round_source = source
+
+    def emit(self, kind: str, **details: Any) -> TraceEvent:
+        event = TraceEvent(round=self._round_source(), kind=kind, details=details)
+        self.events.append(event)
+        return event
+
+    # -- queries ----------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def since(self, round_index: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.round >= round_index]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- export ------------------------------------------------------------------
+
+    def timeline(self) -> str:
+        """Human-readable one-line-per-event log."""
+        return "\n".join(str(event) for event in self.events)
+
+    def to_json(self) -> str:
+        return json.dumps([event.to_dict() for event in self.events], indent=2)
+
+
+class PopulationTracer(Instrument):
+    """Engine observer emitting crash/join/revive events by diffing the
+    population between rounds (catches changes made by any control).
+
+    ``instrument`` is any event sink — a :class:`Tracer` keeps the events, a
+    :class:`~repro.obs.collector.Collector` additionally counts them.
+    """
+
+    def __init__(self, instrument: Instrument):
+        self.instrument = instrument
+        self._known_alive: Optional[set] = None
+
+    def observe(self, network: Network, round_index: int) -> bool:
+        alive = set(network.alive_ids())
+        if self._known_alive is not None:
+            for node_id in sorted(self._known_alive - alive):
+                if network.has_node(node_id):
+                    self.instrument.emit(_events.EVENT_NODE_CRASH, node=node_id)
+                    self.instrument.count("node_crashes")
+                else:
+                    self.instrument.emit(_events.EVENT_NODE_LEAVE, node=node_id)
+                    self.instrument.count("node_leaves")
+            for node_id in sorted(alive - self._known_alive):
+                self.instrument.emit(_events.EVENT_NODE_UP, node=node_id)
+                self.instrument.count("node_ups")
+        self._known_alive = alive
+        return False
+
+
+class ConvergenceTracer(Instrument):
+    """Engine observer emitting one event per layer convergence transition.
+
+    Wraps a :class:`~repro.core.convergence.ConvergenceTracker`: whenever a
+    layer's first-convergence round becomes known, a ``layer_converged``
+    event fires; the latest core score and the converged-layer count are
+    mirrored as gauges (no-ops on a plain :class:`Tracer`).
+    """
+
+    def __init__(self, instrument: Instrument, tracker) -> None:
+        self.instrument = instrument
+        self.tracker = tracker
+        self._reported: set = set()
+
+    def observe(self, network: Network, round_index: int) -> bool:
+        converged = 0
+        for layer, first in self.tracker.first_converged.items():
+            if first is None:
+                continue
+            converged += 1
+            if layer not in self._reported:
+                self._reported.add(layer)
+                self.instrument.emit(
+                    _events.EVENT_LAYER_CONVERGED, layer=layer, at=first
+                )
+        self.instrument.gauge("layers_converged", converged)
+        if self.tracker.core_scores:
+            self.instrument.gauge(
+                "core_score", self.tracker.core_scores[-1], layer="core"
+            )
+        return False
+
+    def reset(self) -> None:
+        self._reported.clear()
+
+
+def attach_tracer(deployment) -> Tracer:
+    """Wire a fresh :class:`Tracer` into a deployment.
+
+    Emits ``deploy`` immediately, then population and convergence events as
+    rounds execute. Returns the tracer; read ``tracer.timeline()`` or
+    ``tracer.to_json()`` at any point. For the full metrics pipeline
+    (counters, gauges, spans, exporters) attach a collector instead — see
+    :func:`repro.obs.hooks.attach_collector`.
+    """
+    tracer = Tracer()
+    tracer.bind_round_source(lambda: deployment.engine.round)
+    tracer.emit(
+        _events.EVENT_DEPLOY,
+        assembly=deployment.assembly.name,
+        nodes=deployment.network.size(),
+        components=len(deployment.assembly.components),
+    )
+    deployment.engine.add_observer(PopulationTracer(tracer))
+    deployment.engine.add_observer(ConvergenceTracer(tracer, deployment.tracker))
+    return tracer

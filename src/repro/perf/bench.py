@@ -87,10 +87,16 @@ class BenchReport:
     master_seed: int
     parallel: Optional[int]
     summaries: List[WorkloadSummary] = field(default_factory=list)
+    #: Observability verification section (``--obs`` runs only): digest
+    #: identity and wall-time overhead of the instrumented second pass.
+    obs: Optional[Dict] = None
+    #: The collector of the instrumented pass (not serialized; the CLI
+    #: drains it into the JSONL/Prometheus exporters).
+    obs_collector: Optional[object] = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> Dict:
         cells = [summary.to_dict() for summary in self.summaries]
-        return {
+        out = {
             "schema": SCHEMA,
             "suite": "gossip",
             "scale": self.scale,
@@ -104,6 +110,9 @@ class BenchReport:
                 "bytes": sum(cell["bytes"] for cell in cells),
             },
         }
+        if self.obs is not None:
+            out["obs"] = self.obs
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
@@ -114,6 +123,7 @@ def run_bench(
     seeds: Optional[int] = None,
     master_seed: int = 1,
     parallel: Optional[int] = None,
+    obs: bool = False,
 ) -> BenchReport:
     """Run the fixed workload matrix at ``scale`` and collect the report.
 
@@ -121,6 +131,14 @@ def run_bench(
     multi-seed runner; seeds derive deterministically from ``master_seed``
     and the workload name, so two bench runs measure identical simulations
     regardless of worker count.
+
+    With ``obs=True``, a *serial* second pass re-runs every cell with a
+    shared telemetry collector attached and records, in the report's
+    ``obs`` section, (a) whether every per-cell overlay digest is
+    byte-identical to the uninstrumented run — the zero-interference
+    contract of ``ctx.obs`` — and (b) the wall-time overhead fraction of
+    instrumentation. Structural gauge sampling is disabled
+    (``gauge_every=0``) so the measurement isolates the hot-path hooks.
     """
     matrix = workload_matrix(scale)
     n_seeds = seeds or SEEDS_PER_SCALE.get(scale, 2)
@@ -142,7 +160,57 @@ def run_bench(
             )
         )
         index += n_seeds
+    if obs:
+        report.obs, report.obs_collector = _instrumented_pass(tasks, outcomes)
     return report
+
+
+def _instrumented_pass(
+    tasks: List[Tuple[Workload, int]], outcomes: List[Tuple[dict, float]]
+) -> Tuple[Dict, object]:
+    """Re-run every cell serially, paired: control then instrumented.
+
+    Serial on purpose: a collector is mutable shared state, so it cannot
+    cross the parallel runner's process boundary. Each cell is timed as an
+    adjacent uninstrumented/instrumented pair in one process, so the
+    overhead fraction compares like with like — the first pass's wall
+    times (possibly parallel, always colder) are not reused.
+    """
+    from repro.obs.collector import Collector
+
+    collector = Collector(gauge_every=0)
+    baseline_wall = 0.0
+    instrumented_wall = 0.0
+    mismatches: List[str] = []
+    for (workload, seed), (baseline, _wall) in zip(tasks, outcomes):
+        start = time.perf_counter()
+        control = run_workload(workload, seed)
+        baseline_wall += time.perf_counter() - start
+        start = time.perf_counter()
+        result = run_workload(workload, seed, collector=collector)
+        instrumented_wall += time.perf_counter() - start
+        if (
+            result.digest != baseline["digest"]
+            or control.digest != baseline["digest"]
+        ):
+            mismatches.append(f"{workload.name}/seed={seed}")
+    overhead = (
+        (instrumented_wall - baseline_wall) / baseline_wall
+        if baseline_wall > 0
+        else 0.0
+    )
+    section = {
+        "gauge_every": 0,
+        "cells": len(tasks),
+        "digests_identical": not mismatches,
+        "digest_mismatches": mismatches,
+        "baseline_wall_s": round(baseline_wall, 4),
+        "instrumented_wall_s": round(instrumented_wall, 4),
+        "overhead_fraction": round(overhead, 4),
+        "events": len(collector.events),
+        "counter_increments": sum(collector.counters.values()),
+    }
+    return section, collector
 
 
 def format_bench(report: BenchReport) -> str:

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.gossip.peer_sampling import PeerSampling
 from repro.gossip.selection import Proximity
 from repro.gossip.vicinity import Vicinity
+from repro.obs.collector import Collector
+from repro.obs.hooks import attach_collector_to_engine
 from repro.perf.digest import overlay_digest
 from repro.shapes import make_shape
 from repro.sim.config import GossipParams, TransportCosts
@@ -106,12 +108,17 @@ def workload_matrix(scale: str = "ci") -> Tuple[Workload, ...]:
     return _FULL_MATRIX if scale == "full" else _CI_MATRIX
 
 
-def run_workload(workload: Workload, seed: int) -> WorkloadResult:
+def run_workload(
+    workload: Workload, seed: int, collector: Optional[Collector] = None
+) -> WorkloadResult:
     """Deploy, converge, and measure one workload under one seed.
 
     Deterministic: the result (digest included) is a pure function of
     ``(workload, seed)``, which is what lets the parallel runner fan seeds
-    out across processes without changing any number.
+    out across processes without changing any number. An attached
+    ``collector`` only reads simulation state — it never touches the
+    per-node RNG streams — so the digest is identical with or without it
+    (pinned by tests/obs/test_disabled_path.py).
     """
     shape = make_shape(workload.shape)
     n_nodes = workload.n_nodes
@@ -148,6 +155,8 @@ def run_workload(workload: Workload, seed: int) -> WorkloadResult:
             ),
         )
     engine = Engine(network, transport, streams)
+    if collector is not None:
+        attach_collector_to_engine(engine, collector)
 
     def shape_converged() -> bool:
         adjacency: Dict[int, List[int]] = {}

@@ -4,13 +4,34 @@ These mirror PeerSim's ``Control`` components. Controls run before the node
 steps of a round and may mutate the population or protocol state (churn,
 reconfiguration triggers); observers run after the node steps and record
 measurements, optionally requesting an early stop.
+
+Controls remain canonical here; the measuring side was unified into the
+:class:`~repro.obs.instrument.Instrument` protocol. ``Observer`` is kept as
+a deprecated alias of ``Instrument`` (imports still work, with a
+:class:`DeprecationWarning`), and :class:`~repro.obs.observers.SeriesObserver`
+/ :class:`~repro.obs.observers.GraphObserver` are re-exported from their
+canonical home in :mod:`repro.obs.observers`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import warnings
+from typing import Callable
 
+from repro.obs.observers import (  # noqa: F401  (compatibility re-exports)
+    GraphObserver,
+    SeriesObserver,
+)
 from repro.sim.network import Network
+
+__all__ = [
+    "CallbackControl",
+    "Control",
+    "GraphObserver",
+    "Observer",
+    "ScheduledControl",
+    "SeriesObserver",
+]
 
 
 class Control:
@@ -21,14 +42,6 @@ class Control:
 
     def after_round(self, network: Network, round_index: int) -> None:
         """Called after the node steps (and observers) of ``round_index``."""
-
-
-class Observer:
-    """Measuring hook; ``observe`` may return ``True`` to stop the run."""
-
-    def observe(self, network: Network, round_index: int) -> bool:
-        """Record measurements for ``round_index``; return ``True`` to stop."""
-        return False
 
 
 class CallbackControl(Control):
@@ -59,39 +72,15 @@ class ScheduledControl(Control):
             self._callback(network, round_index)
 
 
-class SeriesObserver(Observer):
-    """Records one numeric sample per round from a metric function."""
+def __getattr__(name: str):
+    if name == "Observer":
+        warnings.warn(
+            "repro.sim.controls.Observer is deprecated; "
+            "subclass repro.obs.instrument.Instrument instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.obs.instrument import Instrument
 
-    def __init__(self, name: str, metric: Callable[[Network, int], float]):
-        self.name = name
-        self._metric = metric
-        self.samples: List[float] = []
-
-    def observe(self, network: Network, round_index: int) -> bool:
-        self.samples.append(self._metric(network, round_index))
-        return False
-
-
-class GraphObserver(Observer):
-    """Snapshots the realized overlay graph of one protocol layer each round.
-
-    The realized graph of a layer is the union of every live node's
-    :meth:`~repro.sim.protocol.Protocol.neighbors` relation — the structure
-    the figures' convergence metric is defined on.
-    """
-
-    def __init__(self, layer: str, keep_history: bool = False):
-        self.layer = layer
-        self.keep_history = keep_history
-        self.current: Dict[int, List[int]] = {}
-        self.history: List[Dict[int, List[int]]] = []
-
-    def observe(self, network: Network, round_index: int) -> bool:
-        snapshot: Dict[int, List[int]] = {}
-        for node in network.alive_nodes():
-            if node.has_protocol(self.layer):
-                snapshot[node.node_id] = list(node.protocol(self.layer).neighbors())
-        self.current = snapshot
-        if self.keep_history:
-            self.history.append(snapshot)
-        return False
+        return Instrument
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

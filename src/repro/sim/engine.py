@@ -19,7 +19,8 @@ from repro.sim.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plane import FaultPlane
-    from repro.sim.controls import Control, Observer
+    from repro.obs.instrument import Instrument
+    from repro.sim.controls import Control
     from repro.sim.node import Node
 
 
@@ -39,6 +40,10 @@ class RoundContext:
     layer: str = ""
     loss_rate: float = 0.0
     faults: Optional["FaultPlane"] = None
+    #: Telemetry sink (see :mod:`repro.obs`); ``None`` means disabled, and
+    #: protocol hot paths guard every call with ``if ctx.obs is not None``
+    #: so uninstrumented runs do zero observability work.
+    obs: Optional["Instrument"] = None
 
     def rng(self):
         """The random stream for the current (layer, node) pair."""
@@ -106,13 +111,18 @@ class Engine:
         (churn models, workload generators).
     observers:
         Measurement hooks run *after* the node steps of each round. An
-        observer's :meth:`~repro.sim.controls.Observer.observe` may return
+        observer's :meth:`~repro.obs.instrument.Instrument.observe` may return
         ``True`` to request an early stop (e.g. "all layers converged").
     faults:
         Optional :class:`~repro.faults.plane.FaultPlane` consulted by every
         peer-addressed exchange (partitions, degraded links). Fault
         controls mutate the plane at round boundaries; ``None`` (default)
         keeps the engine on the fast fault-free path.
+    obs:
+        Optional :class:`~repro.obs.instrument.Instrument` telemetry sink,
+        handed to every :class:`RoundContext` and timed around each round.
+        ``None`` (default) keeps the engine on the uninstrumented path:
+        one ``is None`` check per guarded call site, zero allocations.
     """
 
     def __init__(
@@ -121,9 +131,10 @@ class Engine:
         transport: Optional[Transport] = None,
         streams: Optional[RandomStreams] = None,
         controls: Iterable["Control"] = (),
-        observers: Iterable["Observer"] = (),
+        observers: Iterable["Instrument"] = (),
         loss_rate: float = 0.0,
         faults: Optional["FaultPlane"] = None,
+        obs: Optional["Instrument"] = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -131,25 +142,31 @@ class Engine:
         self.transport = transport or Transport()
         self.streams = streams or RandomStreams(0)
         self.controls: List["Control"] = list(controls)
-        self.observers: List["Observer"] = list(observers)
+        self.observers: List["Instrument"] = list(observers)
         self.loss_rate = loss_rate
         self.faults = faults
+        self.obs = obs
         self.round = 0
 
     def add_control(self, control: "Control") -> None:
         self.controls.append(control)
 
-    def add_observer(self, observer: "Observer") -> None:
+    def add_observer(self, observer: "Instrument") -> None:
         self.observers.append(observer)
 
     # -- execution ------------------------------------------------------------
 
     def run_round(self) -> bool:
         """Execute one round; return ``True`` if an observer requested a stop."""
+        obs = self.obs
+        if obs is not None:
+            obs.span_begin("round")
         self.transport.begin_round(self.round)
         for control in self.controls:
             control.before_round(self.network, self.round)
 
+        if obs is not None:
+            obs.span_begin("steps")
         order = list(self.network.alive_ids())
         self.streams.stream("engine", "order").shuffle(order)
         for node_id in order:
@@ -166,10 +183,14 @@ class Engine:
                 round=self.round,
                 loss_rate=self.loss_rate,
                 faults=self.faults,
+                obs=obs,
             )
             for layer, protocol in node.stack():
                 ctx.layer = layer
                 protocol.step(ctx)
+        if obs is not None:
+            obs.span_end("steps")
+            obs.span_begin("observe")
 
         stop = False
         for observer in self.observers:
@@ -177,6 +198,9 @@ class Engine:
                 stop = True
         for control in self.controls:
             control.after_round(self.network, self.round)
+        if obs is not None:
+            obs.span_end("observe")
+            obs.span_end("round")
         self.round += 1
         return stop
 

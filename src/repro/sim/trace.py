@@ -1,136 +1,40 @@
-"""Structured event tracing for simulations.
+"""Deprecated shim — structured tracing now lives in :mod:`repro.obs.trace`.
 
-A :class:`Tracer` collects timestamped lifecycle events — crashes, joins,
-revivals, convergence transitions, reconfigurations, rebalances — as plain
-records that can be asserted on in tests, printed as a timeline, or dumped
-to JSON for external tooling. The runtime emits through whatever tracer is
-attached; tracing is entirely optional and free when absent.
+Everything here re-exports the canonical implementations. Importing
+``Tracer`` from this module emits a :class:`DeprecationWarning`; the
+companion classes are re-exported silently because their canonical names
+are unchanged and unambiguous.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+import warnings
 
-from repro.sim.controls import Observer
-from repro.sim.network import Network
+from repro.obs.trace import (  # noqa: F401  (compatibility re-exports)
+    ConvergenceTracer,
+    PopulationTracer,
+    TraceEvent,
+    attach_tracer,
+)
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded event."""
-
-    round: int
-    kind: str
-    details: Dict[str, Any] = field(default_factory=dict)
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {"round": self.round, "kind": self.kind, **self.details}
-
-    def __str__(self) -> str:
-        details = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
-        return f"[{self.round:>4}] {self.kind}{' ' + details if details else ''}"
+__all__ = [
+    "ConvergenceTracer",
+    "PopulationTracer",
+    "TraceEvent",
+    "Tracer",
+    "attach_tracer",
+]
 
 
-class Tracer:
-    """An append-only event log keyed by simulation round."""
+def __getattr__(name: str):
+    if name == "Tracer":
+        warnings.warn(
+            "repro.sim.trace.Tracer is deprecated; "
+            "import Tracer from repro.obs.trace instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.obs.trace import Tracer
 
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
-        self._round_source: Callable[[], int] = lambda: 0
-
-    def bind_round_source(self, source: Callable[[], int]) -> None:
-        """Attach the clock (usually ``lambda: engine.round``)."""
-        self._round_source = source
-
-    def emit(self, kind: str, **details: Any) -> TraceEvent:
-        event = TraceEvent(round=self._round_source(), kind=kind, details=details)
-        self.events.append(event)
-        return event
-
-    # -- queries ----------------------------------------------------------------
-
-    def of_kind(self, kind: str) -> List[TraceEvent]:
-        return [event for event in self.events if event.kind == kind]
-
-    def since(self, round_index: int) -> List[TraceEvent]:
-        return [event for event in self.events if event.round >= round_index]
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-    # -- export ------------------------------------------------------------------
-
-    def timeline(self) -> str:
-        """Human-readable one-line-per-event log."""
-        return "\n".join(str(event) for event in self.events)
-
-    def to_json(self) -> str:
-        return json.dumps([event.to_dict() for event in self.events], indent=2)
-
-
-class PopulationTracer(Observer):
-    """Engine observer emitting crash/join/revive events by diffing the
-    population between rounds (catches changes made by any control)."""
-
-    def __init__(self, tracer: Tracer):
-        self.tracer = tracer
-        self._known_alive: Optional[set] = None
-
-    def observe(self, network: Network, round_index: int) -> bool:
-        alive = set(network.alive_ids())
-        if self._known_alive is not None:
-            for node_id in sorted(self._known_alive - alive):
-                if network.has_node(node_id):
-                    self.tracer.emit("node_crash", node=node_id)
-                else:
-                    self.tracer.emit("node_leave", node=node_id)
-            for node_id in sorted(alive - self._known_alive):
-                self.tracer.emit("node_up", node=node_id)
-        self._known_alive = alive
-        return False
-
-
-class ConvergenceTracer(Observer):
-    """Engine observer emitting one event per layer convergence transition.
-
-    Wraps a :class:`~repro.core.convergence.ConvergenceTracker`: whenever a
-    layer's first-convergence round becomes known, a ``layer_converged``
-    event is emitted.
-    """
-
-    def __init__(self, tracer: Tracer, tracker) -> None:
-        self.tracer = tracer
-        self.tracker = tracker
-        self._reported: set = set()
-
-    def observe(self, network: Network, round_index: int) -> bool:
-        for layer, first in self.tracker.first_converged.items():
-            if first is not None and layer not in self._reported:
-                self._reported.add(layer)
-                self.tracer.emit("layer_converged", layer=layer, at=first)
-        return False
-
-    def reset(self) -> None:
-        self._reported.clear()
-
-
-def attach_tracer(deployment) -> Tracer:
-    """Wire a fresh :class:`Tracer` into a deployment.
-
-    Emits ``deploy`` immediately, then population and convergence events as
-    rounds execute. Returns the tracer; read ``tracer.timeline()`` or
-    ``tracer.to_json()`` at any point.
-    """
-    tracer = Tracer()
-    tracer.bind_round_source(lambda: deployment.engine.round)
-    tracer.emit(
-        "deploy",
-        assembly=deployment.assembly.name,
-        nodes=deployment.network.size(),
-        components=len(deployment.assembly.components),
-    )
-    deployment.engine.add_observer(PopulationTracer(tracer))
-    deployment.engine.add_observer(ConvergenceTracer(tracer, deployment.tracker))
-    return tracer
+        return Tracer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

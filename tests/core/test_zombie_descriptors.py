@@ -17,6 +17,13 @@ from repro.core import Runtime
 from repro.dsl import TopologyBuilder
 
 
+def null_ctx():
+    """A minimal RoundContext for unit-level protocol calls (no obs sink)."""
+    from repro.sim.engine import RoundContext
+
+    return RoundContext(node=None, network=None, transport=None, streams=None, round=0)
+
+
 def pair_assembly():
     builder = TopologyBuilder("Zombie")
     builder.component("ring", "ring", size=12).port("gate", "lowest_id")
@@ -58,7 +65,7 @@ class TestZombieDescriptors:
             layer="v",
             random_layer=None,
         )
-        instance._merge_pool([], [Descriptor(1, age=0, profile=1)])
+        instance._merge_pool(null_ctx(), [], [Descriptor(1, age=0, profile=1)])
         assert instance.view.get(1).age == 1
 
     def test_ttl_drops_stale_entries(self):
@@ -74,7 +81,7 @@ class TestZombieDescriptors:
             random_layer=None,
             descriptor_ttl=5,
         )
-        instance._merge_pool([], [Descriptor(1, age=9, profile=1)])
+        instance._merge_pool(null_ctx(), [], [Descriptor(1, age=9, profile=1)])
         assert 1 not in instance.view.ids()
 
     @pytest.mark.parametrize("seed", [62128, 7, 99])

@@ -1,0 +1,49 @@
+"""measure_convergence's instrument hook: one event per completed seed."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import measure_convergence
+from repro.obs.collector import Collector
+
+
+class TestSeedMeasuredEvents:
+    def test_one_event_per_seed_serial_and_parallel(
+        self, tiny_ring_assembly, fast_config
+    ):
+        def run(parallel):
+            collector = Collector(gauge_every=0)
+            stats = measure_convergence(
+                tiny_ring_assembly,
+                24,
+                seeds=(1, 2),
+                max_rounds=60,
+                config=fast_config,
+                parallel=parallel,
+                instrument=collector,
+            )
+            return stats, collector
+
+        serial_stats, serial = run(parallel=1)
+        parallel_stats, fanned = run(parallel=2)
+        assert serial_stats == parallel_stats
+        assert serial.counter("seeds_measured") == 2
+        # Post-hoc emission: the stream is identical either way.
+        assert [e.details for e in serial.events] == [
+            e.details for e in fanned.events
+        ]
+        for event, seed in zip(serial.events, (1, 2)):
+            assert event.kind == "seed_measured"
+            assert event.details["seed"] == seed
+            assert event.details["nodes"] == 24
+            assert "core" in event.details["rounds"]
+
+    def test_no_instrument_means_no_events(self, tiny_ring_assembly, fast_config):
+        stats = measure_convergence(
+            tiny_ring_assembly,
+            24,
+            seeds=(1,),
+            max_rounds=60,
+            config=fast_config,
+            parallel=1,
+        )
+        assert stats["core"].n == 1

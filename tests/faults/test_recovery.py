@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.faults.plane import FaultEvent, FaultPlane
-from repro.faults.recovery import EventRecovery, RecoveryObserver
+from repro.obs.recovery import EventRecovery, RecoveryObserver
 from repro.gossip.views import PartialView
 from repro.metrics.recovery import cross_island_fraction, dead_descriptor_fraction
 from repro.sim.network import Network

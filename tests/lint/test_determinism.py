@@ -158,6 +158,20 @@ class TestDet003WallClock:
             assert codes(lint_snippet(snippet, rel_path=rel_path)) == ["DET003"]
         assert lint_snippet(snippet, rel_path="perf/bench.py") == []
 
+    def test_obs_package_is_covered_except_the_sanctioned_clock(self):
+        # The observability subsystem is simulation-adjacent: collectors and
+        # exporters must stay clock-free, with spans.py as the single
+        # sanctioned wall-clock site every span measurement flows through.
+        snippet = """
+            import time
+
+            def tick():
+                return time.perf_counter()
+            """
+        for rel_path in ("obs/collector.py", "obs/export.py", "obs/hooks.py"):
+            assert codes(lint_snippet(snippet, rel_path=rel_path)) == ["DET003"]
+        assert lint_snippet(snippet, rel_path="obs/spans.py") == []
+
     def test_wall_clock_fine_outside_sim_paths(self):
         # Reporting/analysis code may legitimately timestamp its output.
         diags = lint_snippet(

@@ -1,0 +1,104 @@
+"""CLI surface of the observability subsystem: repro obs / report / --obs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+TOPOLOGY = """
+topology ObsDemo {
+    nodes 24
+    component ring : ring(size = 16) { port gate : lowest_id }
+    component cell : clique(size = 8) { port gate : lowest_id }
+    link ring.gate -- cell.gate
+}
+"""
+
+
+@pytest.fixture
+def topology_file(tmp_path):
+    path = tmp_path / "demo.topo"
+    path.write_text(TOPOLOGY, encoding="utf-8")
+    return str(path)
+
+
+class TestObsCommand:
+    def test_instrumented_run_prints_telemetry(self, topology_file, capsys):
+        assert main(["obs", topology_file, "--gauge-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "exchanges" in out
+        assert "peer_sampling" in out
+        assert "deploy" in out
+
+    def test_exports_jsonl_and_prometheus(self, topology_file, tmp_path, capsys):
+        jsonl = tmp_path / "events.jsonl"
+        prom = tmp_path / "snapshot.prom"
+        assert (
+            main(
+                [
+                    "obs",
+                    topology_file,
+                    "--jsonl",
+                    str(jsonl),
+                    "--prom",
+                    str(prom),
+                ]
+            )
+            == 0
+        )
+        first = json.loads(jsonl.read_text(encoding="utf-8").splitlines()[0])
+        assert first["kind"] == "deploy"
+        assert "repro_exchanges_total" in prom.read_text(encoding="utf-8")
+
+    def test_summarizes_jsonl_post_mortem(self, topology_file, tmp_path, capsys):
+        jsonl = tmp_path / "events.jsonl"
+        assert main(["obs", topology_file, "--jsonl", str(jsonl)]) == 0
+        capsys.readouterr()
+        assert main(["obs", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "deploy" in out
+        assert "layer_converged" in out
+
+
+class TestReportCommand:
+    def test_consolidated_report(self, topology_file, capsys):
+        assert main(["report", topology_file, "--gauge-every", "4"]) == 0
+        out = capsys.readouterr().out
+        # The three report families share one registry rendering.
+        assert "convergence (rounds)" in out
+        assert "bandwidth (bytes/node/round)" in out
+        assert "counters" in out
+        assert "events" in out
+
+
+class TestFaultsObsFlag:
+    def test_partition_scenario_writes_stream(self, tmp_path, capsys):
+        jsonl = tmp_path / "faults.jsonl"
+        code = main(
+            [
+                "faults",
+                "--scenario",
+                "partition",
+                "--nodes",
+                "48",
+                "--obs",
+                str(jsonl),
+                "--gauge-every",
+                "0",
+            ]
+        )
+        assert code == 0
+        kinds = [
+            json.loads(line)["kind"]
+            for line in jsonl.read_text(encoding="utf-8").splitlines()
+        ]
+        assert "deploy" in kinds
+        assert "partition" in kinds
+        assert "heal" in kinds
+        assert "scenario_result" in kinds
+        assert (tmp_path / "faults.jsonl.prom").exists()

@@ -1,0 +1,49 @@
+"""The deprecated observer aliases: still importable, warn, still work."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.faults.recovery as faults_recovery
+import repro.sim.controls as sim_controls
+import repro.sim.trace as sim_trace
+from repro.obs.instrument import Instrument
+from repro.obs.recovery import RecoveryObserver as CanonicalRecoveryObserver
+from repro.obs.trace import Tracer as CanonicalTracer
+
+
+class TestDeprecatedAliases:
+    def test_sim_trace_tracer_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="Tracer"):
+            alias = sim_trace.Tracer
+        assert alias is CanonicalTracer
+
+    def test_sim_controls_observer_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="Observer"):
+            alias = sim_controls.Observer
+        assert alias is Instrument
+
+    def test_faults_recovery_observer_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="RecoveryObserver"):
+            alias = faults_recovery.RecoveryObserver
+        assert alias is CanonicalRecoveryObserver
+
+    def test_aliases_remain_functional(self):
+        with pytest.warns(DeprecationWarning):
+            tracer = sim_trace.Tracer()
+        tracer.emit("deploy", nodes=3)
+        assert len(tracer) == 1
+
+    def test_unknown_attributes_still_raise(self):
+        for module in (sim_trace, sim_controls, faults_recovery):
+            with pytest.raises(AttributeError):
+                module.definitely_not_a_name
+
+    def test_silent_reexports_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert sim_trace.TraceEvent is not None
+            assert sim_controls.GraphObserver is not None
+            assert faults_recovery.RecoveryReport is not None

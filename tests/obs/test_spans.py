@@ -1,0 +1,52 @@
+"""Span timing with an injectable (fake) clock."""
+
+from __future__ import annotations
+
+from repro.obs.spans import SpanTimer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpanTimer:
+    def test_begin_end_accumulates(self):
+        clock = FakeClock()
+        timer = SpanTimer(clock)
+        timer.begin("round")
+        clock.now = 2.0
+        timer.end("round")
+        timer.begin("round")
+        clock.now = 5.0
+        timer.end("round")
+        assert timer.totals["round"] == 5.0
+        assert timer.counts["round"] == 2
+        assert timer.mean("round") == 2.5
+
+    def test_unmatched_end_is_ignored(self):
+        timer = SpanTimer(FakeClock())
+        timer.end("never-begun")
+        assert timer.names() == []
+
+    def test_re_begin_restarts(self):
+        clock = FakeClock()
+        timer = SpanTimer(clock)
+        timer.begin("steps")
+        clock.now = 10.0
+        timer.begin("steps")  # restart: the first begin is abandoned
+        clock.now = 11.0
+        timer.end("steps")
+        assert timer.totals["steps"] == 1.0
+        assert timer.counts["steps"] == 1
+
+    def test_names_sorted(self):
+        clock = FakeClock()
+        timer = SpanTimer(clock)
+        for name in ("observe", "round", "steps"):
+            timer.begin(name)
+            timer.end(name)
+        assert timer.names() == ["observe", "round", "steps"]

@@ -2,12 +2,8 @@
 
 from __future__ import annotations
 
-from repro.sim.controls import (
-    CallbackControl,
-    GraphObserver,
-    ScheduledControl,
-    SeriesObserver,
-)
+from repro.obs.observers import GraphObserver, SeriesObserver
+from repro.sim.controls import CallbackControl, ScheduledControl
 from repro.sim.engine import Engine
 from repro.sim.network import Network
 from repro.sim.protocol import Protocol

@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.controls import Control, Observer
+from repro.obs.instrument import Instrument
+from repro.sim.controls import Control
 from repro.sim.engine import Engine, RoundContext
 from repro.sim.network import Network
 from repro.sim.protocol import Protocol
@@ -119,7 +120,7 @@ class TestControlsAndObservers:
     def test_observer_stop_request_halts_run(self):
         net, _ = build(n=1)
 
-        class StopAtOne(Observer):
+        class StopAtOne(Instrument):
             def observe(self, network, round_index):
                 return round_index >= 1
 
@@ -136,7 +137,7 @@ class TestControlsAndObservers:
         net, _ = build(n=1)
         engine = Engine(net, streams=RandomStreams(1))
         engine.add_control(Control())
-        engine.add_observer(Observer())
+        engine.add_observer(Instrument())
         assert len(engine.controls) == 1
         assert len(engine.observers) == 1
 

@@ -6,7 +6,7 @@ import json
 
 from repro.core import Runtime
 from repro.dsl import TopologyBuilder
-from repro.sim.trace import TraceEvent, Tracer, attach_tracer
+from repro.obs.trace import TraceEvent, Tracer, attach_tracer
 
 
 def small_deployment(seed=81):
@@ -51,7 +51,22 @@ class TestTracer:
         tracer = Tracer()
         tracer.emit("deploy", nodes=18)
         parsed = json.loads(tracer.to_json())
-        assert parsed == [{"round": 0, "kind": "deploy", "nodes": 18}]
+        assert parsed == [{"round": 0, "kind": "deploy", "details": {"nodes": 18}}]
+        assert TraceEvent.from_dict(parsed[0]) == tracer.events[0]
+
+    def test_details_cannot_shadow_round_or_kind(self):
+        # Regression: details named "round"/"kind" used to overwrite the
+        # event's own fields in the flat serialization.
+        event = TraceEvent(0, "custom", {"round": "shadow", "kind": "shadow"})
+        data = event.to_dict()
+        assert data["round"] == 0 and data["kind"] == "custom"
+        assert data["details"] == {"round": "shadow", "kind": "shadow"}
+        assert TraceEvent.from_dict(data) == event
+
+    def test_from_dict_reads_legacy_flat_layout(self):
+        legacy = {"round": 4, "kind": "deploy", "nodes": 18}
+        event = TraceEvent.from_dict(legacy)
+        assert event == TraceEvent(4, "deploy", {"nodes": 18})
 
     def test_event_str(self):
         assert str(TraceEvent(3, "x")) == "[   3] x"

@@ -44,6 +44,14 @@ def fast_drivers(monkeypatch):
     return calls
 
 
+class StubReport:
+    """Just enough of a BenchReport for the CLI's obs handling."""
+
+    def __init__(self, obs=None, obs_collector=None):
+        self.obs = obs
+        self.obs_collector = obs_collector
+
+
 @pytest.fixture
 def fast_bench(monkeypatch):
     """Replace the gossip bench harness with an instant stub."""
@@ -51,11 +59,15 @@ def fast_bench(monkeypatch):
 
     import repro.perf.bench as bench
 
-    def stub_run_bench(scale, seeds, master_seed, parallel):
+    def stub_run_bench(scale, seeds, master_seed, parallel, obs=False):
         calls["run"] = dict(
-            scale=scale, seeds=seeds, master_seed=master_seed, parallel=parallel
+            scale=scale,
+            seeds=seeds,
+            master_seed=master_seed,
+            parallel=parallel,
+            obs=obs,
         )
-        return "<report>"
+        return StubReport()
 
     def stub_write_bench(report, json_path):
         calls["write"] = dict(report=report, json_path=json_path)
@@ -79,7 +91,9 @@ def test_bench_defaults_to_the_gossip_matrix(fast_bench, capsys):
     out = capsys.readouterr().out
     assert "TABLE[gossip]" in out
     assert "wrote BENCH_gossip.json" in out
-    assert fast_bench["run"] == dict(scale="ci", seeds=None, master_seed=1, parallel=None)
+    assert fast_bench["run"] == dict(
+        scale="ci", seeds=None, master_seed=1, parallel=None, obs=False
+    )
 
 
 def test_bench_gossip_forwards_options(fast_bench, capsys):
@@ -102,9 +116,36 @@ def test_bench_gossip_forwards_options(fast_bench, capsys):
         )
         == 0
     )
-    assert fast_bench["run"] == dict(scale="full", seeds=3, master_seed=9, parallel=2)
+    assert fast_bench["run"] == dict(
+        scale="full", seeds=3, master_seed=9, parallel=2, obs=False
+    )
     assert fast_bench["write"]["json_path"] == "out/bench.json"
     assert "wrote out/bench.json" in capsys.readouterr().out
+
+
+def test_bench_obs_flag_requests_the_instrumented_pass(
+    fast_bench, monkeypatch, tmp_path, capsys
+):
+    import repro.perf.bench as bench
+    from repro.obs.collector import Collector
+
+    collector = Collector(gauge_every=0)
+    collector.emit("deploy", nodes=8)
+    report = StubReport(
+        obs={"digests_identical": True, "overhead_fraction": 0.01},
+        obs_collector=collector,
+    )
+    monkeypatch.setattr(
+        bench, "run_bench", lambda **kwargs: fast_bench["run"].update(kwargs) or report
+    )
+    fast_bench["run"] = {}
+    jsonl = tmp_path / "bench.jsonl"
+    assert main(["bench", "gossip", "--obs", str(jsonl)]) == 0
+    assert fast_bench["run"]["obs"] is True
+    out = capsys.readouterr().out
+    assert "digests identical" in out
+    assert jsonl.exists()
+    assert (tmp_path / "bench.jsonl.prom").exists()
 
 
 def test_bench_rejects_unknown_target(capsys):
