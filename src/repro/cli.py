@@ -31,12 +31,20 @@ Commands
 ``report FILE``
     Deploy, converge, and print the consolidated metrics report —
     convergence rounds, bandwidth split, and live telemetry — through the
-    :class:`~repro.metrics.registry.MetricsRegistry` facade.
+    :class:`~repro.metrics.registry.MetricsRegistry` facade. With
+    ``--profile``, time every layer's protocol steps and append the
+    sorted self-time span table.
 ``obs TARGET``
     The observability window. With a ``.topo`` file: run it instrumented
-    and print/export the telemetry (``--jsonl``, ``--prom``). With a
-    ``.jsonl`` event stream: summarize it post-mortem. ``bench`` and
-    ``faults`` take ``--obs PATH`` to capture telemetry as they run.
+    and print/export the telemetry (``--jsonl``, ``--prom``; ``--flow``
+    adds causal propagation tracing). With a ``.jsonl`` event stream:
+    summarize it post-mortem. ``bench`` and ``faults`` take ``--obs PATH``
+    to capture telemetry as they run.
+``watch FILE``
+    Live terminal view of a converging run: population, per-layer
+    counters and degrees, information flow, and active health alerts,
+    re-rendered every ``--interval`` rounds (``--once`` renders a single
+    snapshot after the run; ``--alerts PATH`` writes the alert stream).
 """
 
 from __future__ import annotations
@@ -147,10 +155,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         written = write_bench(report, json_path=args.output)
         if report.obs is not None:
             obs = report.obs
+            flow_frac = obs.get("flow_overhead_fraction")
             print(
                 "obs: digests "
                 + ("identical" if obs["digests_identical"] else "DIVERGED")
                 + f", instrumentation overhead {obs['overhead_fraction']:+.1%}"
+                + (
+                    f", provenance tracing {flow_frac:+.1%}"
+                    if flow_frac is not None
+                    else ""
+                )
             )
             written.extend(_write_obs_exports(args.obs, report.obs_collector))
         for path in written:
@@ -188,7 +202,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.scenarios import SCENARIOS, format_scenario, run_fault_matrix
 
     collector = None
-    if args.obs is not None:
+    if args.obs is not None or args.alerts is not None:
         from repro.obs.collector import Collector
 
         collector = Collector(gauge_every=args.gauge_every)
@@ -202,8 +216,19 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             print()
         print(format_scenario(result))
     if collector is not None:
-        for path in _write_obs_exports(args.obs, collector):
-            print(f"wrote {path}")
+        if args.obs is not None:
+            for path in _write_obs_exports(args.obs, collector):
+                print(f"wrote {path}")
+        if args.alerts is not None:
+            from repro.obs.export import write_jsonl
+
+            alerts = [
+                event
+                for event in collector.events
+                if event.kind in ("alert", "alert_cleared")
+            ]
+            write_jsonl(args.alerts, alerts)
+            print(f"wrote {args.alerts} ({len(alerts)} alert event(s))")
     return 0 if all(result.healed for result in results) else 1
 
 
@@ -221,12 +246,28 @@ def _write_obs_exports(jsonl_path: str, collector) -> List[str]:
 
 
 def _instrumented_run(args: argparse.Namespace):
-    """Deploy + converge ``args.file`` with a collector attached."""
+    """Deploy + converge ``args.file`` with a collector attached.
+
+    Honors the optional ``profile`` (per-layer step spans), ``flow``
+    (provenance tracing), and ``health`` (alert rules) attributes when the
+    calling command defines them.
+    """
     from repro.obs.hooks import attach_collector
 
+    flow = None
+    if getattr(args, "flow", False):
+        from repro.obs.flow import FlowTracer
+
+        flow = FlowTracer()
     assembly = _load(args.file)
     deployment = Runtime(assembly, seed=args.seed).deploy(args.nodes)
-    collector = attach_collector(deployment, gauge_every=args.gauge_every)
+    collector = attach_collector(
+        deployment,
+        gauge_every=args.gauge_every,
+        flow=flow,
+        health=getattr(args, "health", False),
+    )
+    collector.profile_layers = bool(getattr(args, "profile", False))
     report = deployment.run_until_converged(args.max_rounds)
     return deployment, report, collector
 
@@ -236,6 +277,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     deployment, report, collector = _instrumented_run(args)
     registry = MetricsRegistry.for_deployment(deployment, report, collector)
+    if args.profile:
+        registry.add_profile(collector)
     print(registry.render())
     return 0 if report.converged else 1
 
@@ -256,6 +299,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_rounds=args.max_rounds,
             gauge_every=args.gauge_every,
+            flow=args.flow,
         )
     )
     registry = MetricsRegistry.from_collector(collector)
@@ -274,6 +318,56 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     for path in written:
         print(f"wrote {path}")
     return 0 if report.converged else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.flow import FlowTracer
+    from repro.obs.hooks import attach_collector
+    from repro.obs.watch import render_dashboard
+
+    assembly = _load(args.file)
+    deployment = Runtime(assembly, seed=args.seed).deploy(args.nodes)
+    collector = attach_collector(
+        deployment,
+        gauge_every=args.gauge_every,
+        flow=FlowTracer(),
+        health=True,
+    )
+    health = collector.health
+    deployment.tracker.stop_when_converged = True
+    title = f"repro watch {args.file}"
+
+    def frame() -> str:
+        return render_dashboard(
+            collector, health, round_index=deployment.engine.round, title=title
+        )
+
+    if args.once:
+        deployment.engine.run(args.max_rounds)
+        print(frame(), end="")
+    else:
+        clear = sys.stdout.isatty()
+        executed = 0
+        while executed < args.max_rounds:
+            chunk = min(args.interval, args.max_rounds - executed)
+            ran = deployment.engine.run(chunk)
+            executed += ran
+            if clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(frame())
+            if ran < chunk:
+                break  # an observer (convergence) requested a stop
+    if args.alerts:
+        from repro.obs.export import write_jsonl
+
+        alerts = [
+            event
+            for event in collector.events
+            if event.kind in ("alert", "alert_cleared")
+        ]
+        write_jsonl(args.alerts, alerts)
+        print(f"wrote {args.alerts} ({len(alerts)} alert event(s))")
+    return 0 if deployment.tracker.report().converged else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -403,6 +497,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="structural gauge sampling period in rounds, 0 disables "
         "(default: 5)",
     )
+    faults.add_argument(
+        "--alerts",
+        default=None,
+        metavar="PATH",
+        help="write just the alert/alert_cleared events (JSONL) to PATH "
+        "(attaches the health monitor even without --obs)",
+    )
     faults.set_defaults(func=_cmd_faults)
 
     report = subparsers.add_parser(
@@ -418,6 +519,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="structural gauge sampling period in rounds, 0 disables "
         "(default: 1)",
+    )
+    report.add_argument(
+        "--profile",
+        action="store_true",
+        help="time each layer's protocol steps and append the sorted "
+        "self-time span table",
     )
     report.set_defaults(func=_cmd_report)
 
@@ -448,7 +555,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a Prometheus-style text snapshot",
     )
+    obs.add_argument(
+        "--flow",
+        action="store_true",
+        help="trace causal propagation (per-layer latency distributions, "
+        "information-flow graph, convergence critical path)",
+    )
     obs.set_defaults(func=_cmd_obs)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="live terminal view of a converging run (health + flow included)",
+    )
+    watch.add_argument("file")
+    watch.add_argument("--nodes", type=int, default=None)
+    watch.add_argument("--seed", type=int, default=1)
+    watch.add_argument("--max-rounds", type=int, default=120)
+    watch.add_argument(
+        "--interval",
+        type=int,
+        default=5,
+        help="rounds between dashboard refreshes (default: 5)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot after the run instead of live frames",
+    )
+    watch.add_argument(
+        "--gauge-every",
+        type=int,
+        default=1,
+        help="structural gauge sampling period in rounds, 0 disables "
+        "(default: 1)",
+    )
+    watch.add_argument(
+        "--alerts",
+        default=None,
+        metavar="PATH",
+        help="write the alert/alert_cleared event stream (JSONL) to PATH",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     return parser
 

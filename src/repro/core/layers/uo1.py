@@ -66,6 +66,13 @@ class SameComponentOverlay(Protocol):
         self.descriptor_ttl = descriptor_ttl or max(24, 2 * self.params.view_size)
         self.view = PartialView(self.params.view_size)
         self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
+        # Pre-resolved (name, layer) counter keys for Instrument.count_key.
+        self._k_exchanges = ("exchanges", layer)
+        self._k_sent = ("descriptors_sent", layer)
+        self._k_received = ("descriptors_received", layer)
+        self._k_dead = ("dead_purged", layer)
+        self._k_replacements = ("view_replacements", layer)
+        self._k_churn = ("descriptor_churn", layer)
 
     # -- identity ---------------------------------------------------------------
 
@@ -106,22 +113,35 @@ class SameComponentOverlay(Protocol):
             return
         partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
         assert isinstance(partner_protocol, SameComponentOverlay)
-        buffer = self._make_buffer(ctx)
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
+        buffer = self._make_buffer(ctx, flow)
         reply = partner_protocol.on_gossip(ctx, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
-        if ctx.obs is not None:
-            ctx.obs.count("exchanges", layer=self.layer)
-            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
+        if obs is not None:
+            obs.count_key(self._k_exchanges)
+            obs.count_key(self._k_sent, len(buffer))
+            obs.count_key(self._k_received, len(reply))
+            if flow is not None:
+                reply = flow.on_received(
+                    self.layer, ctx.round, self.node_id, partner.node_id, reply
+                )
         self._merge(ctx, sent=buffer, received=reply)
 
     def on_gossip(
         self, ctx: RoundContext, received: List[Descriptor]
     ) -> List[Descriptor]:
-        reply = self._make_buffer(ctx)
-        if ctx.obs is not None:
-            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
+        reply = self._make_buffer(ctx, flow)
+        if obs is not None:
+            obs.count_key(self._k_sent, len(reply))
+            obs.count_key(self._k_received, len(received))
+            if flow is not None:
+                # ctx belongs to the active requester — the sender.
+                received = flow.on_received(
+                    self.layer, ctx.round, self.node_id, ctx.node.node_id, received
+                )
         self._merge(ctx, sent=reply, received=received)
         return reply
 
@@ -162,7 +182,7 @@ class SameComponentOverlay(Protocol):
                 # Dead: tombstone against stale resurrection.
                 self.view.purge(candidate.node_id)
                 if ctx.obs is not None:
-                    ctx.obs.count("dead_purged", layer=self.layer)
+                    ctx.obs.count_key(self._k_dead)
         return None
 
     def _partner_valid(self, network: Network, node_id: int) -> bool:
@@ -175,8 +195,11 @@ class SameComponentOverlay(Protocol):
         assert isinstance(peer_protocol, SameComponentOverlay)
         return peer_protocol.profile.component == self.profile.component
 
-    def _make_buffer(self, ctx: RoundContext) -> List[Descriptor]:
-        buffer = [self.self_descriptor()]
+    def _make_buffer(self, ctx: RoundContext, flow=None) -> List[Descriptor]:
+        advert = self.self_descriptor()
+        if flow is not None:
+            advert = flow.advertise(advert, self.node_id, ctx.round)
+        buffer = [advert]
         buffer.extend(self.view.sample(ctx.rng(), self.params.gossip_size - 1))
         return buffer
 
@@ -228,7 +251,7 @@ class SameComponentOverlay(Protocol):
             victim = rng.choice(list(pool.keys()))
             del pool[victim]
         if ctx.obs is not None:
-            entering = sum(1 for node_id in pool if node_id not in self.view)
-            ctx.obs.count("view_replacements", layer=self.layer)
-            ctx.obs.count("descriptor_churn", entering, layer=self.layer)
+            entering = len(pool.keys() - self.view.id_set())
+            ctx.obs.count_key(self._k_replacements)
+            ctx.obs.count_key(self._k_churn, entering)
         self.view.replace(pool.values())

@@ -58,6 +58,11 @@ class DistantComponentOverlay(Protocol):
         self.uo1_layer = uo1_layer
         self.buckets: Dict[str, PartialView] = {}
         self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
+        # Pre-resolved (name, layer) counter keys for Instrument.count_key.
+        self._k_exchanges = ("exchanges", layer)
+        self._k_sent = ("descriptors_sent", layer)
+        self._k_received = ("descriptors_received", layer)
+        self._k_churn = ("descriptor_churn", layer)
 
     # -- identity -----------------------------------------------------------------
 
@@ -111,22 +116,35 @@ class DistantComponentOverlay(Protocol):
             return
         partner_protocol = ctx.network.node(partner_id).protocol(self.layer)
         assert isinstance(partner_protocol, DistantComponentOverlay)
-        buffer = self._make_buffer(ctx)
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
+        buffer = self._make_buffer(ctx, flow)
         reply = partner_protocol.on_gossip(ctx, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
-        if ctx.obs is not None:
-            ctx.obs.count("exchanges", layer=self.layer)
-            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
+        if obs is not None:
+            obs.count_key(self._k_exchanges)
+            obs.count_key(self._k_sent, len(buffer))
+            obs.count_key(self._k_received, len(reply))
+            if flow is not None:
+                reply = flow.on_received(
+                    self.layer, ctx.round, self.node_id, partner_id, reply
+                )
         self._merge(ctx, reply)
 
     def on_gossip(
         self, ctx: RoundContext, received: List[Descriptor]
     ) -> List[Descriptor]:
-        reply = self._make_buffer(ctx)
-        if ctx.obs is not None:
-            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
+        reply = self._make_buffer(ctx, flow)
+        if obs is not None:
+            obs.count_key(self._k_sent, len(reply))
+            obs.count_key(self._k_received, len(received))
+            if flow is not None:
+                # ctx belongs to the active requester — the sender.
+                received = flow.on_received(
+                    self.layer, ctx.round, self.node_id, ctx.node.node_id, received
+                )
         self._merge(ctx, received)
         return reply
 
@@ -205,10 +223,13 @@ class DistantComponentOverlay(Protocol):
             limit, bucket.descriptors(), key=lambda d: (d.age, d.node_id)
         )
 
-    def _make_buffer(self, ctx: RoundContext) -> List[Descriptor]:
+    def _make_buffer(self, ctx: RoundContext, flow=None) -> List[Descriptor]:
         """Self plus the youngest contact of each known component, round-robin
         until the message budget is reached."""
-        buffer = [self.self_descriptor()]
+        advert = self.self_descriptor()
+        if flow is not None:
+            advert = flow.advertise(advert, self.node_id, ctx.round)
+        buffer = [advert]
         limit = self.gossip_contacts - 1
         per_component = [
             self._bucket_heads(name, limit) for name in self.known_components()
@@ -232,4 +253,4 @@ class DistantComponentOverlay(Protocol):
             # the buckets instead of bouncing at age 0 (see Vicinity).
             adopted += self._insert(descriptor.aged())
         if ctx.obs is not None and adopted:
-            ctx.obs.count("descriptor_churn", adopted, layer=self.layer)
+            ctx.obs.count_key(self._k_churn, adopted)

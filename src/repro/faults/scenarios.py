@@ -49,6 +49,10 @@ class ScenarioResult:
     report: RecoveryReport
     drop_reasons: Dict[str, int]
     delayed_exchanges: int
+    #: HealthMonitor summary (only on instrumented runs), incl. the alert
+    #: history — which rules fired during the fault window and whether they
+    #: cleared after healing.
+    health: Optional[Dict] = None
 
     @property
     def healed(self) -> bool:
@@ -75,6 +79,30 @@ def _deploy(
     return deployment
 
 
+def _arm_recovery(
+    deployment: Deployment,
+    plane: FaultPlane,
+    collector: Optional[Collector] = None,
+) -> RecoveryObserver:
+    """Attach the recovery observer (and, when instrumented, the health
+    monitor) for a fault run.
+
+    Order matters: the recovery observer refreshes the ``layers_converged``
+    and ``dead_descriptor_fraction`` gauges each round, and the health
+    monitor — added last — evaluates its rules against those fresh values.
+    """
+    observer = RecoveryObserver.for_deployment(
+        deployment, plane, instrument=collector
+    )
+    deployment.engine.add_observer(observer)
+    deployment.recovery = observer  # type: ignore[attr-defined]
+    if collector is not None:
+        from repro.obs.hooks import attach_health
+
+        attach_health(deployment, collector)
+    return observer
+
+
 def _result(
     name: str,
     deployment: Deployment,
@@ -85,6 +113,7 @@ def _result(
 ) -> ScenarioResult:
     observer: RecoveryObserver = deployment.recovery  # type: ignore[attr-defined]
     report = observer.report()
+    monitor = getattr(collector, "health", None) if collector is not None else None
     if collector is not None:
         collector.emit(
             "scenario",
@@ -112,6 +141,7 @@ def _result(
         report=report,
         drop_reasons=deployment.transport.drop_reasons(),
         delayed_exchanges=deployment.transport.total_delayed(),
+        health=None if monitor is None else monitor.summary(),
     )
 
 
@@ -128,11 +158,7 @@ def run_partition(
     deployment = _deploy(n_nodes, seed, collector=collector)
     deploy_rounds = deployment.run_until_converged(converge_rounds).slowest
     plane = deployment.install_faults()
-    observer = RecoveryObserver.for_deployment(
-        deployment, plane, instrument=collector
-    )
-    deployment.engine.add_observer(observer)
-    deployment.recovery = observer  # type: ignore[attr-defined]
+    _arm_recovery(deployment, plane, collector)
     start = deployment.engine.round
     deployment.engine.add_control(
         Partition(
@@ -194,11 +220,7 @@ def _prepare_zone_plane(
     zone_map = ZoneMap.round_robin(deployment.network.node_ids(), DEFAULT_ZONES)
     zone_map.annotate(deployment.network)
     plane = deployment.install_faults(FaultPlane(zones=zone_map))
-    observer = RecoveryObserver.for_deployment(
-        deployment, plane, instrument=collector
-    )
-    deployment.engine.add_observer(observer)
-    deployment.recovery = observer  # type: ignore[attr-defined]
+    _arm_recovery(deployment, plane, collector)
     return plane
 
 
@@ -214,11 +236,7 @@ def run_catastrophe(
     deployment = _deploy(n_nodes, seed, collector=collector)
     deploy_rounds = deployment.run_until_converged(converge_rounds).slowest
     plane = deployment.install_faults()
-    observer = RecoveryObserver.for_deployment(
-        deployment, plane, instrument=collector
-    )
-    deployment.engine.add_observer(observer)
-    deployment.recovery = observer  # type: ignore[attr-defined]
+    _arm_recovery(deployment, plane, collector)
     rng = deployment.streams.fork("faults").stream("catastrophe")
     alive = list(deployment.network.alive_ids())
     victims = rng.sample(alive, int(len(alive) * fraction))
@@ -278,11 +296,7 @@ def run_pause_resume(
     deployment = _deploy(n_nodes, seed, collector=collector)
     deploy_rounds = deployment.run_until_converged(converge_rounds).slowest
     plane = deployment.install_faults()
-    observer = RecoveryObserver.for_deployment(
-        deployment, plane, instrument=collector
-    )
-    deployment.engine.add_observer(observer)
-    deployment.recovery = observer  # type: ignore[attr-defined]
+    _arm_recovery(deployment, plane, collector)
     start = deployment.engine.round
     deployment.engine.add_control(
         PauseResume(
@@ -341,5 +355,23 @@ def format_scenario(result: ScenarioResult) -> str:
         out.append(f"dropped exchanges: {drops}")
     if result.delayed_exchanges:
         out.append(f"delayed exchanges: {result.delayed_exchanges}")
+    if result.health is not None:
+        alerts = result.health["alerts"]
+        fired = ", ".join(
+            f"{alert['rule']}@r{alert['round_fired']}"
+            + (
+                ""
+                if alert["round_cleared"] is None
+                else f" (cleared r{alert['round_cleared']})"
+            )
+            for alert in alerts
+        )
+        out.append(
+            f"health: {result.health['verdict']} "
+            f"({result.health['alerts_active']} active / "
+            f"{result.health['alerts_total']} fired"
+            + (f": {fired}" if fired else "")
+            + ")"
+        )
     out.append(f"healed: {'yes' if result.healed else 'NO'}")
     return "\n".join(out)

@@ -52,6 +52,14 @@ class PeerSampling(Protocol):
         self.select_tail = select_tail
         self.view = PartialView(self.params.view_size)
         self._self_descriptor = Descriptor(node_id, age=0, profile=None)
+        # Pre-resolved (name, layer) counter keys: the hot path hands these
+        # to Instrument.count_key so no tuple is allocated per increment.
+        self._k_exchanges = ("exchanges", layer)
+        self._k_sent = ("descriptors_sent", layer)
+        self._k_received = ("descriptors_received", layer)
+        self._k_dead = ("dead_purged", layer)
+        self._k_replacements = ("view_replacements", layer)
+        self._k_churn = ("descriptor_churn", layer)
 
     # -- descriptor of the hosting node ---------------------------------------
 
@@ -83,23 +91,36 @@ class PeerSampling(Protocol):
             return
         partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
         assert isinstance(partner_protocol, PeerSampling)
-        buffer = self._make_buffer(ctx)
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
+        buffer = self._make_buffer(ctx, flow)
         reply = partner_protocol.on_gossip(ctx, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
-        if ctx.obs is not None:
-            ctx.obs.count("exchanges", layer=self.layer)
-            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
+        if obs is not None:
+            obs.count_key(self._k_exchanges)
+            obs.count_key(self._k_sent, len(buffer))
+            obs.count_key(self._k_received, len(reply))
+            if flow is not None:
+                reply = flow.on_received(
+                    self.layer, ctx.round, self.node_id, partner.node_id, reply
+                )
         self._apply(ctx, sent=buffer, received=reply)
 
     def on_gossip(
         self, ctx: RoundContext, received: List[Descriptor]
     ) -> List[Descriptor]:
         """Passive side of an exchange: reply with a buffer, then merge."""
-        reply = self._make_buffer(ctx)
-        if ctx.obs is not None:
-            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
+        reply = self._make_buffer(ctx, flow)
+        if obs is not None:
+            obs.count_key(self._k_sent, len(reply))
+            obs.count_key(self._k_received, len(received))
+            if flow is not None:
+                # ctx belongs to the active requester — the sender.
+                received = flow.on_received(
+                    self.layer, ctx.round, self.node_id, ctx.node.node_id, received
+                )
         self._apply(ctx, sent=reply, received=received)
         return reply
 
@@ -137,7 +158,7 @@ class PeerSampling(Protocol):
             # parties cannot resurrect the dead descriptor.
             self.view.purge(candidate.node_id)
             if ctx.obs is not None:
-                ctx.obs.count("dead_purged", layer=self.layer)
+                ctx.obs.count_key(self._k_dead)
         # Empty view: re-bootstrap through the membership oracle (models a
         # node rejoining via the bootstrap service after losing all links).
         self.bootstrap(ctx.rng(), ctx.network, self.params.gossip_size)
@@ -148,9 +169,12 @@ class PeerSampling(Protocol):
             return candidate
         return None
 
-    def _make_buffer(self, ctx: RoundContext) -> List[Descriptor]:
+    def _make_buffer(self, ctx: RoundContext, flow=None) -> List[Descriptor]:
         """Own fresh descriptor plus a random slice of the view."""
-        buffer = [self.self_descriptor()]
+        advert = self.self_descriptor()
+        if flow is not None:
+            advert = flow.advertise(advert, self.node_id, ctx.round)
+        buffer = [advert]
         buffer.extend(self.view.sample(ctx.rng(), self.params.gossip_size - 1))
         return buffer
 
@@ -201,7 +225,7 @@ class PeerSampling(Protocol):
             victim = ctx.rng().choice(list(pool.keys()))
             del pool[victim]
         if ctx.obs is not None:
-            entering = sum(1 for node_id in pool if node_id not in self.view)
-            ctx.obs.count("view_replacements", layer=self.layer)
-            ctx.obs.count("descriptor_churn", entering, layer=self.layer)
+            entering = len(pool.keys() - self.view.id_set())
+            ctx.obs.count_key(self._k_replacements)
+            ctx.obs.count_key(self._k_churn, entering)
         self.view.replace(pool.values())

@@ -58,6 +58,13 @@ class TMan(Protocol):
         self.descriptor_ttl = descriptor_ttl or max(24, 2 * self.params.view_size)
         self.view = PartialView(self.params.view_size)
         self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
+        # Pre-resolved (name, layer) counter keys for Instrument.count_key.
+        self._k_exchanges = ("exchanges", layer)
+        self._k_sent = ("descriptors_sent", layer)
+        self._k_received = ("descriptors_received", layer)
+        self._k_dead = ("dead_purged", layer)
+        self._k_replacements = ("view_replacements", layer)
+        self._k_churn = ("descriptor_churn", layer)
         # Memoized self-referenced distances (see Vicinity: ranking-function
         # evaluation dominates the round; the reference changes only on
         # reconfiguration).
@@ -98,13 +105,19 @@ class TMan(Protocol):
             return
         partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
         assert isinstance(partner_protocol, TMan)
-        buffer = self._buffer_for(ctx, partner.profile, partner.node_id)
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
+        buffer = self._buffer_for(ctx, partner.profile, partner.node_id, flow)
         reply = partner_protocol.on_gossip(ctx, self.profile, self.node_id, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
-        if ctx.obs is not None:
-            ctx.obs.count("exchanges", layer=self.layer)
-            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
+        if obs is not None:
+            obs.count_key(self._k_exchanges)
+            obs.count_key(self._k_sent, len(buffer))
+            obs.count_key(self._k_received, len(reply))
+            if flow is not None:
+                reply = flow.on_received(
+                    self.layer, ctx.round, self.node_id, partner.node_id, reply
+                )
         self._merge(ctx, reply)
 
     def on_gossip(
@@ -114,10 +127,16 @@ class TMan(Protocol):
         requester_id: int,
         received: List[Descriptor],
     ) -> List[Descriptor]:
-        reply = self._buffer_for(ctx, requester_profile, requester_id)
-        if ctx.obs is not None:
-            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
+        reply = self._buffer_for(ctx, requester_profile, requester_id, flow)
+        if obs is not None:
+            obs.count_key(self._k_sent, len(reply))
+            obs.count_key(self._k_received, len(received))
+            if flow is not None:
+                received = flow.on_received(
+                    self.layer, ctx.round, self.node_id, requester_id, received
+                )
         self._merge(ctx, received)
         return reply
 
@@ -136,7 +155,7 @@ class TMan(Protocol):
                 # Dead peers get tombstones against stale resurrection.
                 self.view.purge(descriptor.node_id)
                 if ctx.obs is not None:
-                    ctx.obs.count("dead_purged", layer=self.layer)
+                    ctx.obs.count_key(self._k_dead)
         return self._random_peer(ctx)
 
     def _own_node(self, ctx: RoundContext):
@@ -185,10 +204,13 @@ class TMan(Protocol):
         return [d for d in descriptors if d.age <= self.descriptor_ttl]
 
     def _buffer_for(
-        self, ctx: RoundContext, reference: Profile, recipient_id: int
+        self, ctx: RoundContext, reference: Profile, recipient_id: int, flow=None
     ) -> List[Descriptor]:
         pool = self._fresh(self._candidate_pool(ctx))
-        pool.append(self.self_descriptor())
+        advert = self.self_descriptor()
+        if flow is not None:
+            advert = flow.advertise(advert, self.node_id, ctx.round)
+        pool.append(advert)
         return select_closest(
             pool,
             reference,
@@ -210,7 +232,8 @@ class TMan(Protocol):
             exclude_id=self.node_id,
         )
         if ctx.obs is not None:
-            entering = sum(1 for d in best if d.node_id not in self.view)
-            ctx.obs.count("view_replacements", layer=self.layer)
-            ctx.obs.count("descriptor_churn", entering, layer=self.layer)
+            ids = self.view.id_set()
+            entering = sum(1 for d in best if d.node_id not in ids)
+            ctx.obs.count_key(self._k_replacements)
+            ctx.obs.count_key(self._k_churn, entering)
         self.view.replace(best)

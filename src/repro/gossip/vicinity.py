@@ -87,6 +87,13 @@ class Vicinity(Protocol):
         self.descriptor_ttl = descriptor_ttl or max(24, 2 * self.params.view_size)
         self.view = PartialView(self.params.view_size)
         self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
+        # Pre-resolved (name, layer) counter keys for Instrument.count_key.
+        self._k_exchanges = ("exchanges", layer)
+        self._k_sent = ("descriptors_sent", layer)
+        self._k_received = ("descriptors_received", layer)
+        self._k_dead = ("dead_purged", layer)
+        self._k_replacements = ("view_replacements", layer)
+        self._k_churn = ("descriptor_churn", layer)
         # The per-node memoized distance cache: every round this node ranks
         # the same few dozen candidate profiles against its own profile, and
         # ranking-function evaluation dominates the gossip round. The cache
@@ -142,14 +149,20 @@ class Vicinity(Protocol):
             return
         partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
         assert isinstance(partner_protocol, Vicinity)
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
         pool = self._candidate_pool(ctx)
-        buffer = self._buffer_from(pool, partner.profile, partner.node_id)
+        buffer = self._buffer_from(pool, partner.profile, partner.node_id, flow, ctx)
         reply = partner_protocol.on_gossip(ctx, self.profile, self.node_id, buffer)
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
-        if ctx.obs is not None:
-            ctx.obs.count("exchanges", layer=self.layer)
-            ctx.obs.count("descriptors_sent", len(buffer), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(reply), layer=self.layer)
+        if obs is not None:
+            obs.count_key(self._k_exchanges)
+            obs.count_key(self._k_sent, len(buffer))
+            obs.count_key(self._k_received, len(reply))
+            if flow is not None:
+                reply = flow.on_received(
+                    self.layer, ctx.round, self.node_id, partner.node_id, reply
+                )
         self._merge_pool(ctx, pool, reply)
 
     def on_gossip(
@@ -160,11 +173,17 @@ class Vicinity(Protocol):
         received: List[Descriptor],
     ) -> List[Descriptor]:
         """Passive side: reply with candidates useful *to the requester*."""
+        obs = ctx.obs
+        flow = obs.flow if obs is not None else None
         pool = self._candidate_pool(ctx)
-        reply = self._buffer_from(pool, requester_profile, requester_id)
-        if ctx.obs is not None:
-            ctx.obs.count("descriptors_sent", len(reply), layer=self.layer)
-            ctx.obs.count("descriptors_received", len(received), layer=self.layer)
+        reply = self._buffer_from(pool, requester_profile, requester_id, flow, ctx)
+        if obs is not None:
+            obs.count_key(self._k_sent, len(reply))
+            obs.count_key(self._k_received, len(received))
+            if flow is not None:
+                received = flow.on_received(
+                    self.layer, ctx.round, self.node_id, requester_id, received
+                )
         self._merge_pool(ctx, pool, received)
         return reply
 
@@ -181,7 +200,7 @@ class Vicinity(Protocol):
             # Dead (not merely unreachable): tombstone against resurrection.
             self.view.purge(candidate.node_id)
             if ctx.obs is not None:
-                ctx.obs.count("dead_purged", layer=self.layer)
+                ctx.obs.count_key(self._k_dead)
         return self._random_partner(ctx)
 
     def _own_node(self, ctx: RoundContext):
@@ -252,11 +271,19 @@ class Vicinity(Protocol):
         return [d for d in descriptors if d.age <= self.descriptor_ttl]
 
     def _buffer_from(
-        self, pool: List[Descriptor], reference: Profile, recipient_id: int
+        self,
+        pool: List[Descriptor],
+        reference: Profile,
+        recipient_id: int,
+        flow=None,
+        ctx: Optional[RoundContext] = None,
     ) -> List[Descriptor]:
         """The ``gossip_size`` fresh candidates most useful to ``reference``."""
+        advert = self.self_descriptor()
+        if flow is not None and ctx is not None:
+            advert = flow.advertise(advert, self.node_id, ctx.round)
         return select_closest(
-            self._fresh(pool) + [self.self_descriptor()],
+            self._fresh(pool) + [advert],
             reference,
             self._distances,
             self.params.gossip_size,
@@ -290,7 +317,8 @@ class Vicinity(Protocol):
             exclude_id=self.node_id,
         )
         if ctx.obs is not None:
-            entering = sum(1 for d in best if d.node_id not in self.view)
-            ctx.obs.count("view_replacements", layer=self.layer)
-            ctx.obs.count("descriptor_churn", entering, layer=self.layer)
+            ids = self.view.id_set()
+            entering = sum(1 for d in best if d.node_id not in ids)
+            ctx.obs.count_key(self._k_replacements)
+            ctx.obs.count_key(self._k_churn, entering)
         self.view.replace(best)

@@ -114,6 +114,15 @@ class PartialView:
     def ids(self) -> List[int]:
         return list(self._entries.keys())
 
+    def id_set(self):
+        """The live ``dict_keys`` view of member ids (id-only: no settle).
+
+        Set arithmetic against it (``pool.keys() - view.id_set()``) and
+        ``in`` checks run at C speed — the instrumented merge paths use it
+        to tally view churn without per-element method dispatch.
+        """
+        return self._entries.keys()
+
     def descriptors(self) -> List[Descriptor]:
         self._settle()
         return list(self._entries.values())

@@ -128,6 +128,88 @@ class MetricsRegistry:
                 ("kind", "count"),
                 sorted(collector.unknown_kinds.items()),
             )
+        flow = getattr(collector, "flow", None)
+        if flow is not None:
+            self.add_flow(flow)
+        health = getattr(collector, "health", None)
+        if health is not None:
+            self.add_health(health)
+
+    def add_flow(self, flow) -> None:
+        """Causal propagation tracing: per-layer latency and critical path.
+
+        ``flow`` is a :class:`~repro.obs.flow.FlowTracer`; layers with no
+        tagged deliveries are omitted.
+        """
+        rows = []
+        for layer, data in sorted(flow.summary().items()):
+            latency = data["latency"] or {}
+            path = data["critical_path"]
+            rows.append(
+                (
+                    layer,
+                    data["deliveries"],
+                    data["flow_edges"],
+                    data["known_pairs"],
+                    "-" if not latency else f"{latency['mean']:.1f}",
+                    "-" if not latency else latency["p95"],
+                    "-"
+                    if path is None
+                    else "->".join(str(n) for n in path["path"])
+                    + f" @r{path['closed_round']}",
+                )
+            )
+        self.add_section(
+            "information flow",
+            (
+                "layer",
+                "deliveries",
+                "edges",
+                "pairs",
+                "lat mean",
+                "lat p95",
+                "critical path",
+            ),
+            rows,
+        )
+
+    def add_health(self, monitor) -> None:
+        """Alert history of a :class:`~repro.obs.health.HealthMonitor`."""
+        summary = monitor.summary()
+        rows = [
+            (
+                alert["severity"],
+                alert["rule"],
+                alert["round_fired"],
+                "-" if alert["round_cleared"] is None else alert["round_cleared"],
+            )
+            for alert in summary["alerts"]
+        ]
+        rows.append(("(verdict)", summary["verdict"], "", ""))
+        self.add_section(
+            "health alerts", ("severity", "rule", "fired", "cleared"), rows
+        )
+
+    def add_profile(self, collector) -> None:
+        """The span self-time profile (``repro report --profile``)."""
+        from repro.obs.watch import profile_rows
+
+        rows = profile_rows(collector)
+        grand_self = sum(row[3] for row in rows) or 1.0
+        self.add_section(
+            "span profile (self-time)",
+            ("span", "count", "total s", "self s", "self %"),
+            [
+                (
+                    name,
+                    count,
+                    f"{total:.4f}",
+                    f"{self_time:.4f}",
+                    f"{100.0 * self_time / grand_self:.1f}%",
+                )
+                for name, count, total, self_time in rows
+            ],
+        )
 
     def add_events(self, events: Iterable[Any]) -> None:
         """Event summary (count and round range per kind) from any stream.

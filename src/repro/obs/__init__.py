@@ -22,6 +22,15 @@ telemetry pipeline:
 - :mod:`~repro.obs.export` — JSONL event streams and a Prometheus-style
   text snapshot, surfaced via ``repro obs`` and the ``--obs`` flag on
   ``repro bench`` / ``repro faults``.
+- :class:`~repro.obs.flow.FlowTracer` — causal propagation tracing:
+  provenance-tagged self-advertisements yield per-layer propagation-latency
+  distributions, the information-flow graph, and the convergence critical
+  path (``repro obs --flow``).
+- :class:`~repro.obs.health.HealthMonitor` — typed online alert rules
+  (stalled convergence, partition suspicion, degree skew, churn spikes,
+  dead-descriptor buildup) emitting ``alert``/``alert_cleared`` events.
+- :mod:`~repro.obs.watch` — the ``repro watch`` live terminal view and the
+  ``repro report --profile`` per-layer self-time span table.
 
 Collectors are wired in through :func:`~repro.obs.hooks.attach_collector`
 (deployments) or the ``obs=`` parameter of
@@ -46,8 +55,19 @@ _EXPORTS = {
     "to_prometheus": "repro.obs.export",
     "write_jsonl": "repro.obs.export",
     "write_prometheus": "repro.obs.export",
+    "CriticalPath": "repro.obs.flow",
+    "Delivery": "repro.obs.flow",
+    "FlowTracer": "repro.obs.flow",
+    "Alert": "repro.obs.health",
+    "HealthMonitor": "repro.obs.health",
+    "HealthRule": "repro.obs.health",
+    "default_rules": "repro.obs.health",
     "attach_collector": "repro.obs.hooks",
     "attach_collector_to_engine": "repro.obs.hooks",
+    "attach_health": "repro.obs.hooks",
+    "profile_rows": "repro.obs.watch",
+    "render_dashboard": "repro.obs.watch",
+    "render_profile": "repro.obs.watch",
     "NULL_INSTRUMENT": "repro.obs.instrument",
     "Instrument": "repro.obs.instrument",
     "NullInstrument": "repro.obs.instrument",
@@ -80,10 +100,16 @@ def __dir__():
 __all__ = [
     "NULL_INSTRUMENT",
     "TAXONOMY",
+    "Alert",
     "Collector",
     "ConvergenceTracer",
+    "CriticalPath",
+    "Delivery",
     "EventRecovery",
+    "FlowTracer",
     "GraphObserver",
+    "HealthMonitor",
+    "HealthRule",
     "Instrument",
     "NullInstrument",
     "PopulationTracer",
@@ -94,9 +120,14 @@ __all__ = [
     "Tracer",
     "attach_collector",
     "attach_collector_to_engine",
+    "attach_health",
     "attach_tracer",
+    "default_rules",
     "known_kinds",
+    "profile_rows",
     "read_jsonl",
+    "render_dashboard",
+    "render_profile",
     "to_jsonl",
     "to_prometheus",
     "write_jsonl",

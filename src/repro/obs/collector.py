@@ -37,14 +37,21 @@ class Collector(Instrument):
     clock:
         Injectable clock for span timing; defaults to the sanctioned
         wall-clock of :mod:`repro.obs.spans`.
+    flow:
+        Optional :class:`~repro.obs.flow.FlowTracer`. When present, the
+        gossip layers mint provenance tags on self-advertisements and
+        report every tagged delivery to it (causal propagation tracing);
+        when absent the flow path costs one attribute read per exchange.
     """
 
     def __init__(
         self,
         gauge_every: int = 1,
         clock: Callable[[], float] = wall_clock,
+        flow: Optional[object] = None,
     ):
         self.gauge_every = int(gauge_every)
+        self.flow = flow
         # defaultdict: the counter upsert is the hottest instrumented call
         # (three per gossip exchange), and += on a missing-key default
         # beats get()+store there.
@@ -73,6 +80,11 @@ class Collector(Instrument):
 
     def count(self, name: str, value: int = 1, layer: str = "") -> None:
         self.counters[(name, layer)] += value
+
+    def count_key(self, key: MetricKey, value: int = 1) -> None:
+        # The hottest instrumented call: the key tuple is pre-resolved by
+        # the caller, so this is one defaultdict upsert and nothing else.
+        self.counters[key] += value
 
     def gauge(self, name: str, value: float, layer: str = "") -> None:
         self.gauges[(name, layer)] = value
@@ -170,7 +182,7 @@ class Collector(Instrument):
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-data view of the aggregated state (exporter input)."""
-        return {
+        out = {
             "counters": [
                 {"name": name, "layer": layer, "value": value}
                 for (name, layer), value in sorted(self.counters.items())
@@ -192,3 +204,6 @@ class Collector(Instrument):
             "unknown_event_kinds": dict(sorted(self.unknown_kinds.items())),
             "rounds_observed": self.rounds_observed,
         }
+        if self.flow is not None:
+            out["flow"] = self.flow.summary()
+        return out

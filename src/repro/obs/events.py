@@ -38,6 +38,10 @@ EVENT_SEED_MEASURED = "seed_measured"
 EVENT_SCENARIO = "scenario"
 EVENT_SCENARIO_RESULT = "scenario_result"
 
+# -- health monitoring (repro.obs.health) -------------------------------------
+EVENT_ALERT = "alert"
+EVENT_ALERT_CLEARED = "alert_cleared"
+
 #: kind → one-line description. The single source of truth for exporters,
 #: docs/observability.md, and the taxonomy tests.
 TAXONOMY: Dict[str, str] = {
@@ -59,6 +63,8 @@ TAXONOMY: Dict[str, str] = {
     EVENT_SEED_MEASURED: "one seed of a multi-seed measurement completed",
     EVENT_SCENARIO: "a fault scenario run started",
     EVENT_SCENARIO_RESULT: "a fault scenario run finished with a verdict",
+    EVENT_ALERT: "a health rule turned unhealthy (typed, with evidence)",
+    EVENT_ALERT_CLEARED: "a previously firing health rule turned healthy again",
 }
 
 

@@ -15,7 +15,10 @@ Two complementary shapes of the same telemetry:
 from __future__ import annotations
 
 import json
+import re
 from typing import TYPE_CHECKING, Iterable, List, Union
+
+from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.collector import Collector
@@ -46,27 +49,63 @@ def write_jsonl(path: str, source: EventSource) -> int:
 
 
 def read_jsonl(path: str) -> List["TraceEvent"]:
-    """Parse a JSONL event stream (namespaced or legacy flat layout)."""
+    """Parse a JSONL event stream (namespaced or legacy flat layout).
+
+    Raises :class:`~repro.errors.ReproError` — with the offending line
+    number — on malformed JSON or on records missing the event fields, so
+    callers (the CLI in particular) can fail with a clear message instead
+    of a traceback.
+    """
     from repro.obs.trace import TraceEvent
 
     events: List[TraceEvent] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                events.append(TraceEvent.from_dict(json.loads(line)))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{line_number}: not valid JSON ({exc.msg}) — "
+                    "is this a JSONL event stream?"
+                ) from exc
+            try:
+                events.append(TraceEvent.from_dict(record))
+            except (AttributeError, KeyError, TypeError, ValueError) as exc:
+                raise ReproError(
+                    f"{path}:{line_number}: not an event record "
+                    f"(missing/invalid field: {exc})"
+                ) from exc
     return events
 
 
 # -- Prometheus text exposition -----------------------------------------------
 
 
+#: Anything outside the Prometheus metric-name alphabet collapses to "_".
+_METRIC_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
 def _metric_name(prefix: str, name: str) -> str:
-    return f"{prefix}_{name}".replace("-", "_").replace(".", "_")
+    return _METRIC_NAME_SANITIZER.sub("_", f"{prefix}_{name}")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash first (so the other escapes are not double-escaped), then
+    quotes and newlines — a hostile layer label like ``evil"}\\n`` must not
+    break out of the quoted value or split the sample line.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def _labels(layer: str) -> str:
-    return f'{{layer="{layer}"}}' if layer else ""
+    return f'{{layer="{_escape_label_value(layer)}"}}' if layer else ""
 
 
 def to_prometheus(collector: "Collector", prefix: str = "repro") -> str:
@@ -100,12 +139,15 @@ def to_prometheus(collector: "Collector", prefix: str = "repro") -> str:
         lines.append(f"# TYPE {total_metric} counter")
         for name in span_names:
             lines.append(
-                f'{total_metric}{{span="{name}"}} '
+                f'{total_metric}{{span="{_escape_label_value(name)}"}} '
                 f"{collector.spans.totals[name]:.6f}"
             )
         lines.append(f"# TYPE {count_metric} counter")
         for name in span_names:
-            lines.append(f'{count_metric}{{span="{name}"}} {collector.spans.counts[name]}')
+            lines.append(
+                f'{count_metric}{{span="{_escape_label_value(name)}"}} '
+                f"{collector.spans.counts[name]}"
+            )
     events_metric = _metric_name(prefix, "events") + "_total"
     lines.append(f"# TYPE {events_metric} counter")
     lines.append(f"{events_metric} {len(collector.events)}")

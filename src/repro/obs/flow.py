@@ -1,0 +1,216 @@
+"""Causal propagation tracing — *why* convergence is fast or slow.
+
+The counters of :class:`~repro.obs.collector.Collector` say how much each
+layer gossips; this module says what that gossip *achieves*. When a
+:class:`FlowTracer` is attached (``Collector(flow=FlowTracer())``), every
+self-advertisement entering a gossip buffer is stamped with a compact
+:class:`~repro.gossip.descriptors.Provenance` tag — origin node, origin
+round, hop count — and every tagged descriptor delivered by an exchange is
+recorded here. From those records the tracer derives:
+
+- **propagation-latency distributions** per layer: how many rounds a
+  descriptor needs to travel from its origin to each node that learns it;
+- the **information-flow graph**: which (sender → receiver) pairs actually
+  moved new knowledge, and how often;
+- the **convergence critical path**: for the (origin, receiver) pair whose
+  first delivery happened last — the final missing edge of the knowledge
+  graph — the chain of exchanges that carried the descriptor there.
+
+Tracing is observation only: tags never participate in descriptor equality
+or selection, no RNG stream is touched, and with the tracer disabled the
+hot path pays a single attribute read per exchange. Deliveries arrive in
+engine order, so every derived structure — including the critical path —
+is a pure function of the simulation seed.
+
+Simulation-side module: no wall-clock reads (DET003 applies here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.gossip.descriptors import Descriptor, Provenance
+
+
+class Delivery(NamedTuple):
+    """The first time ``receiver`` learned of ``origin`` at a layer."""
+
+    round: int
+    hops: int
+    sender: int
+    latency: int  # rounds from minting to this delivery
+
+
+class CriticalPath(NamedTuple):
+    """The exchange chain that closed the last missing knowledge edge."""
+
+    layer: str
+    origin: int
+    receiver: int
+    closed_round: int
+    hops: int
+    #: Node chain origin → ... → receiver, reconstructed from first
+    #: deliveries (each node's own first-receipt sender, walked backwards).
+    path: Tuple[int, ...]
+
+
+class FlowTracer:
+    """Aggregates provenance-tagged descriptor deliveries per layer.
+
+    Attach via ``Collector(flow=FlowTracer())`` (or set ``collector.flow``
+    before wiring); the gossip layers mint tags and report deliveries
+    through :meth:`advertise` / :meth:`on_received` only while a tracer is
+    present.
+    """
+
+    def __init__(self) -> None:
+        #: layer -> latency (rounds) -> delivery count.
+        self.latencies: Dict[str, Dict[int, int]] = {}
+        #: layer -> (sender, receiver) -> tagged-descriptor deliveries.
+        self.edges: Dict[str, Dict[Tuple[int, int], int]] = {}
+        #: layer -> (origin, receiver) -> first delivery record.
+        self.first_delivery: Dict[str, Dict[Tuple[int, int], Delivery]] = {}
+        self.deliveries = 0
+
+    # -- hot-path hooks (called by the gossip layers) -------------------------
+
+    def advertise(
+        self, descriptor: Descriptor, node_id: int, round_index: int
+    ) -> Descriptor:
+        """Stamp a self-advertisement with a fresh provenance tag."""
+        return descriptor.tagged(Provenance(node_id, round_index, 0))
+
+    def on_received(
+        self,
+        layer: str,
+        round_index: int,
+        receiver: int,
+        sender: int,
+        received: List[Descriptor],
+    ) -> List[Descriptor]:
+        """Record one exchange's deliveries; return hop-incremented copies.
+
+        Untagged descriptors (minted before tracing started, or copied via
+        non-exchange paths such as harvesting) pass through unchanged.
+        """
+        out: List[Descriptor] = []
+        latencies = self.latencies.setdefault(layer, {})
+        edges = self.edges.setdefault(layer, {})
+        first = self.first_delivery.setdefault(layer, {})
+        for descriptor in received:
+            tag = descriptor.provenance
+            if tag is None:
+                out.append(descriptor)
+                continue
+            out.append(descriptor.hopped())
+            if tag.origin == receiver:
+                continue  # own knowledge echoed back carries no information
+            self.deliveries += 1
+            latency = round_index - tag.minted_round
+            latencies[latency] = latencies.get(latency, 0) + 1
+            edge = (sender, receiver)
+            edges[edge] = edges.get(edge, 0) + 1
+            pair = (tag.origin, receiver)
+            if pair not in first:
+                first[pair] = Delivery(
+                    round=round_index,
+                    hops=tag.hops + 1,
+                    sender=sender,
+                    latency=latency,
+                )
+        return out
+
+    # -- queries ---------------------------------------------------------------
+
+    def layers(self) -> List[str]:
+        return sorted(self.first_delivery)
+
+    def latency_stats(self, layer: str) -> Optional[Dict[str, float]]:
+        """count/mean/p50/p95/max of the layer's propagation latencies."""
+        histogram = self.latencies.get(layer)
+        if not histogram:
+            return None
+        total = sum(histogram.values())
+        weighted = sum(latency * count for latency, count in histogram.items())
+        ordered = sorted(histogram.items())
+
+        def percentile(fraction: float) -> int:
+            threshold = fraction * total
+            seen = 0
+            for latency, count in ordered:
+                seen += count
+                if seen >= threshold:
+                    return latency
+            return ordered[-1][0]
+
+        return {
+            "count": total,
+            "mean": weighted / total,
+            "p50": percentile(0.50),
+            "p95": percentile(0.95),
+            "max": ordered[-1][0],
+        }
+
+    def flow_graph(self, layer: str) -> Dict[Tuple[int, int], int]:
+        """The layer's (sender → receiver) delivery counts."""
+        return dict(self.edges.get(layer, {}))
+
+    def critical_path(self, layer: str) -> Optional[CriticalPath]:
+        """The exchange chain behind the layer's last-closed knowledge edge.
+
+        The *last missing edge* is the (origin, receiver) pair whose first
+        delivery carries the highest round (ties broken on the pair itself,
+        so the result is deterministic). The chain is reconstructed
+        backwards through each intermediate node's own first receipt of the
+        same origin; a relay that forwarded a copy from a later chain is
+        approximated by its first-receipt sender, which can only shorten
+        the reported path.
+        """
+        table = self.first_delivery.get(layer)
+        if not table:
+            return None
+        origin, receiver = max(
+            table, key=lambda pair: (table[pair].round, pair)
+        )
+        closing = table[(origin, receiver)]
+        chain: List[int] = [receiver]
+        current = receiver
+        seen = {receiver}
+        while True:
+            record = table.get((origin, current))
+            if record is None:
+                break
+            sender = record.sender
+            if sender in seen:
+                break  # defensive: a relay loop cannot extend the chain
+            chain.append(sender)
+            seen.add(sender)
+            if sender == origin:
+                break
+            current = sender
+        if chain[-1] != origin:
+            chain.append(origin)
+        chain.reverse()
+        return CriticalPath(
+            layer=layer,
+            origin=origin,
+            receiver=receiver,
+            closed_round=closing.round,
+            hops=closing.hops,
+            path=tuple(chain),
+        )
+
+    def summary(self) -> Dict[str, Dict]:
+        """Plain-data per-layer view (exporter/registry input)."""
+        out: Dict[str, Dict] = {}
+        for layer in self.layers():
+            stats = self.latency_stats(layer)
+            path = self.critical_path(layer)
+            out[layer] = {
+                "deliveries": sum(self.latencies.get(layer, {}).values()),
+                "flow_edges": len(self.edges.get(layer, {})),
+                "known_pairs": len(self.first_delivery.get(layer, {})),
+                "latency": stats,
+                "critical_path": None if path is None else path._asdict(),
+            }
+        return out

@@ -6,7 +6,10 @@ paths guard each call with ``if ctx.obs is not None`` so an uninstrumented
 run performs zero observability work. These helpers do the one-time wiring:
 set the engine's sink, bind the round clock, emit the ``deploy`` event, and
 register the population/convergence tracers plus the collector's own
-sampled structural gauges.
+sampled structural gauges. Optional extras ride the same call: a
+:class:`~repro.obs.flow.FlowTracer` (causal propagation tracing) and a
+:class:`~repro.obs.health.HealthMonitor` (typed alert rules over the
+collector stream).
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ def attach_collector(
     deployment,
     collector: Optional[Collector] = None,
     gauge_every: int = 1,
+    flow=None,
+    health: bool = False,
 ) -> Collector:
     """Wire a collector into a deployment; returns the collector.
 
@@ -29,9 +34,18 @@ def attach_collector(
     engine's ``ctx.obs``), population and convergence events, sampled
     structural gauges, and per-round spans as rounds execute. Pass an
     existing ``collector`` to aggregate several runs into one sink.
+
+    ``flow`` attaches a :class:`~repro.obs.flow.FlowTracer` (the gossip
+    layers mint provenance tags only while one is present). ``health=True``
+    adds a :class:`~repro.obs.health.HealthMonitor` with the default rule
+    set as the *last* observer — after the tracers and the collector, so
+    its rules read gauges already fresh for the round — and exposes it as
+    ``collector.health``.
     """
     if collector is None:
-        collector = Collector(gauge_every=gauge_every)
+        collector = Collector(gauge_every=gauge_every, flow=flow)
+    elif flow is not None:
+        collector.flow = flow
     engine = deployment.engine
     collector.bind_round_source(lambda: engine.round)
     engine.obs = collector
@@ -44,23 +58,45 @@ def attach_collector(
     engine.add_observer(PopulationTracer(collector))
     engine.add_observer(ConvergenceTracer(collector, deployment.tracker))
     engine.add_observer(collector)
+    if health:
+        attach_health(deployment, collector)
     return collector
+
+
+def attach_health(deployment, collector: Collector, rules=None):
+    """Add a :class:`~repro.obs.health.HealthMonitor` observing ``collector``.
+
+    Registered after every other observer (call this last) so the rules see
+    the round's final gauge values; the monitor is also stored as
+    ``collector.health`` for CLI/scenario access. The expected layer count
+    comes from the deployment's convergence tracker.
+    """
+    from repro.obs.health import HealthMonitor
+
+    expected = len(deployment.tracker.first_converged) or 5
+    monitor = HealthMonitor(collector, rules=rules, expected_layers=expected)
+    deployment.engine.add_observer(monitor)
+    collector.health = monitor
+    return monitor
 
 
 def attach_collector_to_engine(
     engine,
     collector: Optional[Collector] = None,
     gauge_every: int = 1,
+    flow=None,
 ) -> Collector:
     """Wire a collector into a bare :class:`~repro.sim.engine.Engine`.
 
-    The deployment-level conveniences (deploy event, convergence tracer)
-    need oracle state an engine does not have; this variant wires only the
-    sink, the round clock, and the sampled structural gauges — what perf
-    workloads and hand-built simulations need.
+    The deployment-level conveniences (deploy event, convergence tracer,
+    health rules) need oracle state an engine does not have; this variant
+    wires only the sink, the round clock, and the sampled structural
+    gauges — what perf workloads and hand-built simulations need.
     """
     if collector is None:
-        collector = Collector(gauge_every=gauge_every)
+        collector = Collector(gauge_every=gauge_every, flow=flow)
+    elif flow is not None:
+        collector.flow = flow
     collector.bind_round_source(lambda: engine.round)
     engine.obs = collector
     engine.add_observer(collector)

@@ -46,6 +46,17 @@ class Instrument:
     # stateful subclasses simply don't declare __slots__ and get a __dict__.
     __slots__ = ()
 
+    #: Causal propagation tracer (:class:`~repro.obs.flow.FlowTracer`), or
+    #: ``None``. A class-level default so every instrument — including the
+    #: no-op base — answers the hot path's ``obs.flow`` read without a
+    #: ``getattr`` dance; sinks that trace set an instance attribute.
+    flow: Optional[object] = None
+
+    #: Whether the engine should time each layer's protocol steps as
+    #: ``layer:<name>`` spans (the ``repro report --profile`` view). Off by
+    #: default: per-layer spans cost two clock reads per (node, layer) step.
+    profile_layers: bool = False
+
     def observe(self, network: "Network", round_index: int) -> bool:
         """Record measurements for ``round_index``; return ``True`` to stop."""
         return False
@@ -56,6 +67,15 @@ class Instrument:
 
     def count(self, name: str, value: int = 1, layer: str = "") -> None:
         """Add ``value`` to the monotonic counter ``name`` for ``layer``."""
+
+    def count_key(self, key: "tuple", value: int = 1) -> None:
+        """Add ``value`` to the counter for a pre-resolved ``(name, layer)``.
+
+        The hot-path twin of :meth:`count`: protocol layers build their
+        ``(name, layer)`` key tuples once at construction time, so the
+        per-exchange call passes a ready key positionally instead of
+        allocating a tuple and binding a keyword argument per increment.
+        """
 
     def gauge(self, name: str, value: float, layer: str = "") -> None:
         """Set the last-value gauge ``name`` for ``layer``."""

@@ -167,6 +167,10 @@ class Engine:
 
         if obs is not None:
             obs.span_begin("steps")
+        # Per-layer span profiling (`repro report --profile`): resolved once
+        # per round so the common non-profiling path pays one getattr here,
+        # never per (node, layer) step.
+        profile = obs is not None and getattr(obs, "profile_layers", False)
         order = list(self.network.alive_ids())
         self.streams.stream("engine", "order").shuffle(order)
         for node_id in order:
@@ -185,9 +189,17 @@ class Engine:
                 faults=self.faults,
                 obs=obs,
             )
-            for layer, protocol in node.stack():
-                ctx.layer = layer
-                protocol.step(ctx)
+            if profile:
+                for layer, protocol in node.stack():
+                    ctx.layer = layer
+                    span = "layer:" + layer
+                    obs.span_begin(span)
+                    protocol.step(ctx)
+                    obs.span_end(span)
+            else:
+                for layer, protocol in node.stack():
+                    ctx.layer = layer
+                    protocol.step(ctx)
         if obs is not None:
             obs.span_end("steps")
             obs.span_begin("observe")

@@ -75,10 +75,77 @@ class TestReportCommand:
         assert "counters" in out
         assert "events" in out
 
+    def test_profile_flag_adds_self_time_section(self, topology_file, capsys):
+        assert main(["report", topology_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "span profile (self-time)" in out
+        assert "layer:peer_sampling" in out
+        assert "self %" in out
+
+
+class TestFlowFlag:
+    def test_obs_flow_prints_information_flow_section(self, topology_file, capsys):
+        assert main(["obs", topology_file, "--flow"]) == 0
+        out = capsys.readouterr().out
+        assert "information flow" in out
+        assert "critical path" in out
+        assert "->" in out
+
+
+class TestWatchCommand:
+    def test_once_renders_snapshot_and_exits_zero(self, topology_file, capsys):
+        assert main(["watch", topology_file, "--once", "--gauge-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "repro watch" in out and "— round" in out
+        assert "population:" in out
+        assert "health:" in out
+        assert "information flow" in out
+
+    def test_once_writes_alert_stream(self, topology_file, tmp_path, capsys):
+        alerts = tmp_path / "alerts.jsonl"
+        assert (
+            main(
+                [
+                    "watch",
+                    topology_file,
+                    "--once",
+                    "--alerts",
+                    str(alerts),
+                ]
+            )
+            == 0
+        )
+        # A healthy converging run has no alerts; the stream still exists
+        # (empty file) so operators can tail it unconditionally.
+        assert alerts.exists()
+        for line in alerts.read_text(encoding="utf-8").splitlines():
+            assert json.loads(line)["kind"] in ("alert", "alert_cleared")
+
+
+class TestErrorExits:
+    def test_missing_input_file_exits_2_with_message(self, capsys):
+        assert main(["obs", "/nonexistent/stream.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "stream.jsonl" in err
+
+    def test_corrupt_jsonl_exits_2_with_line_number(self, tmp_path, capsys):
+        path = tmp_path / "broken.jsonl"
+        path.write_text("{not json\n", encoding="utf-8")
+        assert main(["obs", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert f"{path}:1" in err
+        assert "JSONL" in err
+
+    def test_missing_topology_exits_2(self, capsys):
+        assert main(["report", "/nonexistent/demo.topo"]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestFaultsObsFlag:
     def test_partition_scenario_writes_stream(self, tmp_path, capsys):
         jsonl = tmp_path / "faults.jsonl"
+        alerts = tmp_path / "alerts.jsonl"
         code = main(
             [
                 "faults",
@@ -88,8 +155,10 @@ class TestFaultsObsFlag:
                 "48",
                 "--obs",
                 str(jsonl),
+                "--alerts",
+                str(alerts),
                 "--gauge-every",
-                "0",
+                "1",
             ]
         )
         assert code == 0
@@ -102,3 +171,12 @@ class TestFaultsObsFlag:
         assert "heal" in kinds
         assert "scenario_result" in kinds
         assert (tmp_path / "faults.jsonl.prom").exists()
+        # The health monitor rode along: the partition stalls convergence,
+        # the heal clears it, and the alert stream holds both edges.
+        alert_kinds = [
+            json.loads(line)["kind"]
+            for line in alerts.read_text(encoding="utf-8").splitlines()
+        ]
+        assert "alert" in alert_kinds
+        assert "alert_cleared" in alert_kinds
+        assert "health:" in capsys.readouterr().out

@@ -70,3 +70,34 @@ class TestDeploymentDigests:
             assert instrumented.transport.total_messages(
                 layer
             ) == plain.transport.total_messages(layer)
+
+
+class TestProvenanceDisabledPath:
+    """Without a flow tracer, tracing must be *fully* off: no provenance
+    tags anywhere in the overlay, and digests byte-identical to the
+    uninstrumented run (a collector alone never mints tags)."""
+
+    def test_collector_without_flow_mints_no_tags(
+        self, two_component_assembly, fast_config
+    ):
+        deployment = Runtime(
+            two_component_assembly, config=fast_config, seed=11
+        ).deploy(24)
+        collector = attach_collector(deployment, gauge_every=1)
+        assert collector.flow is None
+        deployment.run_until_converged(max_rounds=80)
+        for node in deployment.network.alive_nodes():
+            for _layer, protocol in node.stack():
+                view = getattr(protocol, "view", None)
+                if view is None:
+                    continue
+                for descriptor in view:
+                    assert descriptor.provenance is None
+
+    def test_flow_disabled_digest_matches_uninstrumented(self):
+        workload = workload_matrix("ci")[0]
+        baseline = run_workload(workload, seed=5)
+        flowless = run_workload(
+            workload, seed=5, collector=Collector(gauge_every=1, flow=None)
+        )
+        assert flowless.digest == baseline.digest

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.obs.collector import Collector
 from repro.obs.export import (
     read_jsonl,
@@ -78,3 +80,57 @@ class TestPrometheus:
         collector = Collector(gauge_every=0)
         collector.count("odd-name.metric")
         assert "repro_odd_name_metric_total" in to_prometheus(collector)
+
+    def test_hostile_layer_label_round_trips_escaped(self):
+        """A label value full of exposition-format metacharacters must stay
+        inside its quotes: backslashes doubled, quotes and newlines escaped,
+        and the snapshot must stay one-sample-per-line."""
+        hostile = 'evil"}\n\\{injected="1'
+        collector = Collector(gauge_every=0)
+        collector.count("exchanges", 3, layer=hostile)
+        text = to_prometheus(collector)
+        (sample,) = [
+            line for line in text.splitlines() if line.startswith("repro_exchanges")
+        ]
+        assert sample == (
+            'repro_exchanges_total{layer="evil\\"}\\n\\\\{injected=\\"1"} 3'
+        )
+        # Unescaping the quoted value recovers the original layer name.
+        start = sample.index('layer="') + len('layer="')
+        end = sample.rindex('"')
+        recovered = (
+            sample[start:end]
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        assert recovered == hostile
+
+
+class TestReadErrors:
+    def test_corrupt_json_line_raises_coded_error_with_location(self, tmp_path):
+        from repro.errors import ReproError
+
+        path = tmp_path / "broken.jsonl"
+        path.write_text(
+            '{"round": 1, "kind": "deploy", "details": {}}\n{oops\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ReproError) as excinfo:
+            read_jsonl(str(path))
+        message = str(excinfo.value)
+        assert f"{path}:2" in message
+        assert "JSONL" in message
+
+    def test_non_event_json_raises_coded_error(self, tmp_path):
+        from repro.errors import ReproError
+
+        path = tmp_path / "wrong.jsonl"
+        path.write_text('["a", "list", "not", "an", "event"]\n', encoding="utf-8")
+        with pytest.raises(ReproError) as excinfo:
+            read_jsonl(str(path))
+        assert f"{path}:1" in str(excinfo.value)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_jsonl(str(tmp_path / "absent.jsonl"))

@@ -1,0 +1,168 @@
+"""Causal propagation tracing: tagging, delivery records, critical path.
+
+Unit tests drive a :class:`FlowTracer` by hand; the integration tests pin
+the acceptance contract — on a seeded two-component deployment the derived
+critical path is deterministic, and enabling tracing never perturbs the
+overlay (digest identity with the untraced run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Runtime
+from repro.gossip.descriptors import Descriptor, Provenance
+from repro.obs.collector import Collector
+from repro.obs.flow import CriticalPath, Delivery, FlowTracer
+from repro.obs.hooks import attach_collector
+from repro.perf.digest import overlay_digest
+from repro.perf.workloads import run_workload, workload_matrix
+
+RUNTIME_LAYERS = (
+    "peer_sampling",
+    "core",
+    "uo1",
+    "uo2",
+    "port_selection",
+    "port_connection",
+)
+
+
+class TestTagging:
+    def test_advertise_stamps_origin_round_and_zero_hops(self):
+        tracer = FlowTracer()
+        tagged = tracer.advertise(Descriptor(7, age=0), node_id=7, round_index=3)
+        assert tagged.provenance == Provenance(7, 3, 0)
+        # Tagging is a copy, never a mutation, and equality ignores the tag.
+        assert tagged == Descriptor(7, age=0)
+
+    def test_on_received_increments_hops_and_passes_untagged_through(self):
+        tracer = FlowTracer()
+        tagged = Descriptor(1, age=2).tagged(Provenance(1, 0, 0))
+        plain = Descriptor(2, age=5)
+        out = tracer.on_received("uo1", 4, receiver=9, sender=5, received=[tagged, plain])
+        assert out[0].provenance == Provenance(1, 0, 1)
+        assert out[1].provenance is None
+        assert out[1] is plain
+
+
+class TestDeliveryRecords:
+    def test_first_delivery_latency_and_edges(self):
+        tracer = FlowTracer()
+        d = Descriptor(1, age=0).tagged(Provenance(1, 0, 0))
+        tracer.on_received("uo1", 3, receiver=9, sender=5, received=[d])
+        assert tracer.deliveries == 1
+        assert tracer.first_delivery["uo1"][(1, 9)] == Delivery(
+            round=3, hops=1, sender=5, latency=3
+        )
+        assert tracer.flow_graph("uo1") == {(5, 9): 1}
+        # A later copy of the same origin does not overwrite the first.
+        tracer.on_received(
+            "uo1", 8, receiver=9, sender=6,
+            received=[Descriptor(1, age=0).tagged(Provenance(1, 0, 2))],
+        )
+        assert tracer.first_delivery["uo1"][(1, 9)].round == 3
+        assert tracer.flow_graph("uo1") == {(5, 9): 1, (6, 9): 1}
+
+    def test_own_knowledge_echoed_back_is_not_a_delivery(self):
+        tracer = FlowTracer()
+        echo = Descriptor(9, age=1).tagged(Provenance(9, 0, 1))
+        out = tracer.on_received("uo1", 2, receiver=9, sender=5, received=[echo])
+        assert tracer.deliveries == 0
+        assert tracer.first_delivery.get("uo1") == {}
+        # Still hop-incremented: the copy keeps travelling.
+        assert out[0].provenance.hops == 2
+
+    def test_latency_stats_percentiles(self):
+        tracer = FlowTracer()
+        for latency, count in ((1, 8), (2, 1), (10, 1)):
+            for i in range(count):
+                d = Descriptor(100 + latency * 20 + i, age=0).tagged(
+                    Provenance(100 + latency * 20 + i, 0, 0)
+                )
+                tracer.on_received("uo1", latency, 1, 2, [d])
+        stats = tracer.latency_stats("uo1")
+        assert stats["count"] == 10
+        assert stats["p50"] == 1
+        assert stats["p95"] == 10
+        assert stats["max"] == 10
+        assert stats["mean"] == pytest.approx(2.0)
+        assert tracer.latency_stats("nope") is None
+
+
+class TestCriticalPath:
+    def _feed(self, tracer, layer, origin, sender, receiver, round_index, hops):
+        d = Descriptor(origin, age=0).tagged(Provenance(origin, 0, hops - 1))
+        tracer.on_received(layer, round_index, receiver, sender, [d])
+
+    def test_chain_reconstructed_backwards_through_first_receipts(self):
+        tracer = FlowTracer()
+        # origin 1 reaches 2 (r1), 2 relays to 3 (r2), 3 relays to 4 (r5).
+        self._feed(tracer, "uo1", origin=1, sender=1, receiver=2, round_index=1, hops=1)
+        self._feed(tracer, "uo1", origin=1, sender=2, receiver=3, round_index=2, hops=2)
+        self._feed(tracer, "uo1", origin=1, sender=3, receiver=4, round_index=5, hops=3)
+        path = tracer.critical_path("uo1")
+        assert path == CriticalPath(
+            layer="uo1", origin=1, receiver=4, closed_round=5, hops=3,
+            path=(1, 2, 3, 4),
+        )
+
+    def test_last_closed_pair_wins_with_deterministic_tie_break(self):
+        tracer = FlowTracer()
+        self._feed(tracer, "uo1", origin=1, sender=1, receiver=5, round_index=4, hops=1)
+        self._feed(tracer, "uo1", origin=2, sender=2, receiver=6, round_index=4, hops=1)
+        # Equal closing rounds: the larger (origin, receiver) pair wins.
+        assert tracer.critical_path("uo1").origin == 2
+        assert tracer.critical_path("empty") is None
+
+    def test_summary_is_plain_data(self):
+        tracer = FlowTracer()
+        self._feed(tracer, "uo1", origin=1, sender=1, receiver=2, round_index=1, hops=1)
+        summary = tracer.summary()
+        assert summary["uo1"]["deliveries"] == 1
+        assert summary["uo1"]["known_pairs"] == 1
+        assert summary["uo1"]["critical_path"]["path"] == (1, 2)
+
+
+class TestSeededDeployment:
+    def _traced_run(self, assembly, config, seed):
+        deployment = Runtime(assembly, config=config, seed=seed).deploy(24)
+        collector = attach_collector(deployment, gauge_every=0, flow=FlowTracer())
+        report = deployment.run_until_converged(max_rounds=80)
+        return deployment, collector, report
+
+    def test_critical_path_is_deterministic_per_seed(
+        self, two_component_assembly, fast_config
+    ):
+        _, first, report = self._traced_run(two_component_assembly, fast_config, 11)
+        _, second, _ = self._traced_run(two_component_assembly, fast_config, 11)
+        assert report.converged
+        paths_a = {
+            layer: first.flow.critical_path(layer) for layer in first.flow.layers()
+        }
+        paths_b = {
+            layer: second.flow.critical_path(layer) for layer in second.flow.layers()
+        }
+        assert paths_a and paths_a == paths_b
+        assert "peer_sampling" in paths_a
+
+    def test_tracing_never_perturbs_the_overlay(
+        self, two_component_assembly, fast_config
+    ):
+        plain = Runtime(two_component_assembly, config=fast_config, seed=11).deploy(24)
+        plain_report = plain.run_until_converged(max_rounds=80)
+        traced, _, traced_report = self._traced_run(
+            two_component_assembly, fast_config, 11
+        )
+        assert traced_report.rounds == plain_report.rounds
+        assert overlay_digest(traced.network, RUNTIME_LAYERS) == overlay_digest(
+            plain.network, RUNTIME_LAYERS
+        )
+
+    def test_workload_digest_identical_with_tracer(self):
+        workload = workload_matrix("ci")[0]
+        baseline = run_workload(workload, seed=7)
+        traced = run_workload(
+            workload, seed=7, collector=Collector(gauge_every=0, flow=FlowTracer())
+        )
+        assert traced.digest == baseline.digest

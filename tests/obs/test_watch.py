@@ -1,0 +1,130 @@
+"""The dashboard renderer and the span self-time profile.
+
+Both are pure functions of a collector, so the tests feed hand-built
+telemetry and assert on the rendered text / computed rows — no engine, no
+terminal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip.descriptors import Descriptor, Provenance
+from repro.obs.collector import Collector
+from repro.obs.flow import FlowTracer
+from repro.obs.health import HealthMonitor, StalledConvergence
+from repro.obs.watch import profile_rows, render_dashboard, render_profile
+
+
+def _ticking_clock(step: float = 1.0):
+    state = {"now": 0.0}
+
+    def clock() -> float:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestDashboard:
+    def test_minimal_frame_has_header_and_status(self):
+        collector = Collector(gauge_every=0)
+        frame = render_dashboard(collector, round_index=7)
+        assert frame.startswith("repro watch — round 7\n")
+        assert "population: -/-" in frame
+        assert "events: 0" in frame
+
+    def test_layer_table_rows(self):
+        collector = Collector(gauge_every=0)
+        collector.count("exchanges", 12, layer="uo1")
+        collector.count("descriptors_sent", 60, layer="uo1")
+        collector.gauge("out_degree_mean", 4.25, layer="uo1")
+        collector.gauge("out_degree_max", 8, layer="uo1")
+        frame = render_dashboard(collector)
+        assert "layers" in frame
+        assert "uo1" in frame
+        assert "4.25" in frame
+
+    def test_flow_table_shows_critical_path(self):
+        flow = FlowTracer()
+        tagged = Descriptor(1, age=0).tagged(Provenance(1, 0, 0))
+        flow.on_received("uo1", 3, receiver=9, sender=1, received=[tagged])
+        collector = Collector(gauge_every=0, flow=flow)
+        frame = render_dashboard(collector)
+        assert "information flow" in frame
+        assert "1->9 (closed r3, 1 hops)" in frame
+
+    def test_health_section_lists_active_alerts(self):
+        collector = Collector(gauge_every=0)
+        monitor = HealthMonitor(
+            collector, rules=[StalledConvergence(expected_layers=5, window=1)]
+        )
+        collector.gauge("layers_converged", 1)
+        monitor.observe(None, 4)
+        frame = render_dashboard(collector, health=monitor, round_index=4)
+        assert "health: critical" in frame
+        assert "active alerts" in frame
+        assert "stalled_convergence" in frame
+        assert "expected_layers=5" in frame
+
+    def test_healthy_monitor_renders_no_alert_table(self):
+        collector = Collector(gauge_every=0)
+        monitor = HealthMonitor(collector, rules=[])
+        frame = render_dashboard(collector, health=monitor)
+        assert "health: healthy" in frame
+        assert "active alerts: none" in frame
+
+
+class TestProfile:
+    def _profiled_collector(self) -> Collector:
+        """round ⊃ {steps ⊃ {layer:a, layer:b}, observe} with known totals."""
+        collector = Collector(gauge_every=0, clock=_ticking_clock())
+        # Nested begin/ends; each begin/end pair consumes 2 ticks, so every
+        # enclosing span's total strictly exceeds its children's sum.
+        collector.span_begin("round")
+        collector.span_begin("steps")
+        collector.span_begin("layer:a")
+        collector.span_end("layer:a")
+        collector.span_begin("layer:b")
+        collector.span_end("layer:b")
+        collector.span_end("steps")
+        collector.span_begin("observe")
+        collector.span_end("observe")
+        collector.span_end("round")
+        return collector
+
+    def test_self_time_subtracts_direct_children(self):
+        collector = self._profiled_collector()
+        rows = {name: (count, total, self_s) for name, count, total, self_s in profile_rows(collector)}
+        steps_count, steps_total, steps_self = rows["steps"]
+        _, a_total, a_self = rows["layer:a"]
+        _, b_total, b_self = rows["layer:b"]
+        # Leaves own their full total.
+        assert a_self == a_total and b_self == b_total
+        assert steps_self == pytest.approx(steps_total - a_total - b_total)
+        _, round_total, round_self = rows["round"]
+        _, observe_total, _ = rows["observe"]
+        assert round_self == pytest.approx(
+            round_total - steps_total - observe_total
+        )
+
+    def test_rows_sorted_by_self_time_descending(self):
+        rows = profile_rows(self._profiled_collector())
+        self_times = [self_s for _name, _count, _total, self_s in rows]
+        assert self_times == sorted(self_times, reverse=True)
+
+    def test_unknown_spans_count_as_their_own_self_time(self):
+        collector = Collector(gauge_every=0, clock=_ticking_clock())
+        collector.span_begin("custom")
+        collector.span_end("custom")
+        ((name, count, total, self_s),) = profile_rows(collector)
+        assert name == "custom"
+        assert count == 1
+        assert self_s == total
+
+    def test_render_profile_table_and_empty_fallback(self):
+        text = render_profile(self._profiled_collector())
+        assert "span profile (sorted by self-time)" in text
+        assert "layer:a" in text
+        assert "self %" in text
+        assert "instrumented" in render_profile(Collector(gauge_every=0))
