@@ -28,6 +28,15 @@ Commands
     Run one scenario of the fault-injection suite (or the whole matrix)
     and print its self-healing report: per-layer time-to-repair, residual
     dead-descriptor fraction, and partition-merge time.
+``heal --scenario NAME``
+    Close the loop: start the overlay from a corrupted state (segregated /
+    poisoned / stale views), let the remediation engine repair it, and
+    print the remediation timeline, time-to-stabilize, and verdict.
+    ``matrix`` pairs managed vs unmanaged across every corruption mode and
+    writes ``BENCH_heal.json``; ``partition-churn`` is the compound
+    end-to-end scenario (cut + kill wave); ``--compare`` adds the
+    unmanaged baseline to a single mode; ``--timeline PATH`` exports the
+    remediation timeline as JSONL.
 ``report FILE``
     Deploy, converge, and print the consolidated metrics report —
     convergence rounds, bandwidth split, and live telemetry — through the
@@ -44,7 +53,9 @@ Commands
     Live terminal view of a converging run: population, per-layer
     counters and degrees, information flow, and active health alerts,
     re-rendered every ``--interval`` rounds (``--once`` renders a single
-    snapshot after the run; ``--alerts PATH`` writes the alert stream).
+    snapshot after the run; ``--alerts PATH`` writes the alert stream;
+    ``--heal`` attaches the remediation engine and adds its panel —
+    verdict, active incidents, escalation state).
 """
 
 from __future__ import annotations
@@ -232,6 +243,98 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if all(result.healed for result in results) else 1
 
 
+def _write_timeline(path: str, results) -> int:
+    """Remediation timelines of ``results`` as JSONL; returns entry count."""
+    import json
+
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for result in results:
+            for entry in result.timeline:
+                handle.write(
+                    json.dumps(
+                        {"mode": result.mode, "seed": result.seed, **entry},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                count += 1
+    return count
+
+
+def _cmd_heal(args: argparse.Namespace) -> int:
+    from repro.heal.scenarios import (
+        format_heal_matrix,
+        format_heal_scenario,
+        run_heal_matrix,
+        run_heal_scenario,
+        run_partition_churn,
+        write_heal_bench,
+    )
+
+    collector = None
+    if args.obs is not None and args.scenario != "matrix":
+        from repro.obs.collector import Collector
+
+        collector = Collector(gauge_every=args.gauge_every)
+    results = []
+    if args.scenario == "matrix":
+        if args.obs is not None:
+            print(
+                "warning: --obs is ignored for the matrix (each run has its "
+                "own collector)",
+                file=sys.stderr,
+            )
+        from repro.heal.harness import corruption_modes
+
+        degrees = (
+            None
+            if args.degree is None
+            else {mode: args.degree for mode in corruption_modes()}
+        )
+        entries = run_heal_matrix(
+            n_nodes=args.nodes, seed=args.seed, budget=args.budget,
+            degrees=degrees,
+        )
+        print(format_heal_matrix(entries))
+        results = [entry["managed"] for entry in entries]
+        path = write_heal_bench(entries, json_path=args.output)
+        print(f"wrote {path}")
+    elif args.scenario == "partition-churn":
+        result = run_partition_churn(
+            n_nodes=args.nodes, seed=args.seed, budget=args.budget,
+            collector=collector,
+        )
+        print(format_heal_scenario(result))
+        results = [result]
+    else:
+        flavors = (
+            (True, False) if args.compare else ((not args.unmanaged),)
+        )
+        for index, managed in enumerate(flavors):
+            if index:
+                print()
+            result = run_heal_scenario(
+                args.scenario,
+                n_nodes=args.nodes,
+                seed=args.seed,
+                degree=args.degree,
+                budget=args.budget,
+                managed=managed,
+                collector=collector if managed else None,
+            )
+            print(format_heal_scenario(result))
+            if managed:
+                results.append(result)
+    if args.timeline is not None:
+        count = _write_timeline(args.timeline, results)
+        print(f"wrote {args.timeline} ({count} timeline entr(y/ies))")
+    if collector is not None and args.obs is not None:
+        for path in _write_obs_exports(args.obs, collector):
+            print(f"wrote {path}")
+    return 0 if all(result.verdict == "recovered" for result in results) else 1
+
+
 def _write_obs_exports(jsonl_path: str, collector) -> List[str]:
     """Write the JSONL stream at ``jsonl_path`` and a Prometheus snapshot
     next to it (same path + ``.prom``); returns the written paths."""
@@ -334,12 +437,21 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         health=True,
     )
     health = collector.health
+    engine = None
+    if args.heal:
+        from repro.heal.engine import RemediationEngine
+
+        engine = RemediationEngine.for_deployment(deployment, health)
     deployment.tracker.stop_when_converged = True
     title = f"repro watch {args.file}"
 
     def frame() -> str:
         return render_dashboard(
-            collector, health, round_index=deployment.engine.round, title=title
+            collector,
+            health,
+            round_index=deployment.engine.round,
+            title=title,
+            heal=engine,
         )
 
     if args.once:
@@ -506,6 +618,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.set_defaults(func=_cmd_faults)
 
+    from repro.heal.harness import corruption_modes
+
+    heal = subparsers.add_parser(
+        "heal",
+        help="start from a corrupted overlay state and close the "
+        "observe-decide-act loop",
+    )
+    heal.add_argument(
+        "--scenario",
+        choices=tuple(corruption_modes()) + ("matrix", "partition-churn"),
+        default="matrix",
+        help="corruption mode to start from; 'matrix' pairs managed vs "
+        "unmanaged across all modes, 'partition-churn' runs the compound "
+        "end-to-end scenario (default: matrix)",
+    )
+    heal.add_argument("--nodes", type=int, default=64)
+    heal.add_argument("--seed", type=int, default=7)
+    heal.add_argument(
+        "--degree",
+        type=float,
+        default=None,
+        help="corruption severity in [0, 1] (default: per-mode preset)",
+    )
+    heal.add_argument(
+        "--budget",
+        type=int,
+        default=80,
+        help="re-convergence round budget after corruption (default: 80)",
+    )
+    heal.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the unmanaged baseline (single-mode scenarios)",
+    )
+    heal.add_argument(
+        "--unmanaged",
+        action="store_true",
+        help="run only the unmanaged baseline (single-mode scenarios)",
+    )
+    heal.add_argument(
+        "--timeline",
+        default=None,
+        metavar="PATH",
+        help="write the remediation timeline(s) (JSONL) to PATH",
+    )
+    heal.add_argument(
+        "--output",
+        default="BENCH_heal.json",
+        help="stabilization numbers path for the matrix "
+        "(default: BENCH_heal.json)",
+    )
+    heal.add_argument(
+        "--obs",
+        default=None,
+        metavar="PATH",
+        help="capture telemetry of a single-scenario run and write the "
+        "event stream to PATH (JSONL; a Prometheus snapshot lands at "
+        "PATH.prom)",
+    )
+    heal.add_argument(
+        "--gauge-every",
+        type=int,
+        default=5,
+        help="structural gauge sampling period in rounds, 0 disables "
+        "(default: 5)",
+    )
+    heal.set_defaults(func=_cmd_heal)
+
     report = subparsers.add_parser(
         "report", help="converge a topology and print the consolidated metrics"
     )
@@ -594,6 +774,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the alert/alert_cleared event stream (JSONL) to PATH",
+    )
+    watch.add_argument(
+        "--heal",
+        action="store_true",
+        help="attach the remediation engine and show its panel (verdict, "
+        "active incidents, escalation state)",
     )
     watch.set_defaults(func=_cmd_watch)
 

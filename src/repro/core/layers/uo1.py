@@ -99,6 +99,28 @@ class SameComponentOverlay(Protocol):
     def forget(self, node_id: int) -> None:
         self.view.remove(node_id)
 
+    def reweight(
+        self, healer: Optional[int] = None, swapper: Optional[int] = None
+    ) -> GossipParams:
+        """Adjust the healer/swapper split of the merge policy in place.
+
+        Same contract as :meth:`repro.gossip.peer_sampling.PeerSampling.reweight`:
+        values are clamped so ``healer + swapper <= view_size`` holds and
+        the adjusted parameters re-validate on construction.
+        """
+        params = self.params
+        new_healer = params.healer if healer is None else healer
+        new_healer = min(max(0, new_healer), params.view_size)
+        new_swapper = params.swapper if swapper is None else swapper
+        new_swapper = min(max(0, new_swapper), params.view_size - new_healer)
+        self.params = GossipParams(
+            view_size=params.view_size,
+            gossip_size=params.gossip_size,
+            healer=new_healer,
+            swapper=new_swapper,
+        )
+        return self.params
+
     def step(self, ctx: RoundContext) -> None:
         self.view.increase_age()
         self._harvest(ctx)

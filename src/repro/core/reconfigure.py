@@ -16,6 +16,8 @@ a cold start.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.core.assembly import Assembly
 from repro.core.convergence import ConvergenceReport
 from repro.core.runtime import Deployment
@@ -47,3 +49,31 @@ def reconfigure_and_measure(
     """Apply :func:`reconfigure` and run until the new target is reached."""
     reconfigure(deployment, new_assembly)
     return deployment.run_until_converged(max_rounds)
+
+
+def elastic_rebalance(deployment: Deployment) -> Dict[str, int]:
+    """Re-run the role assignment over the live population, reporting moves.
+
+    The elastic replica adjustment behind the churn-spike remediation: the
+    same reaction as :meth:`~repro.core.runtime.Deployment.rebalance`
+    (crashed nodes lose their roles; survivors and spares absorb the
+    vacated ranks), but instrumentable — it returns how much of the
+    assignment actually moved, so a remediation engine can tell a
+    no-op rebalance (assignment already matches the live population)
+    from a real elastic adjustment. Safe under repeated invocation: a
+    second call over an unchanged population moves zero roles.
+    """
+    old_map = deployment.role_map
+    live = deployment.network.alive_ids()
+    new_map = deployment.assembly.assign_roles(live)
+    moved = sum(
+        1
+        for node_id in live
+        if new_map.has_role(node_id)
+        and (
+            not old_map.has_role(node_id)
+            or old_map.role(node_id) != new_map.role(node_id)
+        )
+    )
+    deployment._apply_role_changes(new_map)
+    return {"population": len(live), "roles_moved": moved}

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults.plane import FaultPlane, LinkQuality, split_islands
@@ -40,6 +40,56 @@ def _check_window(at_round: int, until_round: Optional[int], what: str) -> None:
             f"{what}: the window must end after round {at_round}, "
             f"got {until_round}"
         )
+
+
+def rendezvous_reseed(
+    network: Network,
+    groups: Sequence[Sequence[int]],
+    rng: random.Random,
+    per_group: int = 4,
+    layer: str = "peer_sampling",
+) -> int:
+    """Give up to ``per_group`` nodes of each group one cross-group contact.
+
+    The out-of-band rendezvous (bootstrap-service re-contact) that lets
+    segregated gossip overlays merge again: fully disjoint overlays have no
+    epidemic path back to each other, so somebody must inject the first
+    cross-group descriptor. Used by :class:`Partition` at heal time and by
+    the remediation engine (:mod:`repro.heal`) whenever it detects overlay
+    segregation.
+
+    Idempotent and safe under repeated invocation: each call inserts age-0
+    descriptors (which the youngest-kept view rule and the tombstone-lifting
+    rule both accept cleanly), dead or departed nodes are skipped, and a
+    group that has lost every member simply seeds nothing. Returns the
+    number of contacts seeded.
+    """
+    alive_groups = [
+        sorted(node_id for node_id in group if network.is_alive(node_id))
+        for group in groups
+    ]
+    alive_groups = [group for group in alive_groups if group]
+    if len(alive_groups) < 2:
+        return 0
+    seeded = 0
+    for index, members in enumerate(alive_groups):
+        foreign = [
+            node_id
+            for other, group in enumerate(alive_groups)
+            if other != index
+            for node_id in group
+        ]
+        seeds = rng.sample(members, min(per_group, len(members)))
+        for node_id in seeds:
+            node = network.node(node_id)
+            if not node.has_protocol(layer):
+                continue
+            contact = rng.choice(foreign)
+            node.protocol(layer).view.insert(
+                Descriptor(contact, age=0, profile=None)
+            )
+            seeded += 1
+    return seeded
 
 
 class Partition(Control):
@@ -134,13 +184,26 @@ class Partition(Control):
             self.plane.record_event(
                 round_index, "partition", f"islands={sizes}"
             )
-        if self.fired and not self.healed and round_index >= self.heal_round:
-            self.healed = True
-            self.plane.clear_partition()
-            seeded = self._reintroduce(network)
-            self.plane.record_event(
-                round_index, "heal", f"partition merged (rendezvous={seeded})"
-            )
+        if self.fired and round_index >= self.heal_round:
+            self.heal(network, round_index)
+
+    def heal(self, network: Network, round_index: int) -> int:
+        """Heal the cut now: clear the plane, rendezvous-reseed the islands.
+
+        Idempotent: the first call clears the partition, re-seeds, and
+        records the ``heal`` event; every later call (a remediation engine
+        may fire the heal path more than once per incident) is a no-op
+        returning 0. Returns the number of rendezvous contacts seeded.
+        """
+        if not self.fired or self.healed:
+            return 0
+        self.healed = True
+        self.plane.clear_partition()
+        seeded = self._reintroduce(network)
+        self.plane.record_event(
+            round_index, "heal", f"partition merged (rendezvous={seeded})"
+        )
+        return seeded
 
     def _reintroduce(self, network: Network) -> int:
         """Give ``rendezvous`` nodes per island one cross-island contact.
@@ -153,33 +216,14 @@ class Partition(Control):
             return 0
         by_island: Dict[int, List[int]] = defaultdict(list)
         for node_id, island in self._mapping.items():
-            if network.is_alive(node_id):
-                by_island[island].append(node_id)
-        seeded = 0
-        islands = sorted(by_island)
-        for island in islands:
-            foreign = [
-                node_id
-                for other in islands
-                if other != island
-                for node_id in by_island[other]
-            ]
-            if not foreign:
-                continue
-            members = sorted(by_island[island])
-            seeds = self.rng.sample(
-                members, min(self.rendezvous, len(members))
-            )
-            for node_id in seeds:
-                node = network.node(node_id)
-                if not node.has_protocol(self.rendezvous_layer):
-                    continue
-                contact = self.rng.choice(foreign)
-                node.protocol(self.rendezvous_layer).view.insert(
-                    Descriptor(contact, age=0, profile=None)
-                )
-                seeded += 1
-        return seeded
+            by_island[island].append(node_id)
+        return rendezvous_reseed(
+            network,
+            [by_island[island] for island in sorted(by_island)],
+            self.rng,
+            per_group=self.rendezvous,
+            layer=self.rendezvous_layer,
+        )
 
     @property
     def active(self) -> bool:

@@ -59,13 +59,18 @@ class ScenarioResult:
         return self.report.healed
 
 
-def _deploy(
+def standard_deployment(
     n_nodes: int,
     seed: int,
     config: Optional[RuntimeConfig] = None,
     collector: Optional[Collector] = None,
 ) -> Deployment:
-    """A ring-of-rings deployment sized to ``n_nodes`` (extras are spares)."""
+    """A ring-of-rings deployment sized to ``n_nodes`` (extras are spares).
+
+    The shared substrate of every adversarial harness: the fault matrix
+    here and the corruption scenarios of :mod:`repro.heal.scenarios` deploy
+    through this one helper so their numbers are comparable.
+    """
     if n_nodes < 32:
         raise ConfigurationError(
             f"fault scenarios need >= 32 nodes, got {n_nodes}"
@@ -77,6 +82,10 @@ def _deploy(
     if collector is not None:
         attach_collector(deployment, collector)
     return deployment
+
+
+#: Internal alias kept for the scenario runners below.
+_deploy = standard_deployment
 
 
 def _arm_recovery(

@@ -74,6 +74,31 @@ class PeerSampling(Protocol):
     def forget(self, node_id: int) -> None:
         self.view.remove(node_id)
 
+    def reweight(
+        self, healer: Optional[int] = None, swapper: Optional[int] = None
+    ) -> GossipParams:
+        """Adjust the healer/swapper split of the selection policy in place.
+
+        The selector re-weighting knob of the self-healing loop: raising
+        *H* makes the select step discard old (hub-concentrating, possibly
+        dead) entries more aggressively; raising *S* increases view mixing.
+        Values are clamped so ``healer + swapper <= view_size`` always
+        holds — the adjusted parameters re-validate on construction.
+        Returns the new parameters.
+        """
+        params = self.params
+        new_healer = params.healer if healer is None else healer
+        new_healer = min(max(0, new_healer), params.view_size)
+        new_swapper = params.swapper if swapper is None else swapper
+        new_swapper = min(max(0, new_swapper), params.view_size - new_healer)
+        self.params = GossipParams(
+            view_size=params.view_size,
+            gossip_size=params.gossip_size,
+            healer=new_healer,
+            swapper=new_swapper,
+        )
+        return self.params
+
     def step(self, ctx: RoundContext) -> None:
         """One active round: pick a partner, push-pull buffers, select view."""
         self.view.increase_age()

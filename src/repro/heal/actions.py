@@ -1,0 +1,411 @@
+"""The remediation action library — the *act* side of the closed loop.
+
+Each :class:`RemediationAction` maps one class of health alert to a concrete
+repair over a live :class:`~repro.core.runtime.Deployment`:
+
+==========================  ===================================================
+action                      repairs
+==========================  ===================================================
+:class:`RendezvousReseed`   overlay segregation — detects the weakly-connected
+                            components of the peer-sampling knowledge graph
+                            and injects cross-group rendezvous contacts
+                            (the same primitive :class:`~repro.faults.controls.
+                            Partition` uses at heal time)
+:class:`SelectorReweight`   degree skew — raises the healer share of the
+                            gossip selection policy and runs one targeted
+                            healer wave (drop the oldest entry) on the
+                            skewed layer
+:class:`ElasticAdjust`      churn spikes — re-runs the role assignment over
+                            the live population (elastic replica adjustment)
+                            and re-bootstraps starved peer-sampling views
+:class:`TombstonePurge`     dead-descriptor buildup — purges every view entry
+                            pointing at a dead or forged node (leaving
+                            tombstones against resurrection), then re-seeds
+                            the views it starved
+:class:`ComponentReseed`    everything else — the escalation rung: global
+                            peer-sampling re-bootstrap plus a purge and an
+                            elastic rebalance (component-level re-seed)
+==========================  ===================================================
+
+Every action returns a JSON-able result dict whose ``outcome`` obeys a
+three-way protocol the engine's retry accounting relies on:
+
+- ``"applied"`` — state was changed; burns a retry attempt and counts
+  against the incident's action budget;
+- ``"noop"`` — the action found nothing to repair (e.g. the overlay graph
+  is already connected); burns an attempt (so an incident whose mapped
+  action cannot help still escalates in bounded time) but not budget;
+- ``"deferred"`` — repairing now is futile (e.g. re-seeding across a still
+  active partition cut); free — the engine retries next round.
+
+Actions draw randomness only from the rng handed in by the engine (a
+``streams.fork("heal")`` stream), never from module state, and iterate in
+sorted id order — this package is under the DET linter's ordering rules.
+
+The module also exposes the pure view-level primitives the actions are
+built from (:func:`purge_dead`, :func:`seed_view`,
+:func:`overlay_components`); the property-based tests drive these directly
+to show every remediation preserves the :class:`~repro.gossip.views.
+PartialView` invariants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.reconfigure import elastic_rebalance
+from repro.faults.controls import rendezvous_reseed
+from repro.gossip.descriptors import Descriptor
+from repro.gossip.views import PartialView
+from repro.heal.policy import BackoffPolicy, DEFAULT_POLICY, ESCALATION_POLICY
+from repro.metrics.recovery import DEFAULT_VIEW_LAYERS, dead_view_ids
+from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Deployment
+    from repro.obs.health import Alert
+
+#: The three legal ``outcome`` values of an action result.
+OUTCOMES = ("applied", "noop", "deferred")
+
+
+# -- pure view-level primitives -------------------------------------------------
+
+
+def purge_dead(view: PartialView, dead_ids: Sequence[int]) -> int:
+    """Purge ``dead_ids`` from ``view``, leaving tombstones; returns count.
+
+    Pure and idempotent: purging an absent id still records the tombstone
+    but changes no live entry, and re-purging is a no-op. Never violates a
+    view invariant (capacity, uniqueness) — it only removes.
+    """
+    purged = 0
+    for dead in sorted(set(dead_ids)):
+        if view.get(dead) is not None:
+            purged += 1
+        view.purge(dead)
+    return purged
+
+
+def seed_view(view: PartialView, contact_ids: Sequence[int]) -> int:
+    """Insert fresh (age 0) descriptors for ``contact_ids``; returns count.
+
+    Age-0 insertion lifts tombstones by design (a fresh descriptor is
+    first-hand evidence of life) and respects capacity — a full view
+    evicts its oldest entry rather than overflowing.
+    """
+    seeded = 0
+    for contact in contact_ids:
+        if view.insert(Descriptor(contact, age=0, profile=None)):
+            seeded += 1
+    return seeded
+
+
+def overlay_components(
+    network: Network, layer: str = "peer_sampling"
+) -> List[List[int]]:
+    """Weakly-connected components of ``layer``'s union knowledge graph.
+
+    Nodes are the live population running ``layer``; an (undirected) edge
+    joins a node to every live peer its view references. More than one
+    component means the overlay is segregated: gossip alone can never
+    bridge disjoint knowledge graphs, which is exactly the condition
+    :class:`RendezvousReseed` repairs. Traversal is over sorted ids, so
+    the component list is deterministic.
+    """
+    adjacency: Dict[int, set] = {}
+    for node_id in network.alive_ids():
+        node = network.node(node_id)
+        if not node.has_protocol(layer):
+            continue
+        adjacency.setdefault(node_id, set())
+        for peer_id in node.protocol(layer).neighbors():
+            if peer_id == node_id or not network.is_alive(peer_id):
+                continue
+            adjacency[node_id].add(peer_id)
+            adjacency.setdefault(peer_id, set()).add(node_id)
+    components: List[List[int]] = []
+    visited: set = set()
+    for start in sorted(adjacency):
+        if start in visited:
+            continue
+        stack = [start]
+        visited.add(start)
+        members: List[int] = []
+        while stack:
+            current = stack.pop()
+            members.append(current)
+            for neighbor in sorted(adjacency[current]):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    stack.append(neighbor)
+        components.append(sorted(members))
+    return components
+
+
+def _view_of(node, layer: str) -> Optional[PartialView]:
+    """The protocol's PartialView when it has one (UO2 keeps buckets)."""
+    if not node.has_protocol(layer):
+        return None
+    view = getattr(node.protocol(layer), "view", None)
+    return view if isinstance(view, PartialView) else None
+
+
+# -- action protocol ------------------------------------------------------------
+
+
+class RemediationAction:
+    """Base of every remediation action.
+
+    Subclasses implement :meth:`apply`, mutating the deployment and
+    returning a result dict with an ``outcome`` key (see the module
+    docstring for the protocol). ``policy`` governs the engine's retry
+    accounting for incidents this action serves.
+    """
+
+    name = "remediation_action"
+    policy: BackoffPolicy = DEFAULT_POLICY
+
+    def apply(
+        self,
+        deployment: "Deployment",
+        alert: Optional["Alert"],
+        round_index: int,
+        rng: random.Random,
+    ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class RendezvousReseed(RemediationAction):
+    """Re-join a segregated overlay via cross-group rendezvous contacts.
+
+    Detects the weakly-connected components of the peer-sampling knowledge
+    graph; with two or more, injects ``per_group`` fresh cross-group
+    contacts per component through the shared
+    :func:`~repro.faults.controls.rendezvous_reseed` primitive (the same
+    heal path the partition control uses, so repeated invocation is safe).
+    Defers while a partition cut is still active — seeding across a cut is
+    futile because the plane drops the resulting exchanges.
+    """
+
+    name = "rendezvous_reseed"
+    policy = BackoffPolicy(
+        max_attempts=3, base_delay=4, factor=2.0, max_delay=16, cooldown=8, budget=8
+    )
+
+    def __init__(self, per_group: int = 4, layer: str = "peer_sampling"):
+        self.per_group = per_group
+        self.layer = layer
+
+    def apply(self, deployment, alert, round_index, rng):
+        plane = deployment.faults
+        if plane is not None and plane.partition_active:
+            return {"outcome": "deferred", "reason": "partition cut still active"}
+        groups = overlay_components(deployment.network, self.layer)
+        if len(groups) < 2:
+            return {"outcome": "noop", "components": len(groups)}
+        seeded = rendezvous_reseed(
+            deployment.network,
+            groups,
+            rng,
+            per_group=self.per_group,
+            layer=self.layer,
+        )
+        return {
+            "outcome": "applied",
+            "components": len(groups),
+            "seeded": seeded,
+        }
+
+
+class SelectorReweight(RemediationAction):
+    """Counter degree skew: raise the healer share, run one healer wave.
+
+    A larger healer *H* makes every select step discard its oldest entries
+    first — old entries are both the likely-dead ones and the ones that
+    concentrate onto hubs. The one-shot healer wave (drop the oldest entry
+    of the skewed layer's view on every node) gives the re-weighted policy
+    a head start.
+    """
+
+    name = "selector_reweight"
+    policy = BackoffPolicy(
+        max_attempts=2, base_delay=6, factor=2.0, max_delay=16, cooldown=10, budget=4
+    )
+
+    def __init__(self, healer_bump: int = 3):
+        self.healer_bump = healer_bump
+
+    def apply(self, deployment, alert, round_index, rng):
+        skewed_layer = ""
+        if alert is not None:
+            skewed_layer = str(alert.evidence.get("layer", ""))
+        network = deployment.network
+        adjusted = 0
+        waved = 0
+        for node_id in network.alive_ids():
+            node = network.node(node_id)
+            for layer in ("peer_sampling", "uo1"):
+                if not node.has_protocol(layer):
+                    continue
+                protocol = node.protocol(layer)
+                reweight = getattr(protocol, "reweight", None)
+                if reweight is None:
+                    continue
+                before = protocol.params
+                after = reweight(healer=before.healer + self.healer_bump)
+                if after != before:
+                    adjusted += 1
+            view = _view_of(node, skewed_layer)
+            if view is not None and len(view) > 1:
+                view.drop_oldest(1)
+                waved += 1
+        if adjusted == 0 and waved == 0:
+            return {"outcome": "noop"}
+        return {
+            "outcome": "applied",
+            "protocols_reweighted": adjusted,
+            "healer_wave": waved,
+        }
+
+
+class ElasticAdjust(RemediationAction):
+    """Absorb a churn spike: elastic role rebalance + view re-bootstrap.
+
+    Re-runs the assignment rule over the live population (crashed nodes
+    lose their roles; survivors and spares absorb the vacated ranks) via
+    :func:`~repro.core.reconfigure.elastic_rebalance`, then re-bootstraps
+    any peer-sampling view the failure wave left starved below half
+    capacity.
+    """
+
+    name = "elastic_adjust"
+    policy = BackoffPolicy(
+        max_attempts=3, base_delay=3, factor=2.0, max_delay=12, cooldown=8, budget=6
+    )
+
+    def apply(self, deployment, alert, round_index, rng):
+        moves = elastic_rebalance(deployment)
+        network = deployment.network
+        reseeded = 0
+        for node_id in network.alive_ids():
+            node = network.node(node_id)
+            if not node.has_protocol("peer_sampling"):
+                continue
+            protocol = node.protocol("peer_sampling")
+            if len(protocol.view) < protocol.params.view_size // 2:
+                protocol.bootstrap(rng, network, protocol.params.gossip_size)
+                reseeded += 1
+        if moves["roles_moved"] == 0 and reseeded == 0:
+            return {"outcome": "noop", "population": moves["population"]}
+        return {
+            "outcome": "applied",
+            "population": moves["population"],
+            "roles_moved": moves["roles_moved"],
+            "views_reseeded": reseeded,
+        }
+
+
+class TombstonePurge(RemediationAction):
+    """Flush dead knowledge in one act: purge offenders, re-seed survivors.
+
+    Uses :func:`~repro.metrics.recovery.dead_view_ids` as the targeting
+    map — every live node's view entries pointing at dead (or unknown,
+    i.e. forged) nodes — purges them with tombstones so stale third-party
+    copies cannot resurrect them, then re-seeds any view the purge left
+    starved below half capacity with fresh live contacts.
+    """
+
+    name = "tombstone_purge"
+    policy = BackoffPolicy(
+        max_attempts=3, base_delay=3, factor=2.0, max_delay=12, cooldown=6, budget=8
+    )
+
+    def __init__(self, layers: Sequence[str] = DEFAULT_VIEW_LAYERS):
+        self.layers = tuple(layers)
+
+    def apply(self, deployment, alert, round_index, rng):
+        network = deployment.network
+        stale = dead_view_ids(network, self.layers)
+        purged = 0
+        reseeded = 0
+        for node_id in sorted(stale):
+            node = network.node(node_id)
+            for layer in self.layers:
+                view = _view_of(node, layer)
+                if view is None:
+                    continue
+                purged += purge_dead(view, stale[node_id])
+                protocol = node.protocol(layer)
+                capacity = getattr(
+                    getattr(protocol, "params", None), "view_size", view.capacity
+                )
+                if layer == "peer_sampling" and len(view) < capacity // 2:
+                    protocol.bootstrap(rng, network, protocol.params.gossip_size)
+                    reseeded += 1
+        if purged == 0:
+            return {"outcome": "noop"}
+        return {
+            "outcome": "applied",
+            "nodes_affected": len(stale),
+            "entries_purged": purged,
+            "views_reseeded": reseeded,
+        }
+
+
+class ComponentReseed(RemediationAction):
+    """The escalation rung: component-level re-seed of the whole substrate.
+
+    When a local action cannot close its incident, re-seed globally:
+    purge every dead view entry, re-bootstrap every live node's
+    peer-sampling view through the membership oracle, and re-run the role
+    assignment. Expensive and disruptive by design — the engine only
+    reaches for it after a local action exhausts its retry policy.
+    """
+
+    name = "component_reseed"
+    policy = ESCALATION_POLICY
+
+    def apply(self, deployment, alert, round_index, rng):
+        network = deployment.network
+        stale = dead_view_ids(network)
+        purged = 0
+        for node_id in sorted(stale):
+            node = network.node(node_id)
+            for layer in DEFAULT_VIEW_LAYERS:
+                view = _view_of(node, layer)
+                if view is not None:
+                    purged += purge_dead(view, stale[node_id])
+        bootstrapped = 0
+        for node_id in network.alive_ids():
+            node = network.node(node_id)
+            if not node.has_protocol("peer_sampling"):
+                continue
+            node.protocol("peer_sampling").bootstrap(rng, network)
+            bootstrapped += 1
+        moves = elastic_rebalance(deployment)
+        return {
+            "outcome": "applied",
+            "entries_purged": purged,
+            "views_bootstrapped": bootstrapped,
+            "roles_moved": moves["roles_moved"],
+        }
+
+
+def default_actions() -> Dict[str, RemediationAction]:
+    """The standard alert-rule → action mapping of the remediation engine.
+
+    Both partition suspicion and stalled convergence map to the rendezvous
+    re-seed: a pure view segregation (no physical cut) starves convergence
+    without starving UO2's buckets, so the stall rule is the detector that
+    actually fires on corrupted-state starts.
+    """
+    reseed = RendezvousReseed()
+    return {
+        "partition_suspicion": reseed,
+        "stalled_convergence": reseed,
+        "degree_skew": SelectorReweight(),
+        "churn_spike": ElasticAdjust(),
+        "dead_descriptor_buildup": TombstonePurge(),
+    }

@@ -1,0 +1,346 @@
+"""The remediation engine — observe → decide → act, closed per round.
+
+:class:`RemediationEngine` is the autonomic controller pairing the health
+monitor (observe/decide) with the action library (act):
+
+- it **subscribes** to :class:`~repro.obs.health.HealthMonitor` alert
+  transitions: a firing alert opens an :class:`Incident`, a clearing alert
+  closes it as recovered;
+- it **acts** in the engine's act phase (it is a
+  :class:`~repro.sim.controls.Actuator`, running after every observer of
+  the same round), applying the action mapped to each open incident's rule
+  under that action's :class:`~repro.heal.policy.BackoffPolicy` — bounded
+  attempts, deterministic jittered backoff, per-incident budget;
+- it **escalates** when a level's policy is exhausted: local action
+  (level 0) → component re-seed (level 1) → ``unrecoverable`` verdict
+  (level 2), the ladder's terminal rung.
+
+Every decision lands in three places: typed events on the collector
+(``remediation`` / ``remediation_escalated`` / ``incident_recovered`` /
+``incident_unrecoverable``), a JSONL-able :meth:`timeline`, and the
+:meth:`summary`/:meth:`verdict` the heal scenarios embed in their results.
+
+Determinism: the engine draws only from one ``streams.fork("heal")``
+stream handed in at construction; with the monitor evaluating rules over
+deterministic telemetry, a managed run is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.heal.actions import (
+    ComponentReseed,
+    RemediationAction,
+    default_actions,
+)
+from repro.heal.policy import DEFAULT_POLICY
+from repro.obs import events as _events
+from repro.sim.controls import Actuator
+from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Deployment
+    from repro.obs.health import Alert, HealthMonitor
+
+#: The terminal escalation level: an incident reaching it is unrecoverable.
+UNRECOVERABLE_LEVEL = 2
+
+
+@dataclass
+class Incident:
+    """One alert's remediation lifecycle, across escalation levels."""
+
+    rule: str
+    severity: str
+    opened_round: int
+    level: int = 0
+    attempts: int = 0
+    actions_applied: int = 0
+    next_round: int = 0
+    status: str = "open"  # open | recovered | unrecoverable
+    closed_round: Optional[int] = None
+    reopened: bool = False
+    alert: Optional["Alert"] = field(default=None, repr=False, compare=False)
+
+    @property
+    def open(self) -> bool:
+        return self.status == "open"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "opened_round": self.opened_round,
+            "closed_round": self.closed_round,
+            "status": self.status,
+            "level": self.level,
+            "attempts": self.attempts,
+            "actions_applied": self.actions_applied,
+            "reopened": self.reopened,
+        }
+
+
+class RemediationEngine(Actuator):
+    """Closed-loop remediation over one deployment.
+
+    Parameters
+    ----------
+    deployment:
+        The live deployment to repair (actions mutate its network, views,
+        and role map).
+    monitor:
+        The health monitor to subscribe to; its collector also receives
+        the engine's typed events.
+    rng:
+        The seeded stream for backoff jitter and every action's draws —
+        fork ``"heal"`` off the deployment's streams (which
+        :meth:`for_deployment` does).
+    actions:
+        Rule-name → action mapping (defaults to
+        :func:`~repro.heal.actions.default_actions`).
+    escalation:
+        The level-1 action (defaults to
+        :class:`~repro.heal.actions.ComponentReseed`).
+    """
+
+    def __init__(
+        self,
+        deployment: "Deployment",
+        monitor: "HealthMonitor",
+        rng: random.Random,
+        actions: Optional[Dict[str, RemediationAction]] = None,
+        escalation: Optional[RemediationAction] = None,
+    ):
+        self.deployment = deployment
+        self.monitor = monitor
+        self.collector = monitor.collector
+        self.rng = rng
+        self.actions = dict(actions) if actions is not None else default_actions()
+        self.escalation = escalation if escalation is not None else ComponentReseed()
+        #: Full incident history, in opening order (closed ones stay).
+        self.incidents: List[Incident] = []
+        self._active: Dict[str, Incident] = {}
+        #: rule -> (closed_round, level) for cooldown hysteresis on re-fire.
+        self._last_closed: Dict[str, Tuple[int, int]] = {}
+        self._timeline: List[Dict[str, Any]] = []
+        self.actions_run = 0
+        self.escalations = 0
+        monitor.subscribe(self._on_alert)
+
+    @classmethod
+    def for_deployment(
+        cls,
+        deployment: "Deployment",
+        monitor: "HealthMonitor",
+        actions: Optional[Dict[str, RemediationAction]] = None,
+        escalation: Optional[RemediationAction] = None,
+    ) -> "RemediationEngine":
+        """Build, wire, and register an engine on ``deployment``.
+
+        Subscribes to the monitor, registers the engine as an actuator of
+        the deployment's simulation engine, derives the heal RNG from the
+        deployment's seed space (``streams.fork("heal")``), and exposes
+        the engine as ``deployment.heal``.
+        """
+        rng = deployment.streams.fork("heal").stream("engine")
+        engine = cls(
+            deployment, monitor, rng, actions=actions, escalation=escalation
+        )
+        deployment.engine.add_actuator(engine)
+        deployment.heal = engine  # type: ignore[attr-defined]
+        return engine
+
+    # -- decide: alert transitions --------------------------------------------
+
+    def _policy_for(self, rule: str):
+        action = self.actions.get(rule)
+        return action.policy if action is not None else DEFAULT_POLICY
+
+    def _on_alert(self, alert: "Alert", fired: bool, round_index: int) -> None:
+        if fired:
+            if alert.rule in self._active:
+                return  # already tracked (monitor alerts are edge-triggered)
+            level = 0
+            reopened = False
+            last = self._last_closed.get(alert.rule)
+            if (
+                last is not None
+                and round_index - last[0] <= self._policy_for(alert.rule).cooldown
+            ):
+                # Hysteresis: a flap within the cooldown resumes the old
+                # incident's escalation level instead of restarting at 0.
+                level = last[1]
+                reopened = True
+            incident = Incident(
+                rule=alert.rule,
+                severity=alert.severity,
+                opened_round=round_index,
+                level=level,
+                next_round=round_index,
+                reopened=reopened,
+                alert=alert,
+            )
+            self._active[alert.rule] = incident
+            self.incidents.append(incident)
+            self._record(
+                round_index,
+                "incident_opened",
+                incident,
+                detail={"reopened": reopened},
+            )
+            return
+        incident = self._active.pop(alert.rule, None)
+        if incident is None:
+            return
+        incident.closed_round = round_index
+        self._last_closed[alert.rule] = (round_index, incident.level)
+        if incident.status == "open":
+            incident.status = "recovered"
+            self.collector.emit(
+                _events.EVENT_INCIDENT_RECOVERED,
+                rule=incident.rule,
+                level=incident.level,
+                actions_applied=incident.actions_applied,
+                rounds_open=round_index - incident.opened_round,
+            )
+        self._record(round_index, "incident_closed", incident)
+
+    # -- act: the engine's act phase ------------------------------------------
+
+    def _action_for(self, incident: Incident) -> Optional[RemediationAction]:
+        if incident.level == 0:
+            return self.actions.get(incident.rule)
+        if incident.level == 1:
+            return self.escalation
+        return None
+
+    def act(self, network: Network, round_index: int) -> None:
+        for rule in sorted(self._active):
+            incident = self._active[rule]
+            if not incident.open or round_index < incident.next_round:
+                continue
+            action = self._action_for(incident)
+            if action is None:
+                # No mapping for this rule: nothing to do but wait for the
+                # alert to clear on its own.
+                incident.next_round = round_index + DEFAULT_POLICY.cooldown
+                continue
+            result = action.apply(
+                self.deployment, incident.alert, round_index, self.rng
+            )
+            outcome = str(result.get("outcome", "applied"))
+            self.actions_run += 1
+            detail = {
+                key: value for key, value in result.items() if key != "outcome"
+            }
+            self.collector.emit(
+                _events.EVENT_REMEDIATION,
+                rule=rule,
+                action=action.name,
+                level=incident.level,
+                outcome=outcome,
+            )
+            self._record(
+                round_index,
+                "remediation",
+                incident,
+                action=action.name,
+                outcome=outcome,
+                detail=detail,
+            )
+            if outcome == "deferred":
+                # Free retry: acting now was futile (e.g. an active cut),
+                # not wrong — check again next round.
+                incident.next_round = round_index + 1
+                continue
+            incident.attempts += 1
+            if outcome == "applied":
+                incident.actions_applied += 1
+            incident.next_round = round_index + action.policy.delay(
+                incident.attempts, self.rng
+            )
+            if action.policy.exhausted(incident.attempts) or (
+                incident.actions_applied >= action.policy.budget
+            ):
+                self._escalate(incident, round_index)
+
+    def _escalate(self, incident: Incident, round_index: int) -> None:
+        incident.level += 1
+        incident.attempts = 0
+        self.escalations += 1
+        if incident.level >= UNRECOVERABLE_LEVEL:
+            incident.status = "unrecoverable"
+            self.collector.emit(
+                _events.EVENT_INCIDENT_UNRECOVERABLE,
+                rule=incident.rule,
+                actions_applied=incident.actions_applied,
+                rounds_open=round_index - incident.opened_round,
+            )
+            self._record(round_index, "incident_unrecoverable", incident)
+            return
+        self.collector.emit(
+            _events.EVENT_REMEDIATION_ESCALATED,
+            rule=incident.rule,
+            level=incident.level,
+        )
+        self._record(round_index, "escalated", incident)
+
+    # -- reporting -------------------------------------------------------------
+
+    def _record(
+        self,
+        round_index: int,
+        kind: str,
+        incident: Incident,
+        action: str = "",
+        outcome: str = "",
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        entry: Dict[str, Any] = {
+            "round": round_index,
+            "kind": kind,
+            "rule": incident.rule,
+            "level": incident.level,
+            "attempt": incident.attempts,
+            "status": incident.status,
+        }
+        if action:
+            entry["action"] = action
+        if outcome:
+            entry["outcome"] = outcome
+        if detail:
+            entry["detail"] = dict(detail)
+        self._timeline.append(entry)
+
+    def timeline(self) -> List[Dict[str, Any]]:
+        """The remediation timeline as JSONL-ready plain dicts."""
+        return [dict(entry) for entry in self._timeline]
+
+    def active_incidents(self) -> List[Incident]:
+        """Incidents whose alert is still firing, sorted by rule name."""
+        return [self._active[rule] for rule in sorted(self._active)]
+
+    def verdict(self) -> str:
+        """``idle`` (nothing ever fired), ``active``, ``recovered``, or
+        ``unrecoverable`` (some incident exhausted the ladder)."""
+        if any(i.status == "unrecoverable" for i in self.incidents):
+            return "unrecoverable"
+        if self._active:
+            return "active"
+        if self.incidents:
+            return "recovered"
+        return "idle"
+
+    def summary(self) -> Dict[str, Any]:
+        """Plain-data view (scenario results / CLI reports)."""
+        return {
+            "verdict": self.verdict(),
+            "incidents_total": len(self.incidents),
+            "incidents_active": len(self._active),
+            "actions_run": self.actions_run,
+            "escalations": self.escalations,
+            "incidents": [incident.to_dict() for incident in self.incidents],
+        }

@@ -1,0 +1,115 @@
+"""Remediation policies: bounded, deterministic retry discipline.
+
+Every remediation action is governed by a :class:`BackoffPolicy` — the
+contract that keeps the closed loop from thrashing a degraded system:
+
+- **bounded retries**: at most ``max_attempts`` applied actions per
+  escalation level, and a hard per-incident ``budget`` across all levels;
+- **deterministic jittered backoff**: the wait between attempts grows
+  geometrically (``base_delay * factor**(attempt-1)``, capped at
+  ``max_delay``) plus a jitter drawn from the *passed-in* seeded stream —
+  simulated time is the round counter and every draw flows from
+  :mod:`repro.sim.rng`, so two runs with the same seed retry at the same
+  rounds (DET001/DET003 apply to this package);
+- **cooldown hysteresis**: an alert re-firing within ``cooldown`` rounds of
+  its incident's recovery is treated as the *same* degradation — the new
+  incident resumes at the old escalation level instead of restarting the
+  ladder from scratch (a flapping rule cannot buy itself infinite local
+  retries).
+
+Policies are frozen dataclasses: an engine shares one instance across
+incidents without aliasing hazards.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Retry/backoff parameters of one remediation action.
+
+    Parameters
+    ----------
+    max_attempts:
+        Applied actions allowed per escalation level before the incident
+        climbs one rung.
+    base_delay, factor, max_delay:
+        Rounds to wait after the n-th applied attempt:
+        ``min(max_delay, base_delay * factor**(n-1))``, rounded to an int.
+    jitter:
+        Upper bound (inclusive) of the uniform integer jitter added to
+        each delay; 0 disables jitter.
+    cooldown:
+        Hysteresis window in rounds — see the module docstring — and the
+        quiet period scheduled after a ``noop`` outcome.
+    budget:
+        Hard cap on applied actions per incident across *all* escalation
+        levels; exhausting it escalates immediately.
+    """
+
+    max_attempts: int = 3
+    base_delay: int = 2
+    factor: float = 2.0
+    max_delay: int = 16
+    jitter: int = 1
+    cooldown: int = 8
+    budget: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 1:
+            raise ConfigurationError(
+                f"base_delay must be >= 1, got {self.base_delay}"
+            )
+        if self.factor < 1.0:
+            raise ConfigurationError(f"factor must be >= 1.0, got {self.factor}")
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+        if self.cooldown < 0:
+            raise ConfigurationError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.budget < self.max_attempts:
+            raise ConfigurationError(
+                f"budget ({self.budget}) must be >= max_attempts "
+                f"({self.max_attempts})"
+            )
+
+    def delay(self, attempt: int, rng: random.Random) -> int:
+        """Rounds to wait after the ``attempt``-th applied action (1-based).
+
+        Deterministic given the rng state: the geometric schedule is pure
+        arithmetic and the jitter is one bounded draw from the caller's
+        seeded stream.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt is 1-based, got {attempt}")
+        base = min(
+            float(self.max_delay), self.base_delay * self.factor ** (attempt - 1)
+        )
+        jitter = rng.randint(0, self.jitter) if self.jitter else 0
+        return int(base) + jitter
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether ``attempts`` applied actions exhaust this level."""
+        return attempts >= self.max_attempts
+
+
+#: Defaults used by the engine when an action declares no policy of its own.
+DEFAULT_POLICY = BackoffPolicy()
+
+#: Escalation actions are last resorts: one shot per level, long cooldown.
+ESCALATION_POLICY = BackoffPolicy(
+    max_attempts=2, base_delay=6, factor=2.0, max_delay=24, cooldown=12, budget=4
+)

@@ -10,13 +10,13 @@ so as the codebase grows:
   and no unseeded ``random.Random()``/``SystemRandom`` anywhere outside
   that module.
 - ``DET003`` — no wall-clock reads in simulation-facing packages (``sim``,
-  ``core``, ``gossip``, ``faults``, ``obs``) nor in the simulation-side
+  ``core``, ``gossip``, ``faults``, ``obs``, ``heal``) nor in the simulation-side
   half of the perf subsystem (``perf/cache.py``, ``perf/digest.py``,
   ``perf/workloads.py``): simulated time is the round counter. Timing
   belongs to the harness (``perf/bench.py``) and to the observability
   subsystem's single sanctioned clock site (``obs/spans.py``) alone.
 - ``DET004`` — no iteration over bare ``set``/``frozenset`` values in
-  ordering-sensitive packages (``gossip``, ``core``, ``sim``): hash order
+  ordering-sensitive packages (``gossip``, ``core``, ``sim``, ``heal``): hash order
   must never feed a view merge or a stochastic choice. ``sorted(...)``,
   ``min``/``max``, and membership tests are all fine.
 - ``DET005`` — no ``dict.popitem()`` in those packages (insertion-order
@@ -47,6 +47,7 @@ WALLCLOCK_PATHS = (
     "gossip/",
     "faults/",
     "obs/",
+    "heal/",
     "perf/cache.py",
     "perf/digest.py",
     "perf/workloads.py",
@@ -60,7 +61,7 @@ WALLCLOCK_PATHS = (
 WALLCLOCK_EXEMPT = ("obs/spans.py",)
 
 #: Packages where set-iteration order and popitem are forbidden (DET004/005).
-ORDERING_PATHS = ("gossip/", "core/", "sim/")
+ORDERING_PATHS = ("gossip/", "core/", "sim/", "heal/")
 
 _WALLCLOCK_TIME_ATTRS = {
     "time",

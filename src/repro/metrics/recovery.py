@@ -8,7 +8,7 @@ nodes, and how partition-local each view has become.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.sim.network import Network
 
@@ -36,6 +36,30 @@ def dead_descriptor_fraction(
                 if not network.is_alive(peer_id):
                     dead += 1
     return dead / total if total else 0.0
+
+
+def dead_view_ids(
+    network: Network, layers: Sequence[str] = DEFAULT_VIEW_LAYERS
+) -> Dict[int, List[int]]:
+    """Per live node, the sorted dead ids its views still reference.
+
+    The targeting map of the tombstone-purge remediation: for every live
+    node holding at least one descriptor of a dead (or unknown — a poisoned
+    forgery) node, the distinct offending ids across ``layers``. Nodes with
+    clean views are omitted, so an empty dict means perfect hygiene.
+    """
+    stale: Dict[int, List[int]] = {}
+    for node in network.alive_nodes():
+        offenders = set()
+        for layer in layers:
+            if not node.has_protocol(layer):
+                continue
+            for peer_id in node.protocol(layer).neighbors():
+                if not network.is_alive(peer_id):
+                    offenders.add(peer_id)
+        if offenders:
+            stale[node.node_id] = sorted(offenders)
+    return stale
 
 
 def cross_island_fraction(network: Network, island_of, layer: str = "uo1") -> float:

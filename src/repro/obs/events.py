@@ -42,6 +42,13 @@ EVENT_SCENARIO_RESULT = "scenario_result"
 EVENT_ALERT = "alert"
 EVENT_ALERT_CLEARED = "alert_cleared"
 
+# -- self-healing (repro.heal) -------------------------------------------------
+EVENT_CORRUPTION = "corruption"
+EVENT_REMEDIATION = "remediation"
+EVENT_REMEDIATION_ESCALATED = "remediation_escalated"
+EVENT_INCIDENT_RECOVERED = "incident_recovered"
+EVENT_INCIDENT_UNRECOVERABLE = "incident_unrecoverable"
+
 #: kind → one-line description. The single source of truth for exporters,
 #: docs/observability.md, and the taxonomy tests.
 TAXONOMY: Dict[str, str] = {
@@ -65,6 +72,11 @@ TAXONOMY: Dict[str, str] = {
     EVENT_SCENARIO_RESULT: "a fault scenario run finished with a verdict",
     EVENT_ALERT: "a health rule turned unhealthy (typed, with evidence)",
     EVENT_ALERT_CLEARED: "a previously firing health rule turned healthy again",
+    EVENT_CORRUPTION: "the adversarial harness seeded corrupted overlay state",
+    EVENT_REMEDIATION: "a remediation action ran against an open incident",
+    EVENT_REMEDIATION_ESCALATED: "an incident climbed one escalation rung",
+    EVENT_INCIDENT_RECOVERED: "a remediation incident closed (alert cleared)",
+    EVENT_INCIDENT_UNRECOVERABLE: "an incident exhausted the escalation ladder",
 }
 
 

@@ -35,7 +35,7 @@ zero-interference contract and determinism (DET003 applies here).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.obs import events as _events
 from repro.obs.collector import Collector
@@ -44,6 +44,9 @@ from repro.sim.network import Network
 
 #: Alert severities, mildest first (order is the verdict ranking).
 SEVERITIES = ("info", "warning", "critical")
+
+#: Alert-transition callback: ``listener(alert, fired, round_index)``.
+AlertListener = Callable[["Alert", bool, int], None]
 
 
 @dataclass
@@ -286,6 +289,27 @@ class HealthMonitor(Instrument):
         self.alerts: List[Alert] = []
         self._active: Dict[str, Alert] = {}
         self.rounds_checked = 0
+        self._listeners: List[AlertListener] = []
+
+    # -- subscription ---------------------------------------------------------
+
+    def subscribe(self, listener: "AlertListener") -> None:
+        """Register ``listener(alert, fired, round_index)`` for transitions.
+
+        The listener is invoked synchronously during :meth:`observe`, once
+        per edge: ``fired=True`` when a rule turns unhealthy (the alert
+        opens), ``fired=False`` when it turns healthy again (the alert
+        closes, ``alert.round_cleared`` already set). Listeners see alerts
+        in rule-registration order within a round. This is the decide-side
+        hook of the observe → decide → act loop: the remediation engine of
+        :mod:`repro.heal` subscribes here and acts in the engine's act
+        phase of the same round.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, alert: Alert, fired: bool, round_index: int) -> None:
+        for listener in self._listeners:
+            listener(alert, fired, round_index)
 
     # -- observation ----------------------------------------------------------
 
@@ -309,6 +333,7 @@ class HealthMonitor(Instrument):
                     severity=rule.severity,
                     **evidence,
                 )
+                self._notify(alert, True, round_index)
             elif evidence is not None and current is not None:
                 current.evidence = evidence  # keep the freshest evidence
             elif evidence is None and current is not None:
@@ -320,6 +345,7 @@ class HealthMonitor(Instrument):
                     severity=rule.severity,
                     active_rounds=round_index - current.round_fired,
                 )
+                self._notify(current, False, round_index)
         self.collector.gauge("alerts_active", len(self._active))
         return False
 

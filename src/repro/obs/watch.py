@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from repro.metrics.report import render_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.heal.engine import RemediationEngine
     from repro.obs.collector import Collector
     from repro.obs.health import HealthMonitor
 
@@ -39,8 +40,14 @@ def render_dashboard(
     health: Optional["HealthMonitor"] = None,
     round_index: Optional[int] = None,
     title: str = "repro watch",
+    heal: Optional["RemediationEngine"] = None,
 ) -> str:
-    """One frame of the live view: population, layers, flow, alerts."""
+    """One frame of the live view: population, layers, flow, alerts.
+
+    With ``heal`` (a remediation engine), a remediation panel follows the
+    alerts: the loop's verdict and, per active incident, its escalation
+    level, attempts at that level, and the next scheduled retry round.
+    """
     out: List[str] = []
     header = title
     if round_index is not None:
@@ -117,6 +124,30 @@ def render_dashboard(
             out.append("active alerts: none")
         out.append("")
 
+    if heal is not None:
+        active = heal.active_incidents()
+        status = [
+            f"remediation: {heal.verdict()}",
+            f"actions run: {heal.actions_run}",
+            f"escalations: {heal.escalations}",
+        ]
+        out.append("  ".join(status))
+        if active:
+            headers = ["rule", "severity", "level", "attempts", "next retry"]
+            rows = [
+                [
+                    incident.rule,
+                    incident.severity,
+                    f"L{incident.level}"
+                    + (" (reopened)" if incident.reopened else ""),
+                    incident.attempts,
+                    f"r{incident.next_round}",
+                ]
+                for incident in active
+            ]
+            out.append(render_table(headers, rows, title="active remediations"))
+        out.append("")
+
     return "\n".join(out).rstrip() + "\n"
 
 
@@ -138,7 +169,7 @@ def _render_evidence(evidence: Dict[str, Any]) -> str:
 # -- span profiling ------------------------------------------------------------
 
 #: The engine's span nesting: child span → enclosing span.
-_SPAN_PARENTS = {"steps": "round", "observe": "round"}
+_SPAN_PARENTS = {"steps": "round", "observe": "round", "act": "round"}
 
 
 def _parent_of(name: str) -> Optional[str]:

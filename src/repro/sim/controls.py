@@ -25,6 +25,7 @@ from repro.obs.observers import (  # noqa: F401  (compatibility re-exports)
 from repro.sim.network import Network
 
 __all__ = [
+    "Actuator",
     "CallbackControl",
     "Control",
     "GraphObserver",
@@ -42,6 +43,24 @@ class Control:
 
     def after_round(self, network: Network, round_index: int) -> None:
         """Called after the node steps (and observers) of ``round_index``."""
+
+
+class Actuator:
+    """Closed-loop hook run in the engine's *act* phase.
+
+    The act phase sits after the observers of a round — so an actuator sees
+    telemetry and health alerts that are fresh for that round — and before
+    the after-round controls. Unlike a :class:`Control` (which injects
+    scheduled events from outside the system) an actuator reacts to what the
+    observers measured: it closes the observe → decide → act loop. The
+    :class:`~repro.heal.engine.RemediationEngine` is the canonical one.
+
+    An engine with no actuators skips the phase entirely, so the fault-free,
+    unmanaged path stays bit-identical to the pre-act-phase engine.
+    """
+
+    def act(self, network: Network, round_index: int) -> None:
+        """Called once per round, after every observer has run."""
 
 
 class CallbackControl(Control):

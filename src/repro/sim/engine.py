@@ -20,7 +20,7 @@ from repro.sim.transport import Transport
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plane import FaultPlane
     from repro.obs.instrument import Instrument
-    from repro.sim.controls import Control
+    from repro.sim.controls import Actuator, Control
     from repro.sim.node import Node
 
 
@@ -113,6 +113,12 @@ class Engine:
         Measurement hooks run *after* the node steps of each round. An
         observer's :meth:`~repro.obs.instrument.Instrument.observe` may return
         ``True`` to request an early stop (e.g. "all layers converged").
+    actuators:
+        Closed-loop hooks (:class:`~repro.sim.controls.Actuator`) run in the
+        *act* phase — after every observer of a round, before the
+        after-round controls — so they decide on telemetry that is fresh
+        for the round. The remediation engine of :mod:`repro.heal` attaches
+        here; an engine with no actuators skips the phase entirely.
     faults:
         Optional :class:`~repro.faults.plane.FaultPlane` consulted by every
         peer-addressed exchange (partitions, degraded links). Fault
@@ -135,6 +141,7 @@ class Engine:
         loss_rate: float = 0.0,
         faults: Optional["FaultPlane"] = None,
         obs: Optional["Instrument"] = None,
+        actuators: Iterable["Actuator"] = (),
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -143,6 +150,7 @@ class Engine:
         self.streams = streams or RandomStreams(0)
         self.controls: List["Control"] = list(controls)
         self.observers: List["Instrument"] = list(observers)
+        self.actuators: List["Actuator"] = list(actuators)
         self.loss_rate = loss_rate
         self.faults = faults
         self.obs = obs
@@ -153,6 +161,9 @@ class Engine:
 
     def add_observer(self, observer: "Instrument") -> None:
         self.observers.append(observer)
+
+    def add_actuator(self, actuator: "Actuator") -> None:
+        self.actuators.append(actuator)
 
     # -- execution ------------------------------------------------------------
 
@@ -208,6 +219,17 @@ class Engine:
         for observer in self.observers:
             if observer.observe(self.network, self.round):
                 stop = True
+        # Act phase: closed-loop actuators run on this round's fresh
+        # observations, before the after-round controls. The span is only
+        # opened when actuators exist, so unmanaged runs record identical
+        # telemetry to the pre-act-phase engine.
+        if self.actuators:
+            if obs is not None:
+                obs.span_begin("act")
+            for actuator in self.actuators:
+                actuator.act(self.network, self.round)
+            if obs is not None:
+                obs.span_end("act")
         for control in self.controls:
             control.after_round(self.network, self.round)
         if obs is not None:

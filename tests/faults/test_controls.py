@@ -142,6 +142,39 @@ class TestPartitionLifecycle:
         )
         assert "rendezvous=0" in plane.events_of("heal")[0].detail
 
+    def test_heal_is_idempotent_under_double_fire(self):
+        # A remediation engine may drive the heal path again after the
+        # scheduled heal already ran; the second call must change nothing.
+        plane = FaultPlane()
+        net = make_network(10, with_views=True)
+        control = Partition(
+            plane, at_round=0, heal_round=2, rng=random.Random(3), rendezvous=2
+        )
+        control.before_round(net, 0)
+        control.before_round(net, 2)
+        seeded = {
+            node.node_id: sorted(node.protocol("peer_sampling").view.ids())
+            for node in net.nodes()
+        }
+        assert control.heal(net, 5) == 0  # direct re-invocation: no-op
+        control.before_round(net, 6)  # schedule path re-entered: still no-op
+        after = {
+            node.node_id: sorted(node.protocol("peer_sampling").view.ids())
+            for node in net.nodes()
+        }
+        assert after == seeded  # no double re-seed
+        assert len(plane.events_of("heal")) == 1
+        assert not plane.partition_active
+
+    def test_heal_before_fire_is_a_no_op(self):
+        plane = FaultPlane()
+        net = make_network(6, with_views=True)
+        control = Partition(
+            plane, at_round=5, heal_round=8, rng=random.Random(0), rendezvous=2
+        )
+        assert control.heal(net, 0) == 0  # nothing fired yet
+        assert plane.events == []
+
 
 class TestZoneOutage:
     def make_zone_plane(self, count=8):

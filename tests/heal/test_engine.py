@@ -1,0 +1,234 @@
+"""RemediationEngine decision logic: lifecycle, retries, escalation.
+
+Driven with scripted actions and a fake monitor so every branch of the
+retry accounting is pinned without simulating an overlay: outcomes burn
+attempts/budget per the three-way protocol, exhaustion climbs the
+escalation ladder to ``unrecoverable``, and cooldown hysteresis resumes a
+reopened incident at its old level.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.heal.actions import RemediationAction
+from repro.heal.engine import UNRECOVERABLE_LEVEL, RemediationEngine
+from repro.heal.policy import BackoffPolicy
+from repro.obs import events as _events
+from repro.obs.collector import Collector
+from repro.obs.health import Alert
+
+
+class ScriptedAction(RemediationAction):
+    """Returns a scripted outcome per call (then keeps applying)."""
+
+    def __init__(self, name, policy, outcomes=()):
+        self.name = name
+        self.policy = policy
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def apply(self, deployment, alert, round_index, rng):
+        self.calls += 1
+        outcome = self.outcomes.pop(0) if self.outcomes else "applied"
+        return {"outcome": outcome}
+
+
+class FakeMonitor:
+    """Just enough HealthMonitor surface for the engine: subscribe + fire."""
+
+    def __init__(self):
+        self.collector = Collector()
+        self.listeners = []
+
+    def subscribe(self, listener):
+        self.listeners.append(listener)
+
+    def fire(self, rule, round_index, severity="critical"):
+        alert = Alert(rule=rule, severity=severity, round_fired=round_index)
+        for listener in self.listeners:
+            listener(alert, True, round_index)
+        return alert
+
+    def clear(self, alert, round_index):
+        alert.round_cleared = round_index
+        for listener in self.listeners:
+            listener(alert, False, round_index)
+
+
+def make_engine(actions, escalation=None):
+    monitor = FakeMonitor()
+    engine = RemediationEngine(
+        deployment=None,
+        monitor=monitor,
+        rng=random.Random(42),
+        actions=actions,
+        escalation=escalation
+        or ScriptedAction(
+            "escalate",
+            BackoffPolicy(max_attempts=2, jitter=0, base_delay=2, budget=8),
+        ),
+    )
+    return engine, monitor
+
+
+def drain(engine, start, stop):
+    for round_index in range(start, stop):
+        engine.act(None, round_index)
+
+
+NO_JITTER = BackoffPolicy(
+    max_attempts=3, base_delay=2, factor=2.0, max_delay=8, jitter=0, budget=8
+)
+
+
+def test_lifecycle_open_act_recover():
+    action = ScriptedAction("fix", NO_JITTER)
+    engine, monitor = make_engine({"rule_a": action})
+    assert engine.verdict() == "idle"
+    alert = monitor.fire("rule_a", 5)
+    assert engine.verdict() == "active"
+    engine.act(None, 5)
+    assert action.calls == 1
+    incident = engine.active_incidents()[0]
+    assert incident.attempts == 1
+    assert incident.actions_applied == 1
+    assert incident.next_round == 5 + NO_JITTER.delay(1, random.Random(0))
+    engine.act(None, 6)  # inside the backoff window: no call
+    assert action.calls == 1
+    monitor.clear(alert, 7)
+    assert engine.verdict() == "recovered"
+    assert engine.incidents[0].status == "recovered"
+    assert engine.incidents[0].closed_round == 7
+    kinds = [event.kind for event in monitor.collector.events]
+    assert _events.EVENT_REMEDIATION in kinds
+    assert _events.EVENT_INCIDENT_RECOVERED in kinds
+
+
+def test_refire_while_active_is_ignored():
+    action = ScriptedAction("fix", NO_JITTER)
+    engine, monitor = make_engine({"rule_a": action})
+    monitor.fire("rule_a", 5)
+    monitor.fire("rule_a", 6)
+    assert len(engine.incidents) == 1
+
+
+def test_noop_burns_attempts_and_escalates_to_unrecoverable():
+    # Every local attempt noops: the incident must still climb the ladder
+    # in bounded time and terminate as unrecoverable.
+    policy = BackoffPolicy(max_attempts=2, base_delay=1, jitter=0, budget=8)
+    action = ScriptedAction("fix", policy, outcomes=["noop"] * 10)
+    escalation = ScriptedAction(
+        "escalate",
+        BackoffPolicy(max_attempts=1, base_delay=1, jitter=0, budget=8),
+        outcomes=["noop"] * 10,
+    )
+    engine, monitor = make_engine({"rule_a": action}, escalation=escalation)
+    monitor.fire("rule_a", 0)
+    drain(engine, 0, 30)
+    assert engine.verdict() == "unrecoverable"
+    incident = engine.incidents[0]
+    assert incident.level == UNRECOVERABLE_LEVEL
+    assert incident.actions_applied == 0  # noops never burned budget
+    assert escalation.calls == 1
+    kinds = [event.kind for event in monitor.collector.events]
+    assert _events.EVENT_REMEDIATION_ESCALATED in kinds
+    assert _events.EVENT_INCIDENT_UNRECOVERABLE in kinds
+    # A terminal incident acts no further.
+    calls = action.calls + escalation.calls
+    drain(engine, 30, 40)
+    assert action.calls + escalation.calls == calls
+
+
+def test_deferred_retries_next_round_for_free():
+    action = ScriptedAction(
+        "fix", NO_JITTER, outcomes=["deferred", "deferred", "applied"]
+    )
+    engine, monitor = make_engine({"rule_a": action})
+    monitor.fire("rule_a", 3)
+    engine.act(None, 3)
+    incident = engine.active_incidents()[0]
+    assert incident.attempts == 0  # deferred burns nothing
+    assert incident.next_round == 4
+    engine.act(None, 4)
+    assert incident.attempts == 0
+    engine.act(None, 5)
+    assert action.calls == 3
+    assert incident.attempts == 1
+    assert incident.actions_applied == 1
+
+
+def test_budget_exhaustion_escalates_before_attempts_do():
+    # Level 0 applies twice (its max), escalating with actions_applied=2;
+    # the level-1 policy's budget of 3 then trips after a single applied
+    # escalation action, even though its attempt count is far from maxed.
+    local = ScriptedAction(
+        "fix", BackoffPolicy(max_attempts=2, base_delay=1, jitter=0, budget=8)
+    )
+    escalation = ScriptedAction(
+        "escalate",
+        BackoffPolicy(max_attempts=3, base_delay=1, jitter=0, budget=3),
+    )
+    engine, monitor = make_engine({"rule_a": local}, escalation=escalation)
+    monitor.fire("rule_a", 0)
+    drain(engine, 0, 20)
+    assert escalation.calls == 1
+    incident = engine.incidents[0]
+    assert incident.status == "unrecoverable"
+    assert incident.actions_applied == 3
+
+
+def test_cooldown_hysteresis_resumes_escalation_level():
+    policy = BackoffPolicy(
+        max_attempts=1, base_delay=1, jitter=0, cooldown=5, budget=8
+    )
+    action = ScriptedAction("fix", policy)
+    engine, monitor = make_engine({"rule_a": action})
+    alert = monitor.fire("rule_a", 0)
+    engine.act(None, 0)  # one applied attempt exhausts level 0
+    drain(engine, 1, 3)
+    assert engine.active_incidents()[0].level == 1
+    monitor.clear(alert, 4)
+    # Re-fire inside the cooldown window: same degradation, resume at L1.
+    monitor.fire("rule_a", 7)
+    reopened = engine.active_incidents()[0]
+    assert reopened.reopened
+    assert reopened.level == 1
+    # Re-fire past the window starts a fresh incident at level 0.
+    monitor.clear(reopened.alert, 8)
+    engine._last_closed["rule_a"] = (8, 1)
+    monitor.fire("rule_a", 20)
+    assert not engine.active_incidents()[0].reopened
+    assert engine.active_incidents()[0].level == 0
+
+
+def test_unmapped_rule_waits_without_crashing():
+    engine, monitor = make_engine({})
+    alert = monitor.fire("mystery_rule", 2)
+    engine.act(None, 2)
+    incident = engine.active_incidents()[0]
+    assert incident.attempts == 0
+    assert incident.next_round > 2
+    monitor.clear(alert, 9)
+    assert engine.verdict() == "recovered"
+
+
+def test_timeline_and_summary_are_jsonable():
+    import json
+
+    action = ScriptedAction("fix", NO_JITTER)
+    engine, monitor = make_engine({"rule_a": action})
+    alert = monitor.fire("rule_a", 1)
+    engine.act(None, 1)
+    monitor.clear(alert, 3)
+    timeline = engine.timeline()
+    assert [entry["kind"] for entry in timeline] == [
+        "incident_opened",
+        "remediation",
+        "incident_closed",
+    ]
+    json.dumps(timeline)
+    summary = engine.summary()
+    assert summary["verdict"] == "recovered"
+    assert summary["incidents_total"] == 1
+    json.dumps(summary)

@@ -1,0 +1,79 @@
+"""BackoffPolicy: validation, deterministic jittered delays, exhaustion."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.heal.policy import BackoffPolicy, DEFAULT_POLICY, ESCALATION_POLICY
+
+
+def test_defaults_are_valid():
+    assert DEFAULT_POLICY.max_attempts >= 1
+    assert ESCALATION_POLICY.budget >= ESCALATION_POLICY.max_attempts
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_attempts": 0},
+        {"base_delay": 0},
+        {"factor": 0.5},
+        {"max_delay": 1, "base_delay": 2},
+        {"jitter": -1},
+        {"cooldown": -1},
+        {"budget": 2, "max_attempts": 3},
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        BackoffPolicy(**kwargs)
+
+
+def test_delay_grows_geometrically_and_caps():
+    policy = BackoffPolicy(
+        max_attempts=5, base_delay=2, factor=2.0, max_delay=10, jitter=0, budget=8
+    )
+    rng = random.Random(1)
+    delays = [policy.delay(attempt, rng) for attempt in (1, 2, 3, 4, 5)]
+    assert delays == [2, 4, 8, 10, 10]  # capped at max_delay
+
+
+def test_delay_is_one_based():
+    with pytest.raises(ConfigurationError):
+        DEFAULT_POLICY.delay(0, random.Random(1))
+
+
+def test_jitter_is_bounded_and_seed_deterministic():
+    policy = BackoffPolicy(
+        max_attempts=3, base_delay=4, factor=1.0, max_delay=4, jitter=3
+    )
+    for _ in range(50):
+        value = policy.delay(1, random.Random(123))
+        assert value == policy.delay(1, random.Random(123))  # same seed, same wait
+    draws = {policy.delay(1, random.Random(seed)) for seed in range(40)}
+    assert draws <= {4, 5, 6, 7}
+    assert len(draws) > 1  # jitter actually spreads
+
+
+def test_zero_jitter_is_pure_arithmetic():
+    policy = BackoffPolicy(jitter=0)
+    rng = random.Random(9)
+    state = rng.getstate()
+    policy.delay(1, rng)
+    assert rng.getstate() == state  # no draw consumed
+
+
+def test_exhausted_threshold():
+    policy = BackoffPolicy(max_attempts=2)
+    assert not policy.exhausted(0)
+    assert not policy.exhausted(1)
+    assert policy.exhausted(2)
+    assert policy.exhausted(3)
+
+
+def test_policies_are_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_POLICY.max_attempts = 99  # type: ignore[misc]

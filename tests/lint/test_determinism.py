@@ -158,6 +158,32 @@ class TestDet003WallClock:
             assert codes(lint_snippet(snippet, rel_path=rel_path)) == ["DET003"]
         assert lint_snippet(snippet, rel_path="perf/bench.py") == []
 
+    def test_heal_subsystem_is_covered(self):
+        # The remediation engine is part of the simulation: its backoff
+        # delays and corruption generators must draw from the sim streams,
+        # never the wall clock.
+        snippet = """
+            import time
+
+            def backoff():
+                return time.monotonic()
+            """
+        for rel_path in ("heal/engine.py", "heal/policy.py", "heal/harness.py"):
+            assert codes(lint_snippet(snippet, rel_path=rel_path)) == ["DET003"]
+
+    def test_heal_subsystem_forbids_set_iteration(self):
+        # Ordering rules apply too: remediation actions iterate node sets
+        # in sorted order or not at all.
+        diags = lint_snippet(
+            """
+            def pick(dead_ids):
+                for node_id in set(dead_ids):
+                    yield node_id
+            """,
+            rel_path="heal/actions.py",
+        )
+        assert codes(diags) == ["DET004"]
+
     def test_obs_package_is_covered_except_the_sanctioned_clock(self):
         # The observability subsystem is simulation-adjacent: collectors and
         # exporters must stay clock-free, with spans.py as the single

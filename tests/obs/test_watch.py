@@ -7,13 +7,33 @@ terminal.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.gossip.descriptors import Descriptor, Provenance
+from repro.heal.engine import RemediationEngine
 from repro.obs.collector import Collector
 from repro.obs.flow import FlowTracer
-from repro.obs.health import HealthMonitor, StalledConvergence
+from repro.obs.health import Alert, HealthMonitor, StalledConvergence
 from repro.obs.watch import profile_rows, render_dashboard, render_profile
+
+
+class _StubMonitor:
+    """Minimal HealthMonitor surface for driving the remediation engine."""
+
+    def __init__(self):
+        self.collector = Collector(gauge_every=0)
+        self.listeners = []
+
+    def subscribe(self, listener):
+        self.listeners.append(listener)
+
+    def fire(self, rule, round_index, severity="critical"):
+        alert = Alert(rule=rule, severity=severity, round_fired=round_index)
+        for listener in self.listeners:
+            listener(alert, True, round_index)
+        return alert
 
 
 def _ticking_clock(step: float = 1.0):
@@ -74,6 +94,30 @@ class TestDashboard:
         assert "health: healthy" in frame
         assert "active alerts: none" in frame
 
+    def test_idle_engine_renders_status_without_table(self):
+        monitor = _StubMonitor()
+        engine = RemediationEngine(
+            deployment=None, monitor=monitor, rng=random.Random(0), actions={}
+        )
+        frame = render_dashboard(monitor.collector, heal=engine)
+        assert "remediation: idle" in frame
+        assert "actions run: 0" in frame
+        assert "escalations: 0" in frame
+        assert "active remediations" not in frame
+
+    def test_remediation_panel_lists_active_incidents(self):
+        monitor = _StubMonitor()
+        engine = RemediationEngine(
+            deployment=None, monitor=monitor, rng=random.Random(0), actions={}
+        )
+        monitor.fire("degree_skew", 2, severity="warning")
+        frame = render_dashboard(monitor.collector, heal=engine, round_index=2)
+        assert "remediation: active" in frame
+        assert "active remediations" in frame
+        assert "degree_skew" in frame
+        assert "warning" in frame
+        assert "L0" in frame  # escalation level column
+
 
 class TestProfile:
     def _profiled_collector(self) -> Collector:
@@ -107,6 +151,23 @@ class TestProfile:
         assert round_self == pytest.approx(
             round_total - steps_total - observe_total
         )
+
+    def test_act_span_nests_under_round(self):
+        # The remediation step runs inside the round span; its cost must be
+        # subtracted from the round's self-time like steps and observe.
+        collector = Collector(gauge_every=0, clock=_ticking_clock())
+        collector.span_begin("round")
+        collector.span_begin("act")
+        collector.span_end("act")
+        collector.span_end("round")
+        rows = {
+            name: (total, self_s)
+            for name, _count, total, self_s in profile_rows(collector)
+        }
+        act_total, act_self = rows["act"]
+        round_total, round_self = rows["round"]
+        assert act_self == act_total  # leaf owns its full total
+        assert round_self == pytest.approx(round_total - act_total)
 
     def test_rows_sorted_by_self_time_descending(self):
         rows = profile_rows(self._profiled_collector())
