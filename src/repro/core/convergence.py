@@ -137,7 +137,9 @@ def uo2_converged(
         for name in assembly.components
         if _live_members(network, role_map, name)
     }
-    for name in populated:
+    # Order-insensitive all-quantifier: every component must pass, and no
+    # state is touched, so hash order cannot leak into a decision.
+    for name in populated:  # repro-lint: disable=DET004
         if scope == "linked":
             wanted = assembly.linked_components(name) & populated
         else:

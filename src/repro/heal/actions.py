@@ -93,10 +93,29 @@ def seed_view(view: PartialView, contact_ids: Sequence[int]) -> int:
 
     Age-0 insertion lifts tombstones by design (a fresh descriptor is
     first-hand evidence of life) and respects capacity — a full view
-    evicts its oldest entry rather than overflowing.
+    evicts to make room rather than overflowing. ``insert`` alone rejects
+    age ties (a full view of age-0 entries would refuse an age-0 contact),
+    but seeded contacts are first-hand evidence while resident entries are
+    hearsay, so the tie goes to the contact: evict the oldest non-contact
+    bystander (ties broken by highest id) and insert anyway. Contacts only
+    ever displace bystanders — once the view is all contacts, the
+    remainder are dropped.
     """
     seeded = 0
+    contact_set = set(contact_ids)
     for contact in contact_ids:
+        if view.insert(Descriptor(contact, age=0, profile=None)):
+            seeded += 1
+            continue
+        if contact in view or not view.is_full():
+            continue
+        bystanders = [
+            d for d in view.descriptors() if d.node_id not in contact_set
+        ]
+        if not bystanders:
+            continue
+        victim = max(bystanders, key=lambda d: (d.age, d.node_id))
+        view.remove(victim.node_id)
         if view.insert(Descriptor(contact, age=0, profile=None)):
             seeded += 1
     return seeded

@@ -1,0 +1,116 @@
+"""Baseline (suppression) files: adopt deep linting on a living tree.
+
+A baseline freezes the *known* findings so the CI gate can be "zero new
+errors" from day one, while the frozen debt is paid down deliberately:
+
+1. ``repro lint --deep --write-baseline`` records every current finding in
+   ``.repro-lint-baseline.json`` (commit it);
+2. subsequent runs subtract baselined findings — only *new* ones fail;
+3. when a baselined finding is fixed, its entry goes *stale*; the runner
+   reports stale entries so the file shrinks monotonically (re-run
+   ``--write-baseline`` after paying debt).
+
+Entries match on ``(code, file, line)`` with the file normalized relative
+to the baseline's own directory, so the file is stable across checkouts.
+The recorded message is context for reviewers, not part of the match.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.diagnostics import Diagnostic
+from repro.errors import ConfigurationError
+
+#: Conventional baseline path, looked up relative to the working directory.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+def _normalize(file: Optional[str], anchor_dir: str) -> str:
+    if not file:
+        return ""
+    path = os.path.abspath(file)
+    try:
+        return os.path.relpath(path, anchor_dir).replace(os.sep, "/")
+    except ValueError:  # different drive on Windows
+        return path.replace(os.sep, "/")
+
+
+def _fingerprint(diag: Diagnostic, anchor_dir: str) -> Tuple[str, str, int]:
+    return (diag.code, _normalize(diag.file, anchor_dir), diag.line)
+
+
+class Baseline:
+    """A loaded suppression file."""
+
+    def __init__(self, path: str, entries: List[Dict]):
+        self.path = path
+        self.anchor_dir = os.path.dirname(os.path.abspath(path)) or "."
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Parse a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls(path, [])
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(f"unreadable baseline {path!r}: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ConfigurationError(
+                f"baseline {path!r} is not a repro-lint baseline document"
+            )
+        return cls(path, list(payload["entries"]))
+
+    def apply(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> Tuple[List[Diagnostic], int, List[Dict]]:
+        """(surviving diagnostics, suppressed count, stale entries)."""
+        index: Dict[Tuple[str, str, int], Dict] = {
+            (entry["code"], entry["file"], int(entry["line"])): entry
+            for entry in self.entries
+        }
+        matched: set = set()
+        surviving: List[Diagnostic] = []
+        suppressed = 0
+        for diag in diagnostics:
+            key = _fingerprint(diag, self.anchor_dir)
+            if key in index:
+                matched.add(key)
+                suppressed += 1
+            else:
+                surviving.append(diag)
+        stale = [
+            entry
+            for key, entry in sorted(index.items())
+            if key not in matched
+        ]
+        return surviving, suppressed, stale
+
+
+def write_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> int:
+    """Freeze ``diagnostics`` into a baseline file; returns the entry count."""
+    anchor_dir = os.path.dirname(os.path.abspath(path)) or "."
+    entries = [
+        {
+            "code": diag.code,
+            "file": _normalize(diag.file, anchor_dir),
+            "line": diag.line,
+            "message": diag.message,
+        }
+        for diag in sorted(diagnostics, key=Diagnostic.sort_key)
+    ]
+    payload = {"version": _VERSION, "tool": "repro-lint", "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return len(entries)

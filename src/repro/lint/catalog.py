@@ -7,10 +7,18 @@ Two rule families:
   ``RPR0xx/1xx`` are errors (the topology cannot work as written),
   ``RPR2xx`` are warnings (it will deploy, but something looks unintended).
 - ``DET…`` — determinism-invariant rules, checked on the framework's own
-  Python source (``repro lint --self-check``). They machine-enforce the
-  property that makes the multi-seed evaluation honest: all stochastic
+  Python source. ``DET0xx`` are per-file (``repro lint --self-check``);
+  ``DET1xx`` are interprocedural (``repro lint --deep``): a nondeterminism
+  source is flagged when an engine-round entry point can transitively
+  reach it, even across module boundaries. Together they machine-enforce
+  the property that makes the multi-seed evaluation honest: all stochastic
   behavior flows from :mod:`repro.sim.rng` and nothing order-unstable
   feeds a protocol decision.
+- ``SHD…`` — shard-safety rules (``repro lint --deep``): the statically
+  detectable hazards that would break digest identity between a serial
+  and a sharded engine run (shared module state mutated from round hot
+  paths, RNGs cached outside the per-shard ``ctx`` discipline, mutable
+  defaults aliased across instances).
 
 ``docs/lint.md`` renders this catalog with rationale and examples; keep the
 two in sync when adding a rule.
@@ -203,6 +211,78 @@ _RULES = [
         "dict.popitem ordering hazard",
         "``dict.popitem()`` couples layer-exchange behavior to insertion "
         "order details; pop an explicit, deterministic key instead.",
+    ),
+    # -- interprocedural determinism (deep analysis) -------------------------
+    Rule(
+        "DET101",
+        ERROR,
+        "wall clock reachable from round hot path",
+        "An engine-round entry point transitively calls a wall-clock read "
+        "(``time.*``, ``datetime.now``) through a chain of helpers, even "
+        "though every individual call site looks clean; behavior then "
+        "depends on host speed and serial/sharded runs diverge.",
+    ),
+    Rule(
+        "DET102",
+        ERROR,
+        "nondeterministic RNG reachable from round hot path",
+        "A round entry point transitively reaches an interpreter-global "
+        "``random.*`` draw or an unseeded ``Random()``; the draw is outside "
+        "the seed-derived streams, so the same master seed no longer "
+        "denotes the same random universe across runs or shards.",
+    ),
+    Rule(
+        "DET103",
+        ERROR,
+        "unordered iteration reachable from round hot path",
+        "A helper on a round's call chain iterates a bare set or pops "
+        "arbitrary dict entries — outside the packages the per-file rule "
+        "covers — leaking hash/insertion order into protocol decisions.",
+    ),
+    Rule(
+        "DET104",
+        ERROR,
+        "object identity reachable from round hot path",
+        "``id()`` values are CPython heap addresses: unstable between runs, "
+        "interpreters, and shard processes. Any use on a round's call chain "
+        "(keys, ordering, tie-breaking) breaks digest identity.",
+    ),
+    Rule(
+        "DET105",
+        ERROR,
+        "environment read reachable from round hot path",
+        "``os.environ``/``os.getenv`` on a round's call chain makes "
+        "simulated behavior depend on process environment, which differs "
+        "between hosts and between sharded workers; read configuration "
+        "once at harness level and pass it down explicitly.",
+    ),
+    # -- shard safety (deep analysis) ----------------------------------------
+    Rule(
+        "SHD001",
+        ERROR,
+        "module global mutated in round hot path",
+        "A round hot path mutates module-level mutable state. A module "
+        "global is process-wide: sharded workers each mutate their own "
+        "copy in their own order and silently diverge; thread the state "
+        "through ``ctx`` or per-node objects instead.",
+    ),
+    Rule(
+        "SHD002",
+        ERROR,
+        "RNG cached outside per-shard ctx ownership",
+        "An RNG constructed at module or class scope outlives the "
+        "per-node/per-shard ``ctx`` threading discipline (the "
+        "``spawn_seeds`` ownership rule): it is consumed in arrival order, "
+        "which differs between serial and sharded schedules.",
+    ),
+    Rule(
+        "SHD003",
+        ERROR,
+        "mutable default argument aliases across instances",
+        "A mutable default in the gossip/heal/obs layers is evaluated once "
+        "and aliased by every caller, so per-node state leaks across "
+        "nodes — and under sharding, across whichever nodes share the "
+        "worker. Default to ``None`` and allocate per call.",
     ),
 ]
 

@@ -1,0 +1,83 @@
+"""Orchestration of the deep (whole-program) analysis: ``repro lint --deep``.
+
+One entry point, :func:`deep_check`, runs the full pipeline —
+
+1. parse every module under the package root into a
+   :class:`~repro.lint.symbols.SymbolTable`;
+2. build the :class:`~repro.lint.callgraph.CallGraph`;
+3. match the engine-round entry points (:mod:`repro.lint.roots`) and
+   compute the hot set (everything a round can execute);
+4. run the interprocedural taint pass (``DET1xx``) and the shard-safety
+   pass (``SHD0xx``);
+5. drop findings acknowledged by inline pragmas (unless asked not to).
+
+The project model is also exposed (:func:`analyze_project`) so tests and
+tooling can inspect the call graph directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.diagnostics import Diagnostic, sort_diagnostics
+from repro.lint.callgraph import CallGraph
+from repro.lint.pragmas import is_disabled, parse_pragmas
+from repro.lint.roots import DEFAULT_ROOTS, match_roots
+from repro.lint.shard import shard_check
+from repro.lint.symbols import SymbolTable
+from repro.lint.taint import taint_check
+
+
+@dataclass
+class ProjectModel:
+    """The analyzed project: symbols, call graph, and the hot set."""
+
+    table: SymbolTable
+    graph: CallGraph
+    roots: List[str]
+    hot: Set[str]
+
+
+def analyze_project(
+    root: Optional[str] = None,
+    package: Tuple[str, ...] = ("repro",),
+    roots: Optional[Sequence[str]] = None,
+) -> ProjectModel:
+    """Build the whole-program model for ``root`` (default: installed repro)."""
+    table = SymbolTable.build(root, package)
+    graph = CallGraph.build(table)
+    root_qnames = match_roots(table, roots if roots is not None else DEFAULT_ROOTS)
+    hot = graph.reachable_from(root_qnames)
+    return ProjectModel(table=table, graph=graph, roots=root_qnames, hot=hot)
+
+
+def deep_check(
+    root: Optional[str] = None,
+    package: Tuple[str, ...] = ("repro",),
+    roots: Optional[Sequence[str]] = None,
+    respect_pragmas: bool = True,
+) -> List[Diagnostic]:
+    """All DET1xx + SHD diagnostics for the project under ``root``."""
+    model = analyze_project(root, package, roots)
+    diagnostics = taint_check(model.table, model.graph, model.roots, model.hot)
+    diagnostics.extend(shard_check(model.table, model.graph, model.hot))
+    if respect_pragmas:
+        diagnostics = _apply_file_pragmas(model.table, diagnostics)
+    return sort_diagnostics(diagnostics)
+
+
+def _apply_file_pragmas(
+    table: SymbolTable, diagnostics: List[Diagnostic]
+) -> List[Diagnostic]:
+    pragma_maps: Dict[str, Dict[int, set]] = {}
+    for module in table.modules.values():
+        pragma_maps[module.file] = parse_pragmas(module.source)
+    return [
+        diag
+        for diag in diagnostics
+        if not (
+            diag.file in pragma_maps
+            and is_disabled(pragma_maps[diag.file], diag.code, diag.line)
+        )
+    ]

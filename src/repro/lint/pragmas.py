@@ -1,0 +1,64 @@
+"""Inline suppression pragmas: ``# repro-lint: disable=CODE``.
+
+A pragma acknowledges one specific finding at its source line — the
+reviewed, intentional exception (a sanctioned clock read, a set iteration
+feeding a commutative fold). Two spellings:
+
+- ``# repro-lint: disable=DET003`` — suppress on the same line;
+- ``# repro-lint: disable-next-line=DET003`` — suppress on the following
+  line (for findings inside expressions that span formatting).
+
+Several codes separate with commas (``disable=DET003,DET101``); ``all``
+suppresses every code on that line. Pragmas are honored by the per-file
+determinism rules and by the deep interprocedural passes alike; ``repro
+lint --no-pragmas`` ignores them all for a strict sweep, which is how CI
+audits that no pragma hides a *new* class of finding.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Set
+
+from repro.diagnostics import Diagnostic
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-next-line)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+#: Sentinel meaning "every code".
+ALL = "all"
+
+
+def parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    """Map of 1-based line number → set of disabled codes on that line."""
+    disabled: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "repro-lint" not in line:
+            continue
+        for match in _PRAGMA_RE.finditer(line):
+            codes = {
+                code.strip().upper() if code.strip().lower() != ALL else ALL
+                for code in match.group("codes").split(",")
+                if code.strip()
+            }
+            target = lineno + 1 if match.group("kind").endswith("next-line") else lineno
+            disabled.setdefault(target, set()).update(codes)
+    return disabled
+
+
+def is_disabled(pragmas: Dict[int, Set[str]], code: str, line: int) -> bool:
+    codes = pragmas.get(line)
+    return bool(codes) and (code in codes or ALL in codes)
+
+
+def apply_pragmas(
+    diagnostics: Iterable[Diagnostic], pragmas: Dict[int, Set[str]]
+) -> List[Diagnostic]:
+    """Diagnostics surviving the pragma map of their source file."""
+    return [
+        diag
+        for diag in diagnostics
+        if not is_disabled(pragmas, diag.code, diag.line)
+    ]

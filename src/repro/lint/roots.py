@@ -1,0 +1,78 @@
+"""Engine-round entry-point roots for the interprocedural passes.
+
+A static call graph cannot see through the engine's dynamic dispatch —
+``protocol.step(ctx)`` fans out to whatever layers a node stacks at
+runtime, ``observer.observe(...)`` to whatever instruments are attached.
+Rather than over-approximating every attribute call, the deep passes start
+taint propagation from a declared set of *roots*: the functions the round
+engine invokes every simulated round. Anything reachable from a root is on
+the digest-identity critical path, so a nondeterminism source there breaks
+serial/sharded equivalence (ROADMAP item 1) even when every individual
+call site looks clean.
+
+Patterns are ``<rel-path-glob>::<qualname-glob>`` (``fnmatch`` on both
+halves), matched against every project function. This module is the
+checked-in roots file for ``repro`` itself; ``repro lint --deep
+--roots FILE`` swaps in a custom list (one pattern per line, ``#``
+comments allowed) — fixture packages and downstream embedders declare
+their own hot paths the same way.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from typing import Iterable, List, Sequence
+
+from repro.lint.symbols import SymbolTable
+
+#: The round engine's entry points, in engine-phase order: the round driver
+#: itself, per-node protocol steps, round-boundary controls, the observe
+#: phase, and the act (remediation) phase. Membership hooks (`on_join`,
+#: `forget`) run inside churn controls and gossip exchanges.
+DEFAULT_ROOTS: Sequence[str] = (
+    "sim/engine.py::Engine.run_round",
+    "sim/engine.py::Engine.run",
+    "*::*.step",
+    "*::*.before_round",
+    "*::*.after_round",
+    "*::*.observe",
+    "*::*.act",
+    "*::*.on_join",
+    "*::*.forget",
+)
+
+
+def parse_roots(text: str) -> List[str]:
+    """Root patterns from a roots-file text (one per line, ``#`` comments)."""
+    patterns: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            patterns.append(line)
+    return patterns
+
+
+def load_roots(path: str) -> List[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_roots(handle.read())
+
+
+def match_roots(
+    table: SymbolTable, patterns: Iterable[str] = DEFAULT_ROOTS
+) -> List[str]:
+    """Qualified names of every project function matching a root pattern."""
+    matched: List[str] = []
+    compiled = []
+    for pattern in patterns:
+        path_glob, sep, name_glob = pattern.partition("::")
+        if not sep:
+            path_glob, name_glob = "*", pattern
+        compiled.append((path_glob, name_glob))
+    for func in table.iter_functions():
+        for path_glob, name_glob in compiled:
+            if fnmatch(func.rel_path, path_glob) and fnmatch(
+                func.local_qname, name_glob
+            ):
+                matched.append(func.qname)
+                break
+    return matched

@@ -2,14 +2,19 @@
 
 ``repro lint`` hands its path arguments here: ``.topo`` files (and every
 ``.topo`` found under directory arguments, recursively) go through the
-assembly verifier; ``--self-check`` adds the determinism sweep of the
-installed ``repro`` package itself.
+assembly verifier; ``--self-check`` adds the per-file determinism sweep of
+the installed ``repro`` package itself; ``--deep`` adds the whole-program
+passes (interprocedural taint + shard safety) on top. The result of a run
+is a :class:`LintRun` so the CLI can report baseline bookkeeping (how many
+findings a checked-in baseline absorbed, which entries went stale) next to
+the surviving diagnostics.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.diagnostics import ERROR, Diagnostic, sort_diagnostics
 from repro.errors import ConfigurationError, DslSyntaxError
@@ -19,6 +24,17 @@ from repro.lint.determinism import self_check
 
 #: Extension of DSL topology programs.
 TOPO_SUFFIX = ".topo"
+
+
+@dataclass
+class LintRun:
+    """One lint invocation's outcome: findings plus baseline bookkeeping."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Findings absorbed by the baseline file (not in ``diagnostics``).
+    baseline_suppressed: int = 0
+    #: Baseline entries that matched nothing — fixed findings to prune.
+    baseline_stale: List[Dict] = field(default_factory=list)
 
 
 def collect_topo_files(paths: Sequence[str]) -> List[str]:
@@ -63,11 +79,39 @@ def lint_topo_file(path: str) -> List[Diagnostic]:
     return lint_program(tree, file=path)
 
 
-def lint_paths(paths: Sequence[str], with_self_check: bool = False) -> List[Diagnostic]:
-    """Lint every ``.topo`` under ``paths``; optionally add the self-check."""
-    diagnostics: List[Diagnostic] = []
+def lint_paths(
+    paths: Sequence[str],
+    with_self_check: bool = False,
+    deep: bool = False,
+    respect_pragmas: bool = True,
+    baseline_path: Optional[str] = None,
+    roots: Optional[Sequence[str]] = None,
+) -> LintRun:
+    """Lint every ``.topo`` under ``paths``; optionally self-check and deep.
+
+    ``baseline_path`` names a suppression file
+    (:mod:`repro.lint.baseline`); a missing file is an empty baseline, so
+    passing the conventional path unconditionally is safe.
+    """
+    run = LintRun()
     for path in collect_topo_files(paths):
-        diagnostics.extend(lint_topo_file(path))
+        run.diagnostics.extend(lint_topo_file(path))
     if with_self_check:
-        diagnostics.extend(self_check())
-    return sort_diagnostics(diagnostics)
+        run.diagnostics.extend(self_check(respect_pragmas=respect_pragmas))
+    if deep:
+        from repro.lint.deep import deep_check
+
+        run.diagnostics.extend(
+            deep_check(roots=roots, respect_pragmas=respect_pragmas)
+        )
+    if baseline_path is not None:
+        from repro.lint.baseline import Baseline
+
+        baseline = Baseline.load(baseline_path)
+        if len(baseline):
+            survivors, suppressed, stale = baseline.apply(run.diagnostics)
+            run.diagnostics = survivors
+            run.baseline_suppressed = suppressed
+            run.baseline_stale = stale
+    run.diagnostics = sort_diagnostics(run.diagnostics)
+    return run

@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 reporter: lint findings for code-scanning UIs.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning, VS Code SARIF viewers, and most CI annotation tooling consume.
+One run object carries the whole rule catalog as ``tool.driver.rules`` and
+every finding as a ``result`` with a physical location, so ``repro lint
+--deep --format sarif`` plugs straight into an upload step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List
+
+from repro.diagnostics import Diagnostic, sort_diagnostics
+from repro.lint.catalog import CATALOG
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rules() -> List[dict]:
+    rules = []
+    for code in sorted(CATALOG):
+        rule = CATALOG[code]
+        rules.append(
+            {
+                "id": rule.code,
+                "name": rule.title,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {
+                    "level": _LEVELS.get(rule.severity, "error")
+                },
+            }
+        )
+    return rules
+
+
+def _uri(file: str) -> str:
+    path = os.path.relpath(file) if os.path.isabs(file) else file
+    if path.startswith(".."):
+        path = file  # outside the working tree: keep it absolute
+    return path.replace(os.sep, "/")
+
+
+def sarif_document(diagnostics: Iterable[Diagnostic]) -> dict:
+    """The SARIF document as a plain dict (for embedding or testing)."""
+    ordered = sort_diagnostics(diagnostics)
+    rule_ids = sorted(CATALOG)
+    results = []
+    for diag in ordered:
+        result = {
+            "ruleId": diag.code,
+            "level": _LEVELS.get(diag.severity, "error"),
+            "message": {"text": diag.message},
+        }
+        if diag.code in CATALOG:
+            result["ruleIndex"] = rule_ids.index(diag.code)
+        if diag.file:
+            region = {}
+            if diag.line:
+                region["startLine"] = diag.line
+                if diag.column:
+                    region["startColumn"] = diag.column
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _uri(diag.file)},
+                }
+            }
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rules(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
+    """The findings as a SARIF 2.1.0 JSON document."""
+    return json.dumps(sarif_document(diagnostics), indent=2, sort_keys=False)

@@ -1,0 +1,7 @@
+# path: gossip/peers.py
+"""Clean twin: draws flow through the ctx-threaded seeded stream."""
+
+
+def pick_peer(ctx, view):
+    rng = ctx.rng("gossip.select")
+    return view[rng.randrange(len(view))]

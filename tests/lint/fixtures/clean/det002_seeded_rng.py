@@ -1,0 +1,7 @@
+# path: core/pick.py
+"""Clean twin: RNG constructed from a derived seed."""
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)

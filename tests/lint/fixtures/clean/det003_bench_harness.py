@@ -1,0 +1,9 @@
+# path: perf/bench.py
+"""Clean twin: the timing harness is the sanctioned clock site."""
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

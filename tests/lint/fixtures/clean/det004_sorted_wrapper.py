@@ -1,0 +1,16 @@
+# path: heal/actions.py
+"""Clean twin: the sorted-wrapper idiom — materialize, then order."""
+
+
+def targets(candidates, view):
+    wanted = {c for c in candidates if c not in view}
+    ids = list(wanted)
+    ids = sorted(ids)
+    for node_id in ids:
+        yield node_id
+
+
+def survivors(view):
+    alive = list({d.node_id for d in view if d.alive})
+    alive.sort()
+    return alive

@@ -1,0 +1,7 @@
+# path: core/table.py
+"""Clean twin: evict a deterministic, explicitly chosen key."""
+
+
+def evict_one(table):
+    oldest = min(table)
+    return table.pop(oldest)

@@ -1,0 +1,5 @@
+import time
+
+
+def wall_clock():
+    return time.perf_counter()

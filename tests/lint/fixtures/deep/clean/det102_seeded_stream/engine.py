@@ -1,0 +1,6 @@
+import picker
+
+
+class Engine:
+    def run_round(self, ctx, view):
+        return picker.pick(ctx.seed, view)

@@ -1,0 +1,6 @@
+import random
+
+
+def pick(seed, view):
+    rng = random.Random(seed)
+    return view[rng.randrange(len(view))]

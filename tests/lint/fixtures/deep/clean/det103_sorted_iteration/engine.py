@@ -1,0 +1,6 @@
+import views
+
+
+class Engine:
+    def run_round(self, incoming):
+        return views.merge(incoming)

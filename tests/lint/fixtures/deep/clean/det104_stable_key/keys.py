@@ -1,0 +1,2 @@
+def key_of(obj):
+    return obj.node_id

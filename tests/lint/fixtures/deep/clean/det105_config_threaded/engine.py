@@ -1,0 +1,6 @@
+import tuning
+
+
+class Engine:
+    def run_round(self, ctx, nodes):
+        return tuning.fanout(ctx.config) * len(nodes)

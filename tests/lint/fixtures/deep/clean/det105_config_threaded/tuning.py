@@ -1,0 +1,2 @@
+def fanout(config):
+    return config.get("fanout", 3)

@@ -1,0 +1,7 @@
+import state
+
+
+class Engine:
+    def run_round(self, ctx, nodes):
+        for node in nodes:
+            state.remember(ctx.store, node.key, node.value)

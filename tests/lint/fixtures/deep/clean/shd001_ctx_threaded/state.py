@@ -1,0 +1,7 @@
+LIMITS = {"max_entries": 128}
+
+
+def remember(store, key, value):
+    if len(store) < LIMITS["max_entries"]:
+        store[key] = value
+    return store

@@ -1,0 +1,6 @@
+import random
+
+
+def choose(seed, view):
+    rng = random.Random(seed)
+    return view[rng.randrange(len(view))]

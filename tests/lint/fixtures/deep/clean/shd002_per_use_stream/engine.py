@@ -1,0 +1,6 @@
+import draws
+
+
+class Engine:
+    def run_round(self, ctx, view):
+        return draws.choose(ctx.seed, view)

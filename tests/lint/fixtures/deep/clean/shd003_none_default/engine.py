@@ -1,0 +1,7 @@
+from gossip import buffer
+
+
+class Engine:
+    def run_round(self, items):
+        for item in items:
+            buffer.push(item)

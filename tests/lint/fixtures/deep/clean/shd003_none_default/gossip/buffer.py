@@ -1,0 +1,5 @@
+def push(item, buf=None):
+    if buf is None:
+        buf = []
+    buf.append(item)
+    return buf

@@ -1,0 +1,5 @@
+import time
+
+
+def now_stamp():
+    return time.time()

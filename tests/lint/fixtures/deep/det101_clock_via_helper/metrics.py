@@ -1,0 +1,7 @@
+import clockutil
+
+LOG = []
+
+
+def record(node):
+    return (node, clockutil.now_stamp())

@@ -1,0 +1,6 @@
+import picker
+
+
+class Engine:
+    def run_round(self, view):
+        return picker.pick(view)

@@ -1,0 +1,5 @@
+import rngutil
+
+
+def pick(view):
+    return view[rngutil.draw(len(view))]

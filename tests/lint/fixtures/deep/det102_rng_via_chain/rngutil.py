@@ -1,0 +1,5 @@
+from random import randrange
+
+
+def draw(bound):
+    return randrange(bound)

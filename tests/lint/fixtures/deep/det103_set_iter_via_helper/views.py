@@ -1,0 +1,5 @@
+def merge(incoming):
+    merged = []
+    for item in set(incoming):
+        merged.append(item)
+    return merged

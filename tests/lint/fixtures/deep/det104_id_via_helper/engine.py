@@ -1,0 +1,6 @@
+import keys
+
+
+class Engine:
+    def run_round(self, nodes):
+        return sorted(nodes, key=keys.key_of)

@@ -1,0 +1,2 @@
+def key_of(obj):
+    return id(obj)

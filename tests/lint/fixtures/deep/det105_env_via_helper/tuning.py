@@ -1,0 +1,5 @@
+import os
+
+
+def fanout():
+    return int(os.getenv("FANOUT", "3"))

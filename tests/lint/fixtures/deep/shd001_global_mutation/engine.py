@@ -1,0 +1,7 @@
+import state
+
+
+class Engine:
+    def run_round(self, nodes):
+        for node in nodes:
+            state.remember(node.key, node.value)

@@ -1,0 +1,7 @@
+CACHE = {}
+SEEN = []
+
+
+def remember(key, value):
+    CACHE[key] = value
+    SEEN.append(key)

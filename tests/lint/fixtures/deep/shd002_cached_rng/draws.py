@@ -1,0 +1,11 @@
+import random
+
+_RNG = random.Random(42)
+
+
+class Chooser:
+    rng = random.Random(7)
+
+
+def choose(view):
+    return view[_RNG.randrange(len(view))]

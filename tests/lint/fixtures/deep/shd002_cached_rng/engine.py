@@ -1,0 +1,6 @@
+import draws
+
+
+class Engine:
+    def run_round(self, view):
+        return draws.choose(view)

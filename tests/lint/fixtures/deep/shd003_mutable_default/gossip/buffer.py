@@ -1,0 +1,8 @@
+def push(item, buf=[]):
+    buf.append(item)
+    return buf
+
+
+def tally(item, *, counts={}):
+    counts[item] = counts.get(item, 0) + 1
+    return counts

@@ -1,0 +1,7 @@
+# path: gossip/peers.py
+"""Firing fixture: interpreter-global random draw in a gossip module."""
+import random
+
+
+def pick_peer(view):
+    return random.choice(view)

@@ -1,0 +1,11 @@
+# path: core/pick.py
+"""Firing fixture: unseeded RNG constructions."""
+import random
+
+
+def make_rng():
+    return random.Random()
+
+
+def make_os_rng():
+    return random.SystemRandom()

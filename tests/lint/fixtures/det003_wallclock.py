@@ -1,0 +1,12 @@
+# path: sim/clock.py
+"""Firing fixture: wall-clock reads in a simulation path."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def when():
+    return datetime.now()

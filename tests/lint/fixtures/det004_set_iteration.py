@@ -1,0 +1,14 @@
+# path: gossip/merge.py
+"""Firing fixture: hash-order leaks into iteration and materialization."""
+
+
+def merge(view, incoming):
+    fresh = {d for d in incoming if d not in view}
+    for descriptor in fresh:
+        view.append(descriptor)
+    return list({d.node_id for d in view})
+
+
+def order_unsanctioned(view):
+    ids = list({d.node_id for d in view})
+    return ids

@@ -1,0 +1,6 @@
+# path: core/table.py
+"""Firing fixture: popitem couples behavior to insertion order."""
+
+
+def evict_one(table):
+    return table.popitem()

@@ -1,0 +1,123 @@
+"""Baseline suppression files and the SARIF reporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.diagnostics import ERROR, WARNING, Diagnostic
+from repro.errors import ConfigurationError
+from repro.lint import CATALOG, Baseline, render_sarif, write_baseline
+from repro.lint.sarif import sarif_document
+
+
+def diag(code="DET101", file="src/x.py", line=4, severity=ERROR, message="m"):
+    return Diagnostic(
+        code=code, severity=severity, message=message, file=file, line=line
+    )
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_recorded_findings(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        first = diag(file=str(tmp_path / "src" / "x.py"))
+        count = write_baseline(path, [first])
+        assert count == 1
+        baseline = Baseline.load(path)
+        surviving, suppressed, stale = baseline.apply([first])
+        assert surviving == []
+        assert suppressed == 1
+        assert stale == []
+
+    def test_new_findings_survive(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        old = diag(file=str(tmp_path / "src" / "x.py"), line=4)
+        new = diag(file=str(tmp_path / "src" / "x.py"), line=9)
+        write_baseline(path, [old])
+        surviving, suppressed, _ = Baseline.load(path).apply([old, new])
+        assert [d.line for d in surviving] == [9]
+        assert suppressed == 1
+
+    def test_fixed_findings_go_stale(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        old = diag(file=str(tmp_path / "src" / "x.py"))
+        write_baseline(path, [old])
+        _, suppressed, stale = Baseline.load(path).apply([])
+        assert suppressed == 0
+        assert [entry["code"] for entry in stale] == ["DET101"]
+
+    def test_fingerprint_is_relative_to_baseline_dir(self, tmp_path):
+        # The recorded path must not depend on the checkout location.
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [diag(file=str(tmp_path / "src" / "x.py"))])
+        payload = json.loads((tmp_path / "baseline.json").read_text())
+        assert payload["entries"][0]["file"] == "src/x.py"
+        assert payload["tool"] == "repro-lint"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "nope.json"))
+        assert len(baseline) == 0
+
+    def test_garbage_file_is_a_configuration_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError):
+            Baseline.load(str(path))
+
+    def test_wrong_document_shape_rejected(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text('{"something": []}')
+        with pytest.raises(ConfigurationError):
+            Baseline.load(str(path))
+
+
+class TestSarif:
+    def test_document_structure(self):
+        doc = sarif_document([diag(), diag(code="RPR201", severity=WARNING)])
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["tool"]["driver"]["rules"]) == len(CATALOG)
+        assert [r["ruleId"] for r in run["results"]] == ["DET101", "RPR201"]
+
+    def test_rule_index_points_into_the_catalog(self):
+        doc = sarif_document([diag(code="SHD001")])
+        (run,) = doc["runs"]
+        (result,) = run["results"]
+        rule = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert rule["id"] == "SHD001"
+
+    def test_levels_follow_severity(self):
+        doc = sarif_document([diag(code="RPR201", severity=WARNING)])
+        (result,) = doc["runs"][0]["results"]
+        assert result["level"] == "warning"
+
+    def test_location_carries_line_and_column(self):
+        doc = sarif_document(
+            [
+                Diagnostic(
+                    code="DET101",
+                    severity=ERROR,
+                    message="m",
+                    file="src/x.py",
+                    line=4,
+                    column=7,
+                )
+            ]
+        )
+        (result,) = doc["runs"][0]["results"]
+        (location,) = result["locations"]
+        region = location["physicalLocation"]["region"]
+        assert location["physicalLocation"]["artifactLocation"]["uri"] == "src/x.py"
+        assert (region["startLine"], region["startColumn"]) == (4, 7)
+
+    def test_render_is_valid_json(self):
+        payload = json.loads(render_sarif([diag()]))
+        assert payload["runs"][0]["results"]
+
+    def test_empty_run_still_carries_the_catalog(self):
+        doc = sarif_document([])
+        (run,) = doc["runs"]
+        assert run["results"] == []
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(CATALOG)

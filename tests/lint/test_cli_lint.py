@@ -70,3 +70,80 @@ def test_no_arguments_is_usage_error(capsys):
 def test_missing_path_is_reported(capsys):
     assert main(["lint", os.path.join(FIXTURES, "no_such_file.topo")]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_deep_mode_is_clean_on_the_real_tree(capsys):
+    """Acceptance gate: repro lint --deep over src/repro has zero findings."""
+    assert main(["lint", "--deep"]) == 0
+    assert "clean: no diagnostics" in capsys.readouterr().out
+
+
+def test_deep_self_check_combined(capsys):
+    assert main(["lint", "--deep", "--self-check"]) == 0
+    assert "clean: no diagnostics" in capsys.readouterr().out
+
+
+def test_sarif_format_without_findings(capsys):
+    assert main(["lint", "--deep", "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert run["results"] == []
+
+
+def test_sarif_format_with_findings(capsys):
+    path = os.path.join(FIXTURES, "rpr104_self_link.topo")
+    assert main(["lint", path, "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    (result,) = doc["runs"][0]["results"]
+    assert result["ruleId"] == "RPR104"
+    assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 5
+
+
+def test_write_baseline_then_gate_passes(tmp_path, capsys):
+    fixture = os.path.join(FIXTURES, "rpr104_self_link.topo")
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["lint", fixture, "--write-baseline", "--baseline", baseline]) == 0
+    assert "1 baselined finding(s)" in capsys.readouterr().out
+    # Same findings, now absorbed: the gate goes green.
+    assert main(["lint", fixture, "--baseline", baseline]) == 0
+    captured = capsys.readouterr()
+    assert "clean: no diagnostics" in captured.out
+    assert "1 finding(s) suppressed" in captured.err
+
+
+def test_stale_baseline_entries_reported(tmp_path, capsys):
+    firing = os.path.join(FIXTURES, "rpr104_self_link.topo")
+    clean = os.path.join(FIXTURES, "clean", "rpr104_cross_component_link.topo")
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["lint", firing, "--write-baseline", "--baseline", baseline]) == 0
+    capsys.readouterr()
+    assert main(["lint", clean, "--baseline", baseline]) == 0
+    assert "stale entry RPR104" in capsys.readouterr().err
+
+
+def test_baseline_does_not_hide_new_findings(tmp_path, capsys):
+    first = os.path.join(FIXTURES, "rpr104_self_link.topo")
+    second = os.path.join(FIXTURES, "rpr101_unknown_component.topo")
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["lint", first, "--write-baseline", "--baseline", baseline]) == 0
+    capsys.readouterr()
+    assert main(["lint", first, second, "--baseline", baseline]) == 1
+    assert "RPR101" in capsys.readouterr().out
+
+
+def test_no_pragmas_strict_mode_resurfaces_acknowledged_findings(capsys):
+    # The tree carries reviewed inline pragmas; the strict sweep must
+    # surface what they acknowledge instead of silently passing.
+    code = main(["lint", "--self-check", "--no-pragmas"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET004" in out
+
+
+def test_custom_roots_file(tmp_path, capsys):
+    roots = tmp_path / "roots.txt"
+    roots.write_text("# no entry points at all\n", encoding="utf-8")
+    assert main(["lint", "--deep", "--roots", str(roots)]) == 0
+    assert "clean: no diagnostics" in capsys.readouterr().out

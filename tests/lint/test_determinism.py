@@ -311,3 +311,123 @@ class TestSelfCheck:
         assert codes(diags) == ["DET001"]
         assert diags[0].line == 5
         assert diags[0].file.endswith("views.py")
+
+
+class TestDet004SortedWrapperIdiom:
+    """The materialize-then-order idiom used throughout heal/actions.py:
+    ``ids = list(view); ids = sorted(ids)`` — hash order never escapes, so
+    the earlier materialization must not be flagged."""
+
+    def test_rebind_through_sorted_sanctions(self):
+        diags = lint_snippet(
+            """
+            def targets(view):
+                ids = list(set(view))
+                ids = sorted(ids)
+                return ids
+            """
+        )
+        assert diags == []
+
+    def test_in_place_sort_sanctions(self):
+        diags = lint_snippet(
+            """
+            def targets(view):
+                ids = list({d for d in view})
+                ids.sort()
+                return ids
+            """
+        )
+        assert diags == []
+
+    def test_unsanctioned_materialization_still_fires(self):
+        diags = lint_snippet(
+            """
+            def targets(view):
+                ids = list(set(view))
+                return ids
+            """
+        )
+        assert codes(diags) == ["DET004"]
+        assert diags[0].line == 3
+
+    def test_sorting_a_different_name_does_not_sanction(self):
+        diags = lint_snippet(
+            """
+            def targets(view, other):
+                ids = list(set(view))
+                other = sorted(other)
+                return ids
+            """
+        )
+        assert codes(diags) == ["DET004"]
+
+    def test_tracked_set_name_iteration_fires(self):
+        diags = lint_snippet(
+            """
+            def merge(view, incoming):
+                fresh = {d for d in incoming}
+                for item in fresh:
+                    view.append(item)
+            """
+        )
+        assert codes(diags) == ["DET004"]
+        assert diags[0].line == 4
+
+    def test_tracked_set_name_through_sorted_allowed(self):
+        diags = lint_snippet(
+            """
+            def merge(view, incoming):
+                fresh = {d for d in incoming}
+                for item in sorted(fresh):
+                    view.append(item)
+            """
+        )
+        assert diags == []
+
+    def test_rebinding_clears_the_set_tracking(self):
+        diags = lint_snippet(
+            """
+            def merge(incoming):
+                fresh = {d for d in incoming}
+                fresh = sorted(fresh)
+                for item in fresh:
+                    yield item
+            """
+        )
+        assert diags == []
+
+    def test_loop_target_shadows_tracked_name(self):
+        diags = lint_snippet(
+            """
+            def scan(rows):
+                item = {1, 2}
+                total = len(item)
+                for item in rows:
+                    for cell in item:
+                        yield cell, total
+            """
+        )
+        assert diags == []
+
+    def test_tracking_is_scope_local(self):
+        diags = lint_snippet(
+            """
+            def first(incoming):
+                fresh = {d for d in incoming}
+                return len(fresh)
+
+            def second(fresh):
+                for item in fresh:
+                    yield item
+            """
+        )
+        assert diags == []
+
+    def test_module_scope_pending_flushes(self):
+        diags = lint_snippet(
+            """
+            IDS = list({1, 2, 3})
+            """
+        )
+        assert codes(diags) == ["DET004"]
