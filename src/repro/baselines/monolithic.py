@@ -63,6 +63,7 @@ def _deploy_elementary(
         gossip_size=min(params.gossip_size, view_size + 1),
         healer=params.healer,
         swapper=params.swapper,
+        backend=params.backend,
     )
     rank_of: Dict[int, int] = {}
     for rank, node in enumerate(nodes):
@@ -216,6 +217,7 @@ class MonolithicComposite:
             gossip_size=min(self.params.gossip_size, view_size + 1),
             healer=self.params.healer,
             swapper=self.params.swapper,
+            backend=self.params.backend,
         )
         for node in self.network.nodes():
             role = self.role_map.role(node.node_id)

@@ -195,6 +195,23 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     target = args.target
+    if target == "scale" or (target == "gossip" and args.scale in ("1k", "10k")):
+        # The scale tiers run the sharded-engine bench: the 'scale' target
+        # accepts every tier (ci included); the default gossip target routes
+        # its 1k/10k scales here so `repro bench --scale 1k` just works.
+        from repro.scale.bench import (
+            format_scale_bench,
+            run_scale_bench,
+            write_scale_bench,
+        )
+
+        tier = args.scale if args.scale in ("ci", "1k", "10k") else "ci"
+        section = run_scale_bench(
+            tier=tier, master_seed=args.seed, n_shards=args.shards
+        )
+        print(format_scale_bench(section))
+        print(f"wrote {write_scale_bench(section, json_path=args.output)}")
+        return 0
     if target == "gossip":
         from repro.perf.bench import format_bench, run_bench, write_bench
 
@@ -620,14 +637,22 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         nargs="?",
         default="gossip",
-        choices=("gossip", "fig2", "fig3", "fig4", "e2", "e3"),
-        help="'gossip' (default) runs the hot-path workload matrix",
+        choices=("gossip", "scale", "fig2", "fig3", "fig4", "e2", "e3"),
+        help="'gossip' (default) runs the hot-path workload matrix; "
+        "'scale' runs the sharded-engine tier bench",
     )
     bench.add_argument(
         "--scale",
-        choices=("ci", "full"),
+        choices=("ci", "full", "1k", "10k"),
         default="ci",
-        help="workload matrix size for the gossip target (default: ci)",
+        help="workload matrix size: ci/full select the gossip matrix, "
+        "1k/10k the scale tiers (default: ci)",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for the scale tiers (default: per-tier preset)",
     )
     bench.add_argument(
         "--seeds",

@@ -75,6 +75,7 @@ def make_core_protocol(
         gossip_size=gossip_size,
         healer=min(params.healer, view_size),
         swapper=min(params.swapper, max(0, view_size - min(params.healer, view_size))),
+        backend=params.backend,
     )
     degree = shape.rank_degree(profile.rank, profile.comp_size)
     if degree == 0:

@@ -25,7 +25,7 @@ from typing import List, Optional
 
 from repro.core.profiles import NodeProfile
 from repro.gossip.descriptors import Descriptor
-from repro.gossip.views import PartialView
+from repro.gossip.views import make_view
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.network import Network
@@ -64,7 +64,7 @@ class SameComponentOverlay(Protocol):
         # Staleness hygiene: entries a dead member can no longer refresh
         # must age out instead of circulating (see Vicinity.descriptor_ttl).
         self.descriptor_ttl = descriptor_ttl or max(24, 2 * self.params.view_size)
-        self.view = PartialView(self.params.view_size)
+        self.view = make_view(self.params)
         self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
         # Pre-resolved (name, layer) counter keys for Instrument.count_key.
         self._k_exchanges = ("exchanges", layer)
@@ -118,6 +118,7 @@ class SameComponentOverlay(Protocol):
             gossip_size=params.gossip_size,
             healer=new_healer,
             swapper=new_swapper,
+            backend=params.backend,
         )
         return self.params
 

@@ -59,6 +59,13 @@ class Descriptor:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Descriptor is immutable")
 
+    def __reduce__(self):
+        # Default slots-based pickling restores attributes via __setattr__,
+        # which immutability forbids; reconstruct through __init__ instead.
+        # Descriptors cross process boundaries in the sharded engine's
+        # message batches and in parallel-runner results.
+        return (Descriptor, (self.node_id, self.age, self.profile, self.provenance))
+
     def aged(self, increment: int = 1) -> "Descriptor":
         """A copy of this descriptor, ``increment`` rounds older."""
         return Descriptor(

@@ -15,7 +15,7 @@ import random
 from typing import List, Optional
 
 from repro.gossip.descriptors import Descriptor
-from repro.gossip.views import PartialView
+from repro.gossip.views import make_view
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.network import Network
@@ -50,7 +50,7 @@ class PeerSampling(Protocol):
         self.params = params or GossipParams()
         self.layer = layer
         self.select_tail = select_tail
-        self.view = PartialView(self.params.view_size)
+        self.view = make_view(self.params)
         self._self_descriptor = Descriptor(node_id, age=0, profile=None)
         # Pre-resolved (name, layer) counter keys: the hot path hands these
         # to Instrument.count_key so no tuple is allocated per increment.
@@ -96,6 +96,7 @@ class PeerSampling(Protocol):
             gossip_size=params.gossip_size,
             healer=new_healer,
             swapper=new_swapper,
+            backend=params.backend,
         )
         return self.params
 

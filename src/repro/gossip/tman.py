@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from repro.gossip.descriptors import Descriptor
 from repro.gossip.selection import Profile, Proximity, select_closest
-from repro.gossip.views import PartialView
+from repro.gossip.views import make_view
 from repro.perf.cache import DistanceCache
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
@@ -56,7 +56,7 @@ class TMan(Protocol):
         # Same staleness hygiene as Vicinity (see its docstring): a dead
         # node's descriptors must age out rather than circulate forever.
         self.descriptor_ttl = descriptor_ttl or max(24, 2 * self.params.view_size)
-        self.view = PartialView(self.params.view_size)
+        self.view = make_view(self.params)
         self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
         # Pre-resolved (name, layer) counter keys for Instrument.count_key.
         self._k_exchanges = ("exchanges", layer)
@@ -82,9 +82,8 @@ class TMan(Protocol):
         )
 
     def neighbors(self) -> List[int]:
-        best = self.view.closest(
-            self.target_degree, lambda d: self._distances.to(d.profile)
-        )
+        # Batch distance evaluation on columnar views (see Vicinity.neighbors).
+        best = self.view.closest_to(self.target_degree, self._distances)
         return [descriptor.node_id for descriptor in best]
 
     def forget(self, node_id: int) -> None:
@@ -145,9 +144,7 @@ class TMan(Protocol):
     def _select_peer(self, ctx: RoundContext) -> Optional[Descriptor]:
         """Uniform draw from the ψ closest live view entries."""
         while len(self.view):
-            ranked = self.view.closest(
-                self.psi, lambda d: self._distances.to(d.profile)
-            )
+            ranked = self.view.closest_to(self.psi, self._distances)
             live = [d for d in ranked if ctx.network.is_alive(d.node_id)]
             if live:
                 return ctx.rng().choice(live)

@@ -20,7 +20,7 @@ from typing import List, Optional
 from repro.gossip.descriptors import Descriptor
 from repro.gossip.peer_sampling import PeerSampling
 from repro.gossip.selection import Profile, Proximity, select_closest
-from repro.gossip.views import PartialView
+from repro.gossip.views import make_view
 from repro.perf.cache import DistanceCache
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
@@ -85,7 +85,7 @@ class Vicinity(Protocol):
         self.candidate_layers = list(candidate_layers)
         self.target_degree = target_degree or self.params.view_size
         self.descriptor_ttl = descriptor_ttl or max(24, 2 * self.params.view_size)
-        self.view = PartialView(self.params.view_size)
+        self.view = make_view(self.params)
         self._self_descriptor = Descriptor(node_id, age=0, profile=profile)
         # Pre-resolved (name, layer) counter keys for Instrument.count_key.
         self._k_exchanges = ("exchanges", layer)
@@ -125,9 +125,10 @@ class Vicinity(Protocol):
     # -- protocol interface --------------------------------------------------------
 
     def neighbors(self) -> List[int]:
-        best = self.view.closest(
-            self.target_degree, lambda d: self._distances.to(d.profile)
-        )
+        # closest_to batches the per-entry distance evaluation on columnar
+        # views (one pass over the profile column, no materialization for
+        # entries below the cut); identical ranking on either backend.
+        best = self.view.closest_to(self.target_degree, self._distances)
         return [descriptor.node_id for descriptor in best]
 
     def forget(self, node_id: int) -> None:

@@ -270,6 +270,18 @@ class PartialView:
             return values
         return rng.sample(values, k)
 
+    def closest_to(self, k: int, distances) -> List[Descriptor]:
+        """The ``k`` entries nearest the reference bound in ``distances``.
+
+        ``distances`` is anything with a ``to(profile) -> float`` method
+        (a :class:`~repro.perf.cache.DistanceCache` in practice). The
+        columnar backend overrides this with a batch evaluation over its
+        profile column; here it is exactly :meth:`closest` on the profile
+        distance, so the two backends return identical rankings.
+        """
+        to = distances.to
+        return self.closest(k, lambda d: to(d.profile))
+
     def closest(
         self, k: int, key: Callable[[Descriptor], float]
     ) -> List[Descriptor]:
@@ -313,3 +325,21 @@ class PartialView:
 
     def __repr__(self) -> str:
         return f"PartialView(capacity={self.capacity}, size={len(self)})"
+
+
+def make_view(params, capacity: Optional[int] = None, tombstone_ttl: int = 64):
+    """Construct the partial view selected by ``params.backend``.
+
+    Every gossip layer builds its view through this factory, so switching
+    the whole stack to the columnar representation is a parameter change
+    (``GossipParams(backend="columnar")``) rather than a code change — the
+    protocols themselves are representation-agnostic. The import is lazy:
+    :mod:`repro.scale.columnar` subclasses :class:`PartialView`, so a
+    top-level import here would be circular.
+    """
+    size = capacity if capacity is not None else params.view_size
+    if getattr(params, "backend", "object") == "columnar":
+        from repro.scale.columnar import ColumnarView
+
+        return ColumnarView(size, tombstone_ttl=tombstone_ttl)
+    return PartialView(size, tombstone_ttl=tombstone_ttl)

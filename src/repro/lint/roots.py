@@ -32,6 +32,13 @@ from repro.lint.symbols import SymbolTable
 DEFAULT_ROOTS: Sequence[str] = (
     "sim/engine.py::Engine.run_round",
     "sim/engine.py::Engine.run",
+    # The sharded scale engine: its round driver runs in the parent, the
+    # worker loop in pool processes — both sides of the barrier protocol
+    # are digest-critical, and the worker is additionally subject to the
+    # shard-safety (SHD) pass: mutating a module global there diverges
+    # from the inline backend, which shares one interpreter.
+    "scale/engine.py::ShardedEngine.run_round",
+    "scale/engine.py::_shard_worker",
     "*::*.step",
     "*::*.before_round",
     "*::*.after_round",

@@ -315,7 +315,20 @@ def write_bench(
     path = pathlib.Path(json_path)
     if path.parent != pathlib.Path("."):
         path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(report.to_json(), encoding="utf-8")
+    payload = report.to_dict()
+    if path.exists():
+        # The scale bench co-owns this file: its scale_tiers section must
+        # survive a perf-matrix rewrite (and vice versa — see
+        # repro.scale.bench.write_scale_bench).
+        try:
+            previous = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            previous = {}
+        if "scale_tiers" in previous:
+            payload["scale_tiers"] = previous["scale_tiers"]
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     written.append(str(path))
     if results_dir is not None:
         directory = pathlib.Path(results_dir)

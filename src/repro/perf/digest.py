@@ -32,6 +32,16 @@ def overlay_digest(network, layers: Sequence[str]) -> str:
             if node.has_protocol(layer):
                 per_layer[layer] = list(node.protocol(layer).neighbors())
         record[node.node_id] = per_layer
+    return adjacency_digest(record)
+
+
+def adjacency_digest(record: Any) -> str:
+    """SHA-256 over a pre-collected (node → layer → neighbours) record.
+
+    The shared tail of :func:`overlay_digest` and the sharded engine's
+    digest: the scale tier assembles its record from per-shard fragments,
+    so the canonical encoding must be reachable without a live network.
+    """
     return result_digest(record)
 
 

@@ -135,6 +135,7 @@ def run_workload(
         gossip_size=min(params.gossip_size, view_size + 1),
         healer=params.healer,
         swapper=params.swapper,
+        backend=params.backend,
     )
     rank_of: Dict[int, int] = {}
     for rank, node in enumerate(nodes):

@@ -1,0 +1,133 @@
+"""The scale-tier workload matrix and its deterministic runner.
+
+Mirrors :mod:`repro.perf.workloads` one tier up: each cell deploys the
+elementary stack (peer sampling + one Vicinity overlay) over a shape, but
+runs it on the barrier-synchronous :class:`~repro.scale.engine.ShardedEngine`
+instead of the serial engine — the execution model whose digests are
+invariant to backend, shard count, and process placement.
+
+Simulation-side module: no wall-clock reads (DET003); timing and RSS live
+in :mod:`repro.scale.bench`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.scale.engine import ShardedEngine
+
+
+@dataclass(frozen=True)
+class ScaleWorkload:
+    """One cell of the scale matrix: a shape at a node count.
+
+    Frozen and primitive-typed so it pickles cleanly into pool workers.
+    """
+
+    name: str
+    shape: str
+    n_nodes: int
+    max_rounds: int = 60
+
+
+@dataclass(frozen=True)
+class ScaleResult:
+    """Outcome of one (workload, seed, configuration) run — no wall time."""
+
+    workload: str
+    seed: int
+    backend: str
+    n_shards: int
+    mode: str
+    rounds_to_converge: Optional[int]
+    executed: int
+    messages: int
+    bytes: int
+    digest: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "mode": self.mode,
+            "rounds_to_converge": self.rounds_to_converge,
+            "executed": self.executed,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "digest": self.digest,
+        }
+
+
+#: The tier matrices. ``ci`` stays small enough for the default test lane;
+#: ``1k`` is the scale-smoke job's workload; ``10k`` is the headline cell
+#: (single workload — the acceptance bar is wall time and RSS, not breadth).
+_CI_MATRIX: Tuple[ScaleWorkload, ...] = (
+    ScaleWorkload("ring-64", "ring", 64),
+    ScaleWorkload("grid-64", "grid", 64),
+)
+
+_1K_MATRIX: Tuple[ScaleWorkload, ...] = (
+    ScaleWorkload("ring-1024", "ring", 1024, max_rounds=90),
+    ScaleWorkload("grid-1024", "grid", 1024, max_rounds=90),
+)
+
+_10K_MATRIX: Tuple[ScaleWorkload, ...] = (
+    ScaleWorkload("ring-10000", "ring", 10000, max_rounds=30),
+)
+
+_MATRICES = {"ci": _CI_MATRIX, "1k": _1K_MATRIX, "10k": _10K_MATRIX}
+
+
+def scale_matrix(tier: str = "ci") -> Tuple[ScaleWorkload, ...]:
+    """The fixed matrix for ``tier`` (``ci`` default, ``1k``, or ``10k``)."""
+    return _MATRICES.get(tier, _CI_MATRIX)
+
+
+def run_scale_workload(
+    workload: ScaleWorkload,
+    seed: int,
+    backend: str = "object",
+    n_shards: int = 1,
+    mode: str = "inline",
+) -> ScaleResult:
+    """Deploy, run to shape convergence (or ``max_rounds``), and fingerprint.
+
+    The result — digest included — is a pure function of
+    ``(workload, seed)``: backend, shard count, and execution mode select a
+    representation and a schedule of the *same* computation. Convergence is
+    checked after every round in every configuration, so all runs of a cell
+    stop at the same round and hash the same final state.
+    """
+    engine = ShardedEngine(
+        workload=workload.name,
+        shape=workload.shape,
+        n_nodes=workload.n_nodes,
+        seed=seed,
+        backend=backend,
+        n_shards=n_shards,
+        mode=mode,
+    )
+    converged_at: Optional[int] = None
+    try:
+        for round_index in range(workload.max_rounds):
+            engine.run_round()
+            if engine.converged():
+                converged_at = round_index + 1
+                break
+        return ScaleResult(
+            workload=workload.name,
+            seed=seed,
+            backend=backend,
+            n_shards=n_shards,
+            mode=engine.mode_used,
+            rounds_to_converge=converged_at,
+            executed=engine.round,
+            messages=engine.messages,
+            bytes=engine.bytes,
+            digest=engine.digest(),
+        )
+    finally:
+        engine.close()

@@ -31,16 +31,27 @@ class GossipParams:
     swapper:
         Peer-sampling *S* parameter — how many sent descriptors are discarded
         in favour of received ones (controls view mixing).
+    backend:
+        Partial-view representation: ``"object"`` (the boxed-descriptor
+        :class:`~repro.gossip.views.PartialView`, default) or ``"columnar"``
+        (the array-backed :class:`~repro.scale.columnar.ColumnarView`).
+        The two are observably identical — selecting a backend never
+        changes a digest — so this is purely a memory/speed knob.
     """
 
     view_size: int = 12
     gossip_size: int = 6
     healer: int = 1
     swapper: int = 4
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         if self.view_size < 1:
             raise ConfigurationError(f"view_size must be >= 1, got {self.view_size}")
+        if self.backend not in ("object", "columnar"):
+            raise ConfigurationError(
+                f"backend must be 'object' or 'columnar', got {self.backend!r}"
+            )
         if not 1 <= self.gossip_size <= self.view_size + 1:
             raise ConfigurationError(
                 f"gossip_size must be in [1, view_size + 1], got {self.gossip_size}"

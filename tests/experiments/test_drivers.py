@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import math
 
+import pytest
+
 from repro.experiments.ablations import (
     core_flavor_comparison,
     heterogeneity_study,
@@ -69,6 +71,7 @@ class TestFig4Driver:
         assert all(value >= 0 for value in result.baseline)
         assert not any(math.isnan(value) for value in result.overhead)
 
+    @pytest.mark.slow
     def test_bandwidth_plateaus(self):
         """Fig 4's qualitative shape: both series rise then flatten."""
         result = run_fig4(n_nodes=96, n_components=6, rounds=12, seeds=(1, 2))

@@ -32,6 +32,7 @@ def partition_result():
     return run_partition(n_nodes=64, seed=1)
 
 
+@pytest.mark.slow
 class TestPartitionScenario:
     def test_every_layer_reconverges(self, partition_result):
         assert partition_result.healed
@@ -56,6 +57,7 @@ class TestPartitionScenario:
         assert "time-to-repair" in text
 
 
+@pytest.mark.slow
 class TestCatastropheScenario:
     def test_thirty_percent_kill_reconverges(self):
         result = run_catastrophe(n_nodes=64, seed=1)
@@ -84,6 +86,7 @@ class TestScenarioPlumbing:
 
 
 class TestFaultsCli:
+    @pytest.mark.slow
     def test_partition_scenario_exits_zero(self, capsys):
         assert main(["faults", "--scenario", "partition", "--nodes", "64"]) == 0
         out = capsys.readouterr().out

@@ -37,6 +37,7 @@ def test_unknown_mode_is_rejected():
         run_heal_scenario("meteor-strike")
 
 
+@pytest.mark.slow
 def test_matrix_covers_every_mode(matrix):
     assert [entry["mode"] for entry in matrix] == corruption_modes()
     for entry in matrix:
@@ -45,6 +46,7 @@ def test_matrix_covers_every_mode(matrix):
         assert entry["managed"].mode == entry["mode"]
 
 
+@pytest.mark.slow
 def test_closed_loop_recovery_differential(matrix):
     """The acceptance criterion: for every corruption mode the managed run
     converges and the unmanaged baseline fails or is >= 2x slower."""
@@ -59,6 +61,7 @@ def test_closed_loop_recovery_differential(matrix):
             ), entry["mode"]
 
 
+@pytest.mark.slow
 def test_managed_runs_record_remediation_timelines(matrix):
     for entry in matrix:
         timeline = entry["managed"].timeline
@@ -70,6 +73,7 @@ def test_managed_runs_record_remediation_timelines(matrix):
         assert entry["unmanaged"].timeline == []
 
 
+@pytest.mark.slow
 def test_bench_writer_lands_stabilization_numbers(matrix, tmp_path):
     path = write_heal_bench(matrix, json_path=str(tmp_path / "BENCH_heal.json"))
     payload = json.loads((tmp_path / "BENCH_heal.json").read_text())
@@ -81,6 +85,7 @@ def test_bench_writer_lands_stabilization_numbers(matrix, tmp_path):
         assert entry["managed"]["stabilize_rounds"] is not None
 
 
+@pytest.mark.slow
 def test_formatters_render_the_story(matrix):
     table = format_heal_matrix(matrix)
     for mode in corruption_modes():
@@ -142,6 +147,7 @@ def test_cli_heal_scenario(tmp_path, capsys):
     assert all(entry["mode"] == "stale" for entry in entries)
 
 
+@pytest.mark.slow
 def test_cli_heal_unmanaged_flavor(capsys):
     from repro.cli import main
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 import json
 import os
 
+import pytest
+
 from repro.cli import main
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
@@ -78,6 +80,7 @@ def test_deep_mode_is_clean_on_the_real_tree(capsys):
     assert "clean: no diagnostics" in capsys.readouterr().out
 
 
+@pytest.mark.slow
 def test_deep_self_check_combined(capsys):
     assert main(["lint", "--deep", "--self-check"]) == 0
     assert "clean: no diagnostics" in capsys.readouterr().out

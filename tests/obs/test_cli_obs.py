@@ -142,6 +142,7 @@ class TestErrorExits:
         assert "error:" in capsys.readouterr().err
 
 
+@pytest.mark.slow
 class TestFaultsObsFlag:
     def test_partition_scenario_writes_stream(self, tmp_path, capsys):
         jsonl = tmp_path / "faults.jsonl"

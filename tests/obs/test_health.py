@@ -7,6 +7,8 @@ convergence alert fires while the cut is open and clears after the heal.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.faults.scenarios import run_partition
 from repro.obs.collector import Collector
 from repro.obs.events import EVENT_ALERT, EVENT_ALERT_CLEARED
@@ -148,6 +150,7 @@ class TestMonitorLifecycle:
         }
 
 
+@pytest.mark.slow
 class TestPartitionScenario:
     def test_stall_fires_during_partition_and_clears_after_heal(self):
         collector = Collector(gauge_every=1)

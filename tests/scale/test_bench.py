@@ -1,0 +1,84 @@
+"""The scale bench: gate, trajectory merge, and CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scale.bench import (
+    ScaleDigestError,
+    format_scale_bench,
+    run_scale_bench,
+    write_scale_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def ci_section():
+    """One real ci-tier bench run, shared by the assertions below."""
+    return run_scale_bench(tier="ci", master_seed=1)
+
+
+@pytest.mark.slow
+def test_ci_tier_passes_the_digest_gate(ci_section):
+    assert ci_section["tier"] == "ci"
+    assert len(ci_section["cells"]) == 2
+    for cell in ci_section["cells"]:
+        assert cell["digests_identical"] is True
+        labels = [entry["label"] for entry in cell["configs"]]
+        assert labels == ["serial-object", "serial-columnar", "sharded-columnar"]
+        assert len({entry["wall_s"] >= 0 for entry in cell["configs"]}) == 1
+        for entry in cell["configs"]:
+            assert entry["rounds"] > 0
+            assert entry["node_rounds_per_s"] > 0
+            assert entry["messages"] == cell["configs"][0]["messages"]
+
+
+@pytest.mark.slow
+def test_write_merges_into_existing_trajectory(ci_section, tmp_path):
+    path = tmp_path / "BENCH_gossip.json"
+    path.write_text(json.dumps({"suite": "gossip", "workloads": []}))
+    write_scale_bench(ci_section, json_path=str(path))
+    data = json.loads(path.read_text())
+    assert data["suite"] == "gossip"  # perf section preserved
+    assert data["scale_tiers"]["ci"]["cells"][0]["workload"] == "ring-64"
+    # Re-writing the same tier replaces it, not duplicates it.
+    write_scale_bench(ci_section, json_path=str(path))
+    assert list(json.loads(path.read_text())["scale_tiers"]) == ["ci"]
+
+
+@pytest.mark.slow
+def test_format_renders_every_config_row(ci_section):
+    table = format_scale_bench(ci_section)
+    assert "serial-object" in table and "sharded-columnar" in table
+    assert "digests identical" in table
+
+
+def test_perf_bench_rewrite_preserves_scale_tiers(tmp_path):
+    from repro.perf.bench import BenchReport, write_bench
+
+    path = tmp_path / "BENCH_gossip.json"
+    path.write_text(json.dumps({"scale_tiers": {"ci": {"tier": "ci"}}}))
+    report = BenchReport(scale="ci", master_seed=1, parallel=None)
+    write_bench(report, json_path=str(path), results_dir=None)
+    data = json.loads(path.read_text())
+    assert data["scale_tiers"] == {"ci": {"tier": "ci"}}
+    assert data["suite"] == "gossip"
+
+
+def test_digest_error_is_a_runtime_error():
+    assert issubclass(ScaleDigestError, RuntimeError)
+
+
+@pytest.mark.slow
+def test_cli_bench_scale_tier(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "bench.json"
+    code = main(["bench", "scale", "--scale", "ci", "--output", str(out)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "scale tier ci" in printed
+    data = json.loads(out.read_text())
+    assert "ci" in data["scale_tiers"]

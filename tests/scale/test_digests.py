@@ -1,0 +1,116 @@
+"""Digest regression: the scale engine's determinism gate.
+
+For a fixed ``(workload, seed)`` the overlay digest must be byte-identical
+across view backend, shard count (even/uneven partitions), and execution
+mode — that invariance is what licenses running the 10k tier sharded at
+all. Fixed round counts keep the tier-1 cells fast; the full convergence
+runs live in the scale bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.digest import adjacency_digest, result_digest
+from repro.scale.engine import ShardedEngine
+
+
+def digest_after(
+    shape: str, n_nodes: int, rounds: int, *, backend="object", n_shards=1, mode="inline"
+) -> str:
+    with ShardedEngine(
+        workload=f"{shape}-{n_nodes}",
+        shape=shape,
+        n_nodes=n_nodes,
+        seed=7,
+        backend=backend,
+        n_shards=n_shards,
+        mode=mode,
+    ) as engine:
+        for _ in range(rounds):
+            engine.run_round()
+        return engine.digest()
+
+
+@pytest.mark.parametrize("shape,n_nodes", [("ring", 64), ("grid", 64)])
+def test_serial_and_sharded_digests_are_identical(shape, n_nodes):
+    serial = digest_after(shape, n_nodes, 5)
+    for n_shards in (2, 4):
+        assert digest_after(shape, n_nodes, 5, n_shards=n_shards) == serial
+
+
+def test_shard_count_invariance_with_uneven_partition():
+    # 64 nodes over 3 shards splits 22/21/21 — the uneven case.
+    assert digest_after("ring", 64, 5, n_shards=1) == digest_after(
+        "ring", 64, 5, n_shards=3
+    )
+
+
+def test_backend_invariance():
+    assert digest_after("ring", 64, 5, backend="object") == digest_after(
+        "ring", 64, 5, backend="columnar"
+    )
+
+
+def test_sharded_columnar_matches_serial_object():
+    # The bench gate's exact triple, in miniature.
+    serial_object = digest_after("grid", 64, 4, backend="object", n_shards=1)
+    serial_columnar = digest_after("grid", 64, 4, backend="columnar", n_shards=1)
+    sharded_columnar = digest_after("grid", 64, 4, backend="columnar", n_shards=4)
+    assert serial_object == serial_columnar == sharded_columnar
+
+
+def test_process_pool_matches_inline():
+    inline = digest_after("ring", 48, 4, backend="columnar", n_shards=2)
+    with ShardedEngine(
+        workload="ring-48",
+        shape="ring",
+        n_nodes=48,
+        seed=7,
+        backend="columnar",
+        n_shards=2,
+        mode="mp",
+    ) as engine:
+        if engine.mode_used != "mp":
+            pytest.skip("process pool unavailable in this environment")
+        for _ in range(4):
+            engine.run_round()
+        assert engine.digest() == inline
+
+
+def test_runs_are_reproducible_and_seed_sensitive():
+    first = digest_after("ring", 48, 3)
+    again = digest_after("ring", 48, 3)
+    assert first == again
+    with ShardedEngine(
+        workload="ring-48", shape="ring", n_nodes=48, seed=8
+    ) as engine:
+        for _ in range(3):
+            engine.run_round()
+        assert engine.digest() != first
+
+
+def test_digest_hashes_full_adjacency():
+    with ShardedEngine(
+        workload="ring-48", shape="ring", n_nodes=48, seed=7, n_shards=3
+    ) as engine:
+        engine.run_round()
+        record = engine.adjacency()
+        assert sorted(record) == list(range(48))
+        assert set(record[0]) == {"peer_sampling", "overlay"}
+        assert engine.digest() == adjacency_digest(record)
+        assert adjacency_digest(record) == result_digest(record)
+
+
+def test_transport_accounting_is_mode_invariant():
+    engines = {}
+    for n_shards in (1, 3):
+        with ShardedEngine(
+            workload="ring-48", shape="ring", n_nodes=48, seed=7, n_shards=n_shards
+        ) as engine:
+            for _ in range(3):
+                engine.run_round()
+            engines[n_shards] = (engine.messages, engine.bytes)
+    assert engines[1] == engines[3]
+    messages, byte_count = engines[1]
+    assert messages > 0 and byte_count > messages  # header + descriptors
