@@ -24,7 +24,8 @@ from repro.gossip.selection import Proximity
 from repro.gossip.vicinity import Vicinity
 from repro.shapes.base import Shape
 from repro.sim.config import GossipParams, TransportCosts
-from repro.sim.engine import Engine
+from repro.runtime.api import RunnerConfig, make_runner
+from repro.runtime.engines import RoundRunner
 from repro.sim.network import Network
 from repro.sim.rng import RandomStreams
 from repro.sim.transport import Transport
@@ -49,7 +50,7 @@ def _deploy_elementary(
     params: Optional[GossipParams] = None,
     costs: Optional[TransportCosts] = None,
     random_feed: bool = True,
-) -> Tuple[Network, Engine, Shape, Dict[int, int]]:
+) -> Tuple[Network, RoundRunner, Shape, Dict[int, int]]:
     params = params or GossipParams()
     network = Network()
     streams = RandomStreams(seed)
@@ -83,7 +84,12 @@ def _deploy_elementary(
                 target_degree=max(1, shape.rank_degree(rank, n_nodes)),
             ),
         )
-    engine = Engine(network, transport, streams)
+    engine = make_runner(
+        RunnerConfig(kind="round", n_nodes=n_nodes, seed=seed),
+        network=network,
+        transport=transport,
+        streams=streams,
+    )
     return network, engine, shape, rank_of
 
 
@@ -192,6 +198,7 @@ class MonolithicComposite:
     ):
         self.assembly = assembly
         self.params = params or GossipParams()
+        self.seed = seed
         self.network = Network()
         self.streams = RandomStreams(seed)
         self.transport = Transport()
@@ -245,7 +252,12 @@ class MonolithicComposite:
                     ),
                 ),
             )
-        self.engine = Engine(self.network, self.transport, self.streams)
+        self.engine = make_runner(
+            RunnerConfig(kind="round", n_nodes=len(self.network.node_ids()), seed=self.seed),
+            network=self.network,
+            transport=self.transport,
+            streams=self.streams,
+        )
 
     def _converged(self) -> bool:
         for name, spec in self.assembly.components.items():

@@ -488,6 +488,11 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.obs.hooks import attach_collector
     from repro.obs.watch import render_dashboard
 
+    if getattr(args, "swarm", None):
+        return _watch_swarm(args)
+    if args.file is None:
+        print("error: a topology file (or --swarm DIR) is required", file=sys.stderr)
+        return 2
     assembly = _load(args.file)
     deployment = Runtime(assembly, seed=args.seed).deploy(args.nodes)
     collector = attach_collector(
@@ -540,6 +545,138 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         write_jsonl(args.alerts, alerts)
         print(f"wrote {args.alerts} ({len(alerts)} alert event(s))")
     return 0 if deployment.tracker.report().converged else 1
+
+
+def _watch_swarm(args: argparse.Namespace) -> int:
+    """Attach the watch dashboard to a running (or finished) swarm directory."""
+    import json as _json
+    import pathlib
+
+    from repro.obs.collector import Collector
+    from repro.obs.health import HealthMonitor
+    from repro.obs.watch import render_dashboard
+    from repro.runtime.net import _now, _sleep
+    from repro.runtime.swarm import (
+        STOP_FLAG,
+        SWARM_LAYERS,
+        feed_collector,
+        read_statuses,
+    )
+    from repro.shapes import make_shape
+
+    directory = pathlib.Path(args.swarm)
+    meta_path = directory / "swarm.json"
+    deadline = _now() + 10.0
+    while not meta_path.exists():
+        if _now() > deadline:
+            print(f"error: no swarm metadata at {meta_path}", file=sys.stderr)
+            return 2
+        _sleep(0.1)
+    meta = _json.loads(meta_path.read_text(encoding="utf-8"))
+    n_nodes, shape = meta["n_nodes"], meta["shape"]
+    interval = float(meta.get("round_interval", 0.2))
+    shape_obj = make_shape(shape)
+    collector = Collector(gauge_every=1)
+    monitor = HealthMonitor(collector, expected_layers=SWARM_LAYERS)
+    title = f"repro watch --swarm {directory} ({shape}-{n_nodes})"
+
+    def frame(round_index: int) -> str:
+        return render_dashboard(
+            collector, monitor, round_index=round_index, title=title
+        )
+
+    observed_round = -1
+    converged = False
+    clear = sys.stdout.isatty() and not args.once
+    polls = 0
+    max_polls = max(4, int(2 * args.max_rounds))
+    while polls < max_polls:
+        statuses = read_statuses(directory)
+        seen_round = max(
+            (record.get("round", 0) for record in statuses.values()), default=0
+        )
+        # Sticky: the swarm "reached the shape" even if the overlay churns
+        # an edge during wind-down after the supervisor raises STOP.
+        converged = feed_collector(collector, statuses, shape_obj, n_nodes) or converged
+        if statuses and seen_round > observed_round:
+            observed_round = seen_round
+            monitor.observe(None, seen_round)
+        if args.once:
+            print(frame(seen_round), end="")
+            return 0 if converged else 1
+        if clear:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(frame(seen_round))
+        finished = statuses and all(
+            record.get("done") for record in statuses.values()
+        )
+        if converged or finished or (directory / STOP_FLAG).exists():
+            break
+        _sleep(interval)
+        polls += 1
+    return 0 if converged else 1
+
+
+def _cmd_swarm(args: argparse.Namespace) -> int:
+    from repro.runtime.swarm import run_swarm, write_swarm_bench
+
+    def progress(poll: int, statuses, verdict: str) -> None:
+        if args.quiet:
+            return
+        seen = max((r.get("round", 0) for r in statuses.values()), default=0)
+        sys.stdout.write(
+            f"\rround {seen:>3}  nodes {len(statuses)}/{args.nodes}  "
+            f"verdict {verdict}   "
+        )
+        sys.stdout.flush()
+
+    report, collector = run_swarm(
+        n_nodes=args.nodes,
+        shape=args.shape,
+        seed=args.seed,
+        round_interval=args.round_interval,
+        max_rounds=args.max_rounds,
+        status_dir=args.status_dir,
+        progress=progress if not args.quiet else None,
+    )
+    if not args.quiet:
+        sys.stdout.write("\n")
+    verdict = report.verdict
+    print(
+        f"swarm {args.shape}-{args.nodes} seed={args.seed}: "
+        f"{'converged' if report.converged else 'NOT converged'} "
+        f"in {report.rounds} round(s), verdict {verdict}"
+    )
+    bandwidth = report.bandwidth()
+    print(
+        f"  wire: {bandwidth['datagrams_sent']} datagrams / "
+        f"{bandwidth['bytes_sent']} bytes sent, "
+        f"{bandwidth['malformed']} malformed, "
+        f"{bandwidth['duplicates']} duplicates"
+    )
+    for node in sorted(report.nodes):
+        record = report.nodes[node]
+        wire = record.get("wire", {})
+        print(
+            f"  node {node}: round {record.get('round', 0)}, "
+            f"neighbors {record.get('neighbors', [])}, "
+            f"{wire.get('bytes_sent', 0)} B out / "
+            f"{wire.get('bytes_received', 0)} B in"
+        )
+    for alert in report.alerts:
+        print(f"  alert: {alert['rule']} ({alert['severity']}) {alert['evidence']}")
+    written = []
+    if args.bench:
+        written.append(write_swarm_bench(report, args.bench))
+    if args.prom:
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(args.prom, collector)
+        written.append(args.prom)
+    for path in written:
+        print(f"wrote {path}")
+    print(f"status dir: {report.status_dir}")
+    return 0 if report.converged and verdict == "healthy" else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -843,11 +980,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.set_defaults(func=_cmd_obs)
 
+    swarm = subparsers.add_parser(
+        "swarm",
+        help="launch a local UDP swarm (one process per node) and supervise "
+        "it to convergence",
+    )
+    swarm.add_argument("--nodes", type=int, default=8)
+    swarm.add_argument(
+        "--shape",
+        default="ring",
+        help="target overlay shape the swarm must converge to (default: ring)",
+    )
+    swarm.add_argument("--seed", type=int, default=1)
+    swarm.add_argument(
+        "--round-interval",
+        type=float,
+        default=0.2,
+        help="seconds between gossip rounds on each node (default: 0.2)",
+    )
+    swarm.add_argument("--max-rounds", type=int, default=120)
+    swarm.add_argument(
+        "--status-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for per-node status files (default: a fresh temp "
+        "dir; pass it to 'repro watch --swarm' to attach)",
+    )
+    swarm.add_argument(
+        "--bench",
+        default="BENCH_gossip.json",
+        metavar="PATH",
+        help="merge per-node bandwidth into the bench trajectory's 'swarm' "
+        "section (default: BENCH_gossip.json; empty string disables)",
+    )
+    swarm.add_argument(
+        "--prom",
+        default=None,
+        metavar="PATH",
+        help="write a Prometheus-style snapshot of the supervisor telemetry",
+    )
+    swarm.add_argument(
+        "--quiet", action="store_true", help="suppress the live progress line"
+    )
+    swarm.set_defaults(func=_cmd_swarm)
+
     watch = subparsers.add_parser(
         "watch",
         help="live terminal view of a converging run (health + flow included)",
     )
-    watch.add_argument("file")
+    watch.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="topology file to run (omit when attaching with --swarm)",
+    )
+    watch.add_argument(
+        "--swarm",
+        default=None,
+        metavar="DIR",
+        help="attach to a running UDP swarm's status directory instead of "
+        "simulating a topology",
+    )
     watch.add_argument("--nodes", type=int, default=None)
     watch.add_argument("--seed", type=int, default=1)
     watch.add_argument("--max-rounds", type=int, default=120)

@@ -21,6 +21,7 @@ from repro.core.port import PortSpec
 from repro.core.profiles import NodeProfile
 from repro.sim.engine import RoundContext
 from repro.sim.protocol import Protocol
+from repro.sim.transport import ExchangeRequest
 
 #: A belief: the (node_id, rank) currently thought to manage a port.
 Belief = Tuple[int, int]
@@ -114,12 +115,14 @@ class PortSelection(Protocol):
         partner_id = self._choose_partner(ctx)
         if partner_id is None:
             return
-        if not ctx.exchange_ok(partner_id):
+        if not ctx.transport.deliverable(ctx, partner_id, self.layer):
             return  # partner unreachable (partition / degraded link)
-        partner_protocol = ctx.network.node(partner_id).protocol(self.layer)
-        assert isinstance(partner_protocol, PortSelection)
         outgoing = dict(self.beliefs)
-        incoming = partner_protocol.on_gossip(ctx, outgoing)
+        incoming = ctx.transport.exchange(
+            ctx, partner_id, ExchangeRequest(self.layer, self.node_id, outgoing)
+        )
+        if incoming is None:
+            return  # sent but never answered (real-network timeout)
         ctx.transport.record_exchange(self.layer, len(outgoing), len(incoming))
         if ctx.obs is not None:
             ctx.obs.count("exchanges", layer=self.layer)
@@ -136,6 +139,12 @@ class PortSelection(Protocol):
             ctx.obs.count("descriptors_received", len(received), layer=self.layer)
         self._merge(ctx, received)
         return reply
+
+    def on_request(
+        self, ctx: RoundContext, request: ExchangeRequest
+    ) -> Dict[str, Belief]:
+        """Transport-seam entry point: delegate to :meth:`on_gossip`."""
+        return self.on_gossip(ctx, request.payload)
 
     # -- internals ----------------------------------------------------------------------
 

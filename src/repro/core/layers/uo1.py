@@ -30,6 +30,7 @@ from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.network import Network
 from repro.sim.protocol import Protocol
+from repro.sim.transport import ExchangeRequest
 
 
 class SameComponentOverlay(Protocol):
@@ -130,16 +131,19 @@ class SameComponentOverlay(Protocol):
         partner = self._choose_partner(ctx)
         if partner is None:
             return
-        if not ctx.exchange_ok(partner.node_id):
+        if not ctx.transport.deliverable(ctx, partner.node_id, self.layer):
             # Unreachable, not dead: drop without a tombstone.
             self.view.remove(partner.node_id)
             return
-        partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
-        assert isinstance(partner_protocol, SameComponentOverlay)
         obs = ctx.obs
         flow = obs.flow if obs is not None else None
         buffer = self._make_buffer(ctx, flow)
-        reply = partner_protocol.on_gossip(ctx, buffer)
+        reply = ctx.transport.exchange(
+            ctx, partner.node_id, ExchangeRequest(self.layer, self.node_id, buffer)
+        )
+        if reply is None:
+            self.view.remove(partner.node_id)
+            return
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
         if obs is not None:
             obs.count_key(self._k_exchanges)
@@ -168,6 +172,12 @@ class SameComponentOverlay(Protocol):
         self._merge(ctx, sent=reply, received=received)
         return reply
 
+    def on_request(
+        self, ctx: RoundContext, request: ExchangeRequest
+    ) -> List[Descriptor]:
+        """Transport-seam entry point: delegate to :meth:`on_gossip`."""
+        return self.on_gossip(ctx, request.payload)
+
     # -- internals -------------------------------------------------------------------
 
     def _harvest(self, ctx: RoundContext) -> None:
@@ -177,7 +187,7 @@ class SameComponentOverlay(Protocol):
         for node_id in ctx.node.protocol(self.random_layer).neighbors():
             if node_id == self.node_id or not ctx.network.is_alive(node_id):
                 continue
-            if not ctx.reachable(node_id):
+            if not ctx.transport.reachable(ctx, node_id):
                 continue  # harvesting across the cut would leak state
             peer = ctx.network.node(node_id)
             if not peer.has_protocol(self.layer):

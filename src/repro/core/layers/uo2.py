@@ -22,6 +22,7 @@ from repro.gossip.views import PartialView, make_view
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.protocol import Protocol
+from repro.sim.transport import ExchangeRequest
 
 
 class DistantComponentOverlay(Protocol):
@@ -117,17 +118,20 @@ class DistantComponentOverlay(Protocol):
         partner_id = self._choose_partner(ctx)
         if partner_id is None:
             return
-        if not ctx.exchange_ok(partner_id):
+        if not ctx.transport.deliverable(ctx, partner_id, self.layer):
             # Unreachable contact: drop it from every bucket so the next
             # round picks a partner on this side of the cut.
             self.forget(partner_id)
             return
-        partner_protocol = ctx.network.node(partner_id).protocol(self.layer)
-        assert isinstance(partner_protocol, DistantComponentOverlay)
         obs = ctx.obs
         flow = obs.flow if obs is not None else None
         buffer = self._make_buffer(ctx, flow)
-        reply = partner_protocol.on_gossip(ctx, buffer)
+        reply = ctx.transport.exchange(
+            ctx, partner_id, ExchangeRequest(self.layer, self.node_id, buffer)
+        )
+        if reply is None:
+            self.forget(partner_id)
+            return
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
         if obs is not None:
             obs.count_key(self._k_exchanges)
@@ -156,6 +160,12 @@ class DistantComponentOverlay(Protocol):
         self._merge(ctx, received)
         return reply
 
+    def on_request(
+        self, ctx: RoundContext, request: ExchangeRequest
+    ) -> List[Descriptor]:
+        """Transport-seam entry point: delegate to :meth:`on_gossip`."""
+        return self.on_gossip(ctx, request.payload)
+
     # -- internals -----------------------------------------------------------------------
 
     def _insert(self, descriptor: Descriptor) -> bool:
@@ -180,7 +190,7 @@ class DistantComponentOverlay(Protocol):
         for node_id in ctx.node.protocol(self.random_layer).neighbors():
             if node_id == self.node_id or not ctx.network.is_alive(node_id):
                 continue
-            if not ctx.reachable(node_id):
+            if not ctx.transport.reachable(ctx, node_id):
                 continue  # harvesting across the cut would leak state
             peer = ctx.network.node(node_id)
             if not peer.has_protocol(self.layer):

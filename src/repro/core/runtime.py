@@ -38,7 +38,7 @@ from repro.core.roles import Role, RoleMap, SPARE_COMPONENT
 from repro.gossip.peer_sampling import PeerSampling
 from repro.shapes.random_graph import RandomGraph
 from repro.sim.config import GossipParams, TransportCosts
-from repro.sim.engine import Engine
+from repro.runtime.api import RunnerConfig, make_runner
 from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.rng import RandomStreams
@@ -167,12 +167,15 @@ class Deployment:
             uo1_view_size=self.config.uo1.view_size,
             uo2_scope=self.config.uo2_scope,
         )
-        self.engine = Engine(
-            self.network,
-            self.transport,
-            self.streams,
-            observers=[self.tracker],
-            loss_rate=self.config.loss_rate,
+        # Through the unified factory: the runner config is adapted from
+        # this runtime's legacy config surface, the hand-built substrate
+        # (network/transport/streams) is passed through unchanged.
+        self.engine = make_runner(
+            RunnerConfig.from_legacy(self.config, n_nodes=n_nodes),
+            network=self.network,
+            transport=self.transport,
+            streams=self.streams,
+            observers=(self.tracker,),
         )
         self.faults = None
 

@@ -110,6 +110,19 @@ class DslSemanticError(DslError):
         self.column = column
 
 
+class WireError(ReproError):
+    """A malformed, hostile, or version-skewed wire frame (coded ``RPR150``).
+
+    Raised by the :mod:`repro.runtime.wire` codec for every decode failure —
+    truncated frames, non-JSON bytes, unknown frame types, oversized fields,
+    protocol-version mismatches. The codec's contract is that hostile input
+    raises *this* type and nothing else, so transport receive loops can drop
+    bad datagrams with a single ``except WireError``.
+    """
+
+    code = "RPR150"
+
+
 class ConvergenceTimeout(ReproError):
     """An experiment did not converge within its round budget."""
 

@@ -14,6 +14,7 @@ from repro.gossip.views import make_view
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.protocol import Protocol
+from repro.sim.transport import ExchangeRequest
 
 
 class Cyclon(Protocol):
@@ -52,7 +53,7 @@ class Cyclon(Protocol):
         partner = self._oldest_live(ctx)
         if partner is None:
             return
-        if not ctx.exchange_ok(partner.node_id):
+        if not ctx.transport.deliverable(ctx, partner.node_id, self.layer):
             # Unreachable, not dead: drop without a tombstone.
             self.view.remove(partner.node_id)
             return
@@ -60,9 +61,13 @@ class Cyclon(Protocol):
         self.view.remove(partner.node_id)
         shuffle_out = [self.self_descriptor()]
         shuffle_out.extend(self.view.sample(ctx.rng(), self.params.gossip_size - 1))
-        partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
-        assert isinstance(partner_protocol, Cyclon)
-        shuffle_in = partner_protocol.on_shuffle(ctx, shuffle_out)
+        shuffle_in = ctx.transport.exchange(
+            ctx,
+            partner.node_id,
+            ExchangeRequest(self.layer, self.node_id, shuffle_out),
+        )
+        if shuffle_in is None:
+            return  # the partner is already out of the view
         ctx.transport.record_exchange(self.layer, len(shuffle_out), len(shuffle_in))
         self._integrate(shuffle_in, sent=shuffle_out)
 
@@ -72,6 +77,12 @@ class Cyclon(Protocol):
         reply = self.view.sample(ctx.rng(), self.params.gossip_size)
         self._integrate(received, sent=reply)
         return reply
+
+    def on_request(
+        self, ctx: RoundContext, request: "ExchangeRequest"
+    ) -> List[Descriptor]:
+        """Transport-seam entry point: delegate to :meth:`on_shuffle`."""
+        return self.on_shuffle(ctx, request.payload)
 
     # -- internals ---------------------------------------------------------------
 

@@ -20,6 +20,7 @@ from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.network import Network
 from repro.sim.protocol import Protocol
+from repro.sim.transport import ExchangeRequest
 
 
 class PeerSampling(Protocol):
@@ -108,19 +109,24 @@ class PeerSampling(Protocol):
         partner = self._choose_partner(ctx)
         if partner is None:
             return
-        if not ctx.exchange_ok(partner.node_id):
-            # The fault plane cut this exchange (partition, lossy link). A
+        if not ctx.transport.deliverable(ctx, partner.node_id, self.layer):
+            # The transport cut this exchange (partition, lossy link). A
             # timed-out partner is unreachable, not dead: remove it so the
             # oldest-first selection does not retry it forever, but leave no
             # tombstone — it may legitimately return after healing.
             self.view.remove(partner.node_id)
             return
-        partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
-        assert isinstance(partner_protocol, PeerSampling)
         obs = ctx.obs
         flow = obs.flow if obs is not None else None
         buffer = self._make_buffer(ctx, flow)
-        reply = partner_protocol.on_gossip(ctx, buffer)
+        reply = ctx.transport.exchange(
+            ctx, partner.node_id, ExchangeRequest(self.layer, self.node_id, buffer)
+        )
+        if reply is None:
+            # Sent but never answered (a real-network timeout): same
+            # treatment as a link the fault gate refused.
+            self.view.remove(partner.node_id)
+            return
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
         if obs is not None:
             obs.count_key(self._k_exchanges)
@@ -149,6 +155,12 @@ class PeerSampling(Protocol):
                 )
         self._apply(ctx, sent=reply, received=received)
         return reply
+
+    def on_request(
+        self, ctx: RoundContext, request: ExchangeRequest
+    ) -> List[Descriptor]:
+        """Transport-seam entry point: delegate to :meth:`on_gossip`."""
+        return self.on_gossip(ctx, request.payload)
 
     # -- bootstrap -----------------------------------------------------------------
 

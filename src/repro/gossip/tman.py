@@ -24,6 +24,7 @@ from repro.perf.cache import DistanceCache
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.protocol import Protocol
+from repro.sim.transport import ExchangeRequest
 
 
 class TMan(Protocol):
@@ -98,16 +99,21 @@ class TMan(Protocol):
         partner = self._select_peer(ctx)
         if partner is None:
             return
-        if not ctx.exchange_ok(partner.node_id):
+        if not ctx.transport.deliverable(ctx, partner.node_id, self.layer):
             # Unreachable, not dead: drop without a tombstone.
             self.view.remove(partner.node_id)
             return
-        partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
-        assert isinstance(partner_protocol, TMan)
         obs = ctx.obs
         flow = obs.flow if obs is not None else None
         buffer = self._buffer_for(ctx, partner.profile, partner.node_id, flow)
-        reply = partner_protocol.on_gossip(ctx, self.profile, self.node_id, buffer)
+        reply = ctx.transport.exchange(
+            ctx,
+            partner.node_id,
+            ExchangeRequest(self.layer, self.node_id, buffer, profile=self.profile),
+        )
+        if reply is None:
+            self.view.remove(partner.node_id)
+            return
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
         if obs is not None:
             obs.count_key(self._k_exchanges)
@@ -139,6 +145,12 @@ class TMan(Protocol):
         self._merge(ctx, received)
         return reply
 
+    def on_request(
+        self, ctx: RoundContext, request: ExchangeRequest
+    ) -> List[Descriptor]:
+        """Transport-seam entry point: delegate to :meth:`on_gossip`."""
+        return self.on_gossip(ctx, request.profile, request.sender, request.payload)
+
     # -- internals ----------------------------------------------------------------
 
     def _select_peer(self, ctx: RoundContext) -> Optional[Descriptor]:
@@ -167,7 +179,7 @@ class TMan(Protocol):
         for node_id in own.protocol(self.random_layer).neighbors():
             if node_id == self.node_id or not ctx.network.is_alive(node_id):
                 continue
-            if not ctx.reachable(node_id):
+            if not ctx.transport.reachable(ctx, node_id):
                 continue  # behind an active partition cut
             peer = ctx.network.node(node_id)
             if not peer.has_protocol(self.layer):
@@ -187,7 +199,7 @@ class TMan(Protocol):
             for node_id in own.protocol(self.random_layer).neighbors():
                 if node_id == self.node_id or not ctx.network.is_alive(node_id):
                     continue
-                if not ctx.reachable(node_id):
+                if not ctx.transport.reachable(ctx, node_id):
                     continue  # peeking state across the cut would leak it
                 peer = ctx.network.node(node_id)
                 if not peer.has_protocol(self.layer):

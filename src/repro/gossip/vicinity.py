@@ -25,6 +25,7 @@ from repro.perf.cache import DistanceCache
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.protocol import Protocol
+from repro.sim.transport import ExchangeRequest
 
 
 class Vicinity(Protocol):
@@ -143,18 +144,23 @@ class Vicinity(Protocol):
         partner = self._choose_partner(ctx)
         if partner is None:
             return
-        if not ctx.exchange_ok(partner.node_id):
+        if not ctx.transport.deliverable(ctx, partner.node_id, self.layer):
             # Unreachable (not dead): drop without a tombstone so the entry
             # may return once the partition heals or the link recovers.
             self.view.remove(partner.node_id)
             return
-        partner_protocol = ctx.network.node(partner.node_id).protocol(self.layer)
-        assert isinstance(partner_protocol, Vicinity)
         obs = ctx.obs
         flow = obs.flow if obs is not None else None
         pool = self._candidate_pool(ctx)
         buffer = self._buffer_from(pool, partner.profile, partner.node_id, flow, ctx)
-        reply = partner_protocol.on_gossip(ctx, self.profile, self.node_id, buffer)
+        reply = ctx.transport.exchange(
+            ctx,
+            partner.node_id,
+            ExchangeRequest(self.layer, self.node_id, buffer, profile=self.profile),
+        )
+        if reply is None:
+            self.view.remove(partner.node_id)
+            return
         ctx.transport.record_exchange(self.layer, len(buffer), len(reply))
         if obs is not None:
             obs.count_key(self._k_exchanges)
@@ -187,6 +193,12 @@ class Vicinity(Protocol):
                 )
         self._merge_pool(ctx, pool, received)
         return reply
+
+    def on_request(
+        self, ctx: RoundContext, request: ExchangeRequest
+    ) -> List[Descriptor]:
+        """Transport-seam entry point: delegate to :meth:`on_gossip`."""
+        return self.on_gossip(ctx, request.profile, request.sender, request.payload)
 
     # -- internals ---------------------------------------------------------------------
 
@@ -227,7 +239,7 @@ class Vicinity(Protocol):
         for node_id in random_view:
             if node_id == self.node_id or not ctx.network.is_alive(node_id):
                 continue
-            if not ctx.reachable(node_id):
+            if not ctx.transport.reachable(ctx, node_id):
                 continue  # behind an active partition cut
             peer = ctx.network.node(node_id)
             if not peer.has_protocol(self.layer):
@@ -248,7 +260,7 @@ class Vicinity(Protocol):
             for node_id in own.protocol(source).neighbors():
                 if node_id == self.node_id or not ctx.network.is_alive(node_id):
                     continue
-                if not ctx.reachable(node_id):
+                if not ctx.transport.reachable(ctx, node_id):
                     continue  # peeking state across the cut would leak it
                 peer = ctx.network.node(node_id)
                 if not peer.has_protocol(self.layer):

@@ -284,6 +284,19 @@ _RULES = [
         "nodes — and under sharding, across whichever nodes share the "
         "worker. Default to ``None`` and allocate per call.",
     ),
+    # -- API surface pinning (deep analysis) ---------------------------------
+    Rule(
+        "API001",
+        ERROR,
+        "pinned config surface drifted",
+        "A public configuration dataclass (``RunnerConfig`` or one of the "
+        "legacy surfaces it consolidates) grew or lost a field without the "
+        "pin in ``repro.lint.api_surface`` being updated. New knobs belong "
+        "on ``RunnerConfig`` — legacy records adapt through "
+        "``RunnerConfig.from_legacy`` — and deliberate surface growth must "
+        "update ``PINNED_SURFACES`` in the same change so the API diff is "
+        "explicit in review.",
+    ),
 ]
 
 #: code → :class:`Rule` for every known diagnostic.

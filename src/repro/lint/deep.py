@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.diagnostics import Diagnostic, sort_diagnostics
+from repro.lint.api_surface import api_surface_check
 from repro.lint.callgraph import CallGraph
 from repro.lint.pragmas import is_disabled, parse_pragmas
 from repro.lint.roots import DEFAULT_ROOTS, match_roots
@@ -62,6 +63,7 @@ def deep_check(
     model = analyze_project(root, package, roots)
     diagnostics = taint_check(model.table, model.graph, model.roots, model.hot)
     diagnostics.extend(shard_check(model.table, model.graph, model.hot))
+    diagnostics.extend(api_surface_check(model.table))
     if respect_pragmas:
         diagnostics = _apply_file_pragmas(model.table, diagnostics)
     return sort_diagnostics(diagnostics)

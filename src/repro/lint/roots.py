@@ -39,6 +39,14 @@ DEFAULT_ROOTS: Sequence[str] = (
     # from the inline backend, which shares one interpreter.
     "scale/engine.py::ShardedEngine.run_round",
     "scale/engine.py::_shard_worker",
+    # The live UDP runtime: its active round driver and the receive loop
+    # both call straight into the gossip layers, so a nondeterminism
+    # source reachable from either diverges a swarm node's protocol state
+    # from its simulated twin. (The runtime's own wall-clock pacing is
+    # confined to the reviewed _now/_sleep helpers.)
+    "runtime/net.py::NetRunner.run_round",
+    "runtime/net.py::NetEndpoint.on_datagram",
+    "runtime/swarm.py::_swarm_node",
     "*::*.step",
     "*::*.before_round",
     "*::*.after_round",

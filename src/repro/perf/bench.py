@@ -317,15 +317,17 @@ def write_bench(
         path.parent.mkdir(parents=True, exist_ok=True)
     payload = report.to_dict()
     if path.exists():
-        # The scale bench co-owns this file: its scale_tiers section must
-        # survive a perf-matrix rewrite (and vice versa — see
-        # repro.scale.bench.write_scale_bench).
+        # Other benches co-own this file: the scale bench's scale_tiers
+        # section and the swarm harness's swarm section must survive a
+        # perf-matrix rewrite (and vice versa — see
+        # repro.scale.bench.write_scale_bench and repro.runtime.swarm).
         try:
             previous = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             previous = {}
-        if "scale_tiers" in previous:
-            payload["scale_tiers"] = previous["scale_tiers"]
+        for section in ("scale_tiers", "swarm"):
+            if section in previous:
+                payload[section] = previous[section]
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

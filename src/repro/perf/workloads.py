@@ -14,24 +14,16 @@ determinism linter enforces this split, DET003).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.gossip.peer_sampling import PeerSampling
-from repro.gossip.selection import Proximity
-from repro.gossip.vicinity import Vicinity
 from repro.obs.collector import Collector
 from repro.obs.hooks import attach_collector_to_engine
 from repro.perf.digest import overlay_digest
-from repro.shapes import make_shape
-from repro.sim.config import GossipParams, TransportCosts
-from repro.sim.engine import Engine
-from repro.sim.network import Network
-from repro.sim.rng import RandomStreams
-from repro.sim.transport import Transport
 
-#: Layer labels of the two-protocol elementary stack.
-PS_LAYER = "peer_sampling"
-OVERLAY_LAYER = "overlay"
+# Layer labels of the two-protocol elementary stack: the canonical
+# definitions now live with the factory; re-exported here because this
+# module was their historical home.
+from repro.runtime.api import OVERLAY_LAYER, PS_LAYER, RunnerConfig, make_runner
 
 
 @dataclass(frozen=True)
@@ -120,55 +112,17 @@ def run_workload(
     per-node RNG streams — so the digest is identical with or without it
     (pinned by tests/obs/test_disabled_path.py).
     """
-    shape = make_shape(workload.shape)
     n_nodes = workload.n_nodes
-    params = GossipParams()
-    network = Network()
-    streams = RandomStreams(seed)
-    transport = Transport(TransportCosts())
-    nodes = network.create_nodes(n_nodes)
-    metric = shape.metric(n_nodes)
-    proximity = Proximity(metric)
-    view_size = shape.view_size(n_nodes, params.view_size)
-    sized = GossipParams(
-        view_size=view_size,
-        gossip_size=min(params.gossip_size, view_size + 1),
-        healer=params.healer,
-        swapper=params.swapper,
-        backend=params.backend,
+    engine = make_runner(
+        RunnerConfig(kind="round", n_nodes=n_nodes, seed=seed, shape=workload.shape)
     )
-    rank_of: Dict[int, int] = {}
-    for rank, node in enumerate(nodes):
-        rank_of[node.node_id] = rank
-        peer_sampling = PeerSampling(node.node_id, params, layer=PS_LAYER)
-        peer_sampling.bootstrap(streams.stream("bootstrap", node.node_id), network)
-        node.attach(PS_LAYER, peer_sampling)
-        node.attach(
-            OVERLAY_LAYER,
-            Vicinity(
-                node.node_id,
-                profile=shape.coordinate(rank, n_nodes),
-                proximity=proximity,
-                params=sized,
-                layer=OVERLAY_LAYER,
-                random_layer=PS_LAYER,
-                target_degree=max(1, shape.rank_degree(rank, n_nodes)),
-            ),
-        )
-    engine = Engine(network, transport, streams)
+    deployment = engine.deployment
+    network, transport = deployment.network, deployment.transport
     if collector is not None:
         attach_collector_to_engine(engine, collector)
 
     def shape_converged() -> bool:
-        adjacency: Dict[int, List[int]] = {}
-        for node in network.alive_nodes():
-            rank = rank_of[node.node_id]
-            adjacency[rank] = [
-                rank_of[other]
-                for other in node.protocol(OVERLAY_LAYER).neighbors()
-                if other in rank_of
-            ]
-        return shape.converged(adjacency, n_nodes)
+        return deployment.converged()
 
     peak_view = 0
     converged_at: Optional[int] = None

@@ -1,0 +1,28 @@
+"""The live runtime: one protocol stack, three engines.
+
+The paper's holistic vision is a *runtime*, not a simulator — the same
+UO1/UO2/gossip layer code must drive real components exchanging real
+messages. This package makes the round-based simulator one backend among
+three behind a single engine API:
+
+- :mod:`repro.runtime.api` — the :class:`RunnerConfig` /
+  :func:`make_runner` / :class:`Runner` surface unifying the round engine,
+  the sharded scale engine, and the UDP runtime;
+- :mod:`repro.runtime.wire` — the versioned JSON wire codec (msg-id +
+  TTL dedup, typed :class:`~repro.errors.WireError` on hostile input);
+- :mod:`repro.runtime.loopback` — a deterministic in-memory transport
+  that round-trips every exchange through the wire codec, proving the
+  codec lossless (byte-identical overlay digests vs the direct path);
+- :mod:`repro.runtime.net` — the asyncio UDP runtime: one process per
+  node, the *identical, unmodified* layer code speaking over datagrams;
+- :mod:`repro.runtime.swarm` — the ``repro swarm`` harness launching N
+  local UDP processes with bandwidth accounting and health monitoring.
+
+The layers themselves never import this package: they talk only to the
+Transport seam (``ctx.transport.deliverable`` / ``ctx.transport.exchange``),
+which every backend implements.
+"""
+
+from repro.runtime.api import Runner, RunnerConfig, make_runner
+
+__all__ = ["Runner", "RunnerConfig", "make_runner"]

@@ -1,0 +1,362 @@
+"""The unified engine API: ``RunnerConfig`` → :func:`make_runner` → ``Runner``.
+
+Before this module the repo had three engine entry points with drifting
+construction surfaces: :class:`~repro.sim.engine.Engine` (round-based
+reference), :class:`~repro.scale.engine.ShardedEngine` (BSP scale tier),
+and the asyncio UDP runtime of :mod:`repro.runtime.net`. Each took its own
+mix of ``GossipParams`` / ``ShardPlan`` / ad-hoc kwargs. This module
+collapses them:
+
+- :class:`RunnerConfig` — one frozen, validated configuration record,
+  with :meth:`RunnerConfig.from_legacy` adapters from every historical
+  surface (``GossipParams``, ``SimulationConfig``, ``RuntimeConfig``,
+  ``ShardPlan``). The lint rule ``API001``
+  (:mod:`repro.lint.api_surface`) pins the legacy surfaces so new knobs
+  land here, not there.
+- :func:`make_runner` — the one factory. Direct construction of the
+  engine classes still works but emits a :class:`DeprecationWarning`
+  (same migration discipline as the PR-4 Instrument merge).
+- :class:`Runner` — the structural protocol every engine satisfies:
+  ``run_round`` / ``run`` / ``close`` plus the ``round`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+try:  # typing.Protocol is 3.8+; keep a soft fallback for exotic builds
+    from typing import Protocol as _Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreter only
+    _Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+from repro.errors import ConfigurationError
+from repro.sim.config import GossipParams, SimulationConfig, TransportCosts
+
+#: Engine kinds ``make_runner`` can build.
+KINDS = ("round", "loopback", "sharded", "net")
+
+
+@runtime_checkable
+class Runner(_Protocol):
+    """What every engine looks like from the outside.
+
+    ``run_round`` executes one logical round and returns ``True`` when the
+    engine wants to stop (an observer's verdict); ``run`` executes up to
+    ``max_rounds`` and returns the count actually executed; ``close``
+    releases any resources (process pools, sockets) and is idempotent.
+    The ``round`` attribute counts completed rounds.
+    """
+
+    round: int
+
+    def run_round(self) -> bool: ...  # noqa: E704 - protocol stub
+
+    def run(self, max_rounds: int) -> int: ...  # noqa: E704 - protocol stub
+
+    def close(self) -> None: ...  # noqa: E704 - protocol stub
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """The consolidated engine configuration — frozen and validated.
+
+    One record covers all four kinds; knobs irrelevant to a kind are
+    simply unused (a ``net`` runner ignores ``n_shards``, a ``round``
+    runner ignores ``base_port``). Build it directly, or adapt a legacy
+    surface with :meth:`from_legacy`.
+    """
+
+    kind: str = "round"
+    n_nodes: int = 64
+    seed: int = 1
+    #: Shape vocabulary shared with the perf/scale matrices (``ring``,
+    #: ``grid``, ``clique``, ...); selects profiles and convergence test
+    #: for the elementary stack the factory deploys.
+    shape: str = "ring"
+    #: Scale-tier workload label (the sharded engine's vocabulary).
+    workload: str = "elementary"
+    gossip: GossipParams = field(default_factory=GossipParams)
+    costs: TransportCosts = field(default_factory=TransportCosts)
+    loss_rate: float = 0.0
+    max_rounds: int = 120
+    # -- sharded knobs (historically ShardPlan + ScaleSpec) -------------------
+    backend: str = "object"
+    n_shards: int = 1
+    mode: str = "inline"
+    # -- net knobs (UDP runtime; see repro.runtime.net) -----------------------
+    bind_host: str = "127.0.0.1"
+    #: UDP port of this node; 0 binds an ephemeral port.
+    port: int = 0
+    #: This node's identity in the swarm (also its RNG-stream identity).
+    node_index: int = 0
+    #: ``host:port`` of the rendezvous (bootstrap) node, or ``""`` when
+    #: this node *is* the rendezvous.
+    rendezvous: str = ""
+    #: Seconds between gossip rounds on the wall-clock ticker.
+    round_interval: float = 0.2
+    #: TTL for flooded ANNOUNCE frames and relay fanout per hop.
+    ttl: int = 4
+    fanout: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if self.max_rounds < 0:
+            raise ConfigurationError(
+                f"max_rounds must be >= 0, got {self.max_rounds}"
+            )
+        if not 1 <= self.n_shards <= self.n_nodes:
+            raise ConfigurationError(
+                f"n_shards must be in [1, n_nodes], got {self.n_shards}"
+            )
+        if self.mode not in ("inline", "mp"):
+            raise ConfigurationError(
+                f"mode must be 'inline' or 'mp', got {self.mode!r}"
+            )
+        if self.backend not in ("object", "columnar"):
+            raise ConfigurationError(
+                f"backend must be 'object' or 'columnar', got {self.backend!r}"
+            )
+        if not 0 <= self.node_index < self.n_nodes:
+            raise ConfigurationError(
+                f"node_index must be in [0, n_nodes), got {self.node_index}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError(f"port must be a UDP port, got {self.port}")
+        if self.round_interval <= 0.0:
+            raise ConfigurationError(
+                f"round_interval must be > 0, got {self.round_interval}"
+            )
+        if not 1 <= self.ttl <= 16:
+            raise ConfigurationError(f"ttl must be in [1, 16], got {self.ttl}")
+        if self.fanout < 1:
+            raise ConfigurationError(f"fanout must be >= 1, got {self.fanout}")
+
+    # -- adapters from the legacy surfaces ------------------------------------
+
+    @classmethod
+    def from_legacy(cls, legacy: Any, **overrides: Any) -> "RunnerConfig":
+        """A config adapted from any historical configuration object.
+
+        Accepts :class:`~repro.sim.config.GossipParams`,
+        :class:`~repro.sim.config.SimulationConfig`,
+        :class:`~repro.core.runtime.RuntimeConfig`, and
+        :class:`~repro.scale.engine.ShardPlan`; keyword overrides win over
+        adapted fields. Unknown types are a configuration error, so typos
+        fail loudly rather than silently building defaults.
+        """
+        adapted = cls._adapt(legacy)
+        if overrides:
+            adapted = replace(adapted, **overrides)
+        return adapted
+
+    @classmethod
+    def _adapt(cls, legacy: Any) -> "RunnerConfig":
+        from repro.core.runtime import RuntimeConfig  # late: avoids a cycle
+        from repro.scale.engine import ShardPlan
+
+        if isinstance(legacy, GossipParams):
+            return cls(gossip=legacy)
+        if isinstance(legacy, SimulationConfig):
+            return cls(
+                seed=legacy.master_seed,
+                max_rounds=legacy.max_rounds,
+                gossip=legacy.gossip,
+                costs=legacy.costs,
+            )
+        if isinstance(legacy, RuntimeConfig):
+            return cls(
+                gossip=legacy.peer_sampling,
+                costs=legacy.costs,
+                loss_rate=legacy.loss_rate,
+            )
+        if isinstance(legacy, ShardPlan):
+            return cls(
+                kind="sharded", n_nodes=legacy.n_nodes, n_shards=legacy.n_shards
+            )
+        raise ConfigurationError(
+            f"no legacy adapter for {type(legacy).__name__!r}"
+        )
+
+
+#: The elementary two-layer stack the factory deploys (shared vocabulary
+#: with the perf matrix: peer sampling feeding one Vicinity overlay).
+PS_LAYER = "peer_sampling"
+OVERLAY_LAYER = "overlay"
+
+
+@dataclass
+class ElementaryDeployment:
+    """The substrate :func:`make_runner` builds for ``round``/``loopback``.
+
+    Exposes the pieces callers historically built by hand (network,
+    streams, transport) plus the rank bijection and the shape, so perf
+    measurement and convergence checks keep working unchanged.
+    """
+
+    network: Any
+    streams: Any
+    transport: Any
+    shape: Any
+    rank_of: Dict[int, int]
+
+    def overlay_adjacency(self) -> Dict[int, Dict[str, Any]]:
+        """Rank-keyed overlay adjacency (the shape's convergence input)."""
+        adjacency: Dict[int, Any] = {}
+        for node in self.network.alive_nodes():
+            rank = self.rank_of[node.node_id]
+            adjacency[rank] = [
+                self.rank_of[other]
+                for other in node.protocol(OVERLAY_LAYER).neighbors()
+                if other in self.rank_of
+            ]
+        return adjacency
+
+    def converged(self) -> bool:
+        return self.shape.converged(self.overlay_adjacency(), len(self.rank_of))
+
+
+def build_elementary(
+    config: RunnerConfig, transport: Optional[Any] = None
+) -> ElementaryDeployment:
+    """Deploy the elementary stack for ``config`` (digest-critical path).
+
+    Construction order — node creation, per-node bootstrap draws, protocol
+    attachment — is byte-for-byte the historical ``run_workload`` build,
+    so a runner made here reproduces the pinned perf digests exactly.
+    """
+    from repro.gossip.peer_sampling import PeerSampling
+    from repro.gossip.selection import Proximity
+    from repro.gossip.vicinity import Vicinity
+    from repro.shapes import make_shape
+    from repro.sim.network import Network
+    from repro.sim.rng import RandomStreams
+    from repro.sim.transport import Transport
+
+    shape = make_shape(config.shape)
+    n_nodes = config.n_nodes
+    params = config.gossip
+    network = Network()
+    streams = RandomStreams(config.seed)
+    if transport is None:
+        transport = Transport(config.costs)
+    nodes = network.create_nodes(n_nodes)
+    proximity = Proximity(shape.metric(n_nodes))
+    view_size = shape.view_size(n_nodes, params.view_size)
+    sized = GossipParams(
+        view_size=view_size,
+        gossip_size=min(params.gossip_size, view_size + 1),
+        healer=params.healer,
+        swapper=params.swapper,
+        backend=params.backend,
+    )
+    rank_of: Dict[int, int] = {}
+    for rank, node in enumerate(nodes):
+        rank_of[node.node_id] = rank
+        peer_sampling = PeerSampling(node.node_id, params, layer=PS_LAYER)
+        peer_sampling.bootstrap(streams.stream("bootstrap", node.node_id), network)
+        node.attach(PS_LAYER, peer_sampling)
+        node.attach(
+            OVERLAY_LAYER,
+            Vicinity(
+                node.node_id,
+                profile=shape.coordinate(rank, n_nodes),
+                proximity=proximity,
+                params=sized,
+                layer=OVERLAY_LAYER,
+                random_layer=PS_LAYER,
+                target_degree=max(1, shape.rank_degree(rank, n_nodes)),
+            ),
+        )
+    return ElementaryDeployment(
+        network=network,
+        streams=streams,
+        transport=transport,
+        shape=shape,
+        rank_of=rank_of,
+    )
+
+
+def make_runner(
+    config: RunnerConfig,
+    *,
+    network: Optional[Any] = None,
+    transport: Optional[Any] = None,
+    streams: Optional[Any] = None,
+    controls: Tuple = (),
+    observers: Tuple = (),
+    actuators: Tuple = (),
+    faults: Optional[Any] = None,
+    obs: Optional[Any] = None,
+) -> Runner:
+    """The one constructor for every engine.
+
+    - ``round`` — the cycle-driven reference engine. With an explicit
+      ``network`` (a hand-built stack, e.g. the layered runtime's
+      deployment) the remaining substrate kwargs are honoured; without
+      one the factory deploys the elementary stack for ``config.shape``.
+      The built runner exposes ``.deployment`` in the latter case.
+    - ``loopback`` — identical to ``round`` but every exchange round-trips
+      through the wire codec (:class:`repro.runtime.loopback.LoopbackTransport`);
+      the digest gate proves this path lossless.
+    - ``sharded`` — the BSP scale engine on ``config.workload``.
+    - ``net`` — one UDP node of a swarm (see :mod:`repro.runtime.net`).
+    """
+    from repro.runtime.engines import RoundRunner, ShardRunner
+
+    if config.kind in ("round", "loopback"):
+        deployment = None
+        if config.kind == "loopback":
+            from repro.runtime.loopback import LoopbackTransport
+
+            if transport is None:
+                from repro.sim.transport import Transport
+
+                transport = LoopbackTransport(Transport(config.costs))
+            elif not isinstance(transport, LoopbackTransport):
+                transport = LoopbackTransport(transport)
+        if network is None:
+            deployment = build_elementary(config, transport)
+            network, streams = deployment.network, deployment.streams
+            transport = deployment.transport
+        runner = RoundRunner(
+            network,
+            transport,
+            streams,
+            controls=controls,
+            observers=observers,
+            loss_rate=config.loss_rate,
+            faults=faults,
+            obs=obs,
+            actuators=actuators,
+        )
+        runner.deployment = deployment
+        return runner
+    if config.kind == "sharded":
+        return ShardRunner(
+            config.workload,
+            config.shape,
+            config.n_nodes,
+            config.seed,
+            backend=config.backend,
+            n_shards=config.n_shards,
+            mode=config.mode,
+            costs=config.costs,
+        )
+    # config.kind == "net" — validated by RunnerConfig.
+    from repro.runtime.net import NetRunner
+
+    return NetRunner(config)

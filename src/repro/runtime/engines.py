@@ -1,0 +1,73 @@
+"""Canonical Runner subclasses of the historical engine classes.
+
+:func:`repro.runtime.api.make_runner` constructs these; the base classes
+(:class:`~repro.sim.engine.Engine`, :class:`~repro.scale.engine.ShardedEngine`)
+remain importable and functional but emit a :class:`DeprecationWarning`
+when constructed *directly* — the same migration discipline the Instrument
+merge used. Subclassing keeps every behaviour byte-identical: these
+classes add only the :class:`~repro.runtime.api.Runner` surface (``run``
+on the sharded engine, ``close`` on the round engine) and suppress the
+warning for factory-built instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.scale.engine import ShardedEngine
+from repro.sim.engine import Engine
+
+
+class RoundRunner(Engine):
+    """The cycle-driven reference engine behind the Runner API.
+
+    Behaviour is inherited unchanged; ``close`` is a no-op (the in-memory
+    engine owns no external resources) so round and sharded runners can be
+    driven by the same harness code.
+    """
+
+    #: Set by make_runner when the factory deployed the elementary stack;
+    #: None when the caller supplied its own network.
+    deployment = None
+
+    def close(self) -> None:
+        """Release resources (none for the in-memory engine)."""
+
+    def __enter__(self) -> "RoundRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardRunner(ShardedEngine):
+    """The BSP scale engine behind the Runner API.
+
+    Adds the ``run``/boolean-``run_round`` surface of
+    :class:`~repro.runtime.api.Runner` on top of the sharded engine's
+    barrier rounds; the convergence check doubles as the stop verdict.
+    """
+
+    def run_round(self) -> bool:
+        super().run_round()
+        return False
+
+    def run(self, max_rounds: int, stop_when: Optional[object] = None) -> int:
+        """Run up to ``max_rounds`` BSP rounds; stop early on convergence.
+
+        ``stop_when`` (network, round) predicates do not apply to the
+        sharded model (there is no live Network object); passing one is an
+        error rather than a silent ignore.
+        """
+        if max_rounds < 0:
+            raise SimulationError(f"max_rounds must be >= 0, got {max_rounds}")
+        if stop_when is not None:
+            raise SimulationError("ShardRunner does not support stop_when")
+        executed = 0
+        for _ in range(max_rounds):
+            super().run_round()
+            executed += 1
+            if self.converged():
+                break
+        return executed

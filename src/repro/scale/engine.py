@@ -47,6 +47,7 @@ Simulation-side module: no wall-clock reads (DET003); timing lives in
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -665,6 +666,15 @@ class ShardedEngine:
         mode: str = "inline",
         costs: Optional[TransportCosts] = None,
     ):
+        if type(self) is ShardedEngine:
+            # Direct construction is the legacy path; the canonical entry
+            # point is repro.runtime.api.make_runner (kind="sharded").
+            warnings.warn(
+                "constructing ShardedEngine directly is deprecated; use "
+                "repro.runtime.make_runner(RunnerConfig(kind='sharded'), ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if mode not in ("inline", "mp"):
             raise ConfigurationError(f"mode must be 'inline' or 'mp', got {mode!r}")
         self.spec = ScaleSpec(

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.scale.engine import ShardedEngine
+from repro.runtime.api import RunnerConfig, make_runner
 
 
 @dataclass(frozen=True)
@@ -101,14 +101,17 @@ def run_scale_workload(
     checked after every round in every configuration, so all runs of a cell
     stop at the same round and hash the same final state.
     """
-    engine = ShardedEngine(
-        workload=workload.name,
-        shape=workload.shape,
-        n_nodes=workload.n_nodes,
-        seed=seed,
-        backend=backend,
-        n_shards=n_shards,
-        mode=mode,
+    engine = make_runner(
+        RunnerConfig(
+            kind="sharded",
+            workload=workload.name,
+            shape=workload.shape,
+            n_nodes=workload.n_nodes,
+            seed=seed,
+            backend=backend,
+            n_shards=n_shards,
+            mode=mode,
+        )
     )
     converged_at: Optional[int] = None
     try:

@@ -9,6 +9,7 @@ may stop the run early (e.g. once every layer has converged).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
@@ -143,6 +144,16 @@ class Engine:
         obs: Optional["Instrument"] = None,
         actuators: Iterable["Actuator"] = (),
     ):
+        if type(self) is Engine:
+            # Direct construction is the legacy path; the canonical entry
+            # point is repro.runtime.api.make_runner, which builds the
+            # RoundRunner subclass (identical behaviour, Runner surface).
+            warnings.warn(
+                "constructing Engine directly is deprecated; use "
+                "repro.runtime.make_runner(RunnerConfig(kind='round'), ...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.network = network

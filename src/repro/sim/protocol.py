@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import RoundContext
+    from repro.sim.transport import ExchangeRequest
 
 
 class Protocol(ABC):
@@ -30,6 +31,20 @@ class Protocol(ABC):
         default is an empty relation for protocols that do not define one.
         """
         return ()
+
+    def on_request(
+        self, ctx: "RoundContext", request: "ExchangeRequest"
+    ) -> Optional[Any]:
+        """Answer one gossip request arriving through the transport seam.
+
+        The passive half of the protocol: transports route every incoming
+        :class:`~repro.sim.transport.ExchangeRequest` here and send the
+        returned payload back as the reply. The default refuses (``None``,
+        i.e. no reply — the requester treats it as a drop); gossip layers
+        override it, typically by delegating to their historical
+        ``on_gossip`` entry point.
+        """
+        return None
 
     def on_join(self, ctx: "RoundContext") -> None:
         """Hook invoked when the hosting node (re)joins the network."""

@@ -1,18 +1,52 @@
-"""Synchronous transport with per-layer byte accounting.
+"""Synchronous transport with per-layer byte accounting — and the seam.
 
 Gossip exchanges in the cycle-driven model are synchronous request/response
-pairs. The transport does not route payloads (protocol instances talk
-directly, as in PeerSim); its job is the *measurement* the paper's Fig. 4
-needs: bytes and messages per protocol layer per round, so the runtime's
-overhead can be compared against the core-protocol baseline.
+pairs. Historically the transport did not route payloads (protocol
+instances talked directly, as in PeerSim); its job was the *measurement*
+the paper's Fig. 4 needs: bytes and messages per protocol layer per round.
+
+The transport is now also the **engine seam**: layers ask
+:meth:`Transport.deliverable` whether an exchange with a partner can happen
+(the fault gate) and route their request/response through
+:meth:`Transport.exchange`. On this in-memory transport ``exchange`` is a
+direct method call on the partner's protocol instance — byte-identical to
+the historical direct dispatch — while the runtime package substitutes
+implementations that serialize through the wire codec
+(:class:`repro.runtime.loopback.LoopbackTransport`) or real UDP sockets
+(:mod:`repro.runtime.net`). The layer code is identical over all three.
+
+``exchange`` may return ``None`` — the request was sent but no reply
+arrived (a real-network timeout). The in-memory transport never does; a
+layer must treat ``None`` exactly like a failed ``deliverable`` check.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.sim.config import TransportCosts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import RoundContext
+
+
+@dataclass(frozen=True)
+class ExchangeRequest:
+    """One gossip request crossing the transport seam.
+
+    ``payload`` is the layer's buffer (descriptor list, binding map, ...);
+    ``profile`` optionally carries the requester's proximity coordinate for
+    layers whose passive side ranks on it (vicinity, T-Man, the core
+    protocol). The sim transport hands the object through untouched; wire
+    transports serialize it with :mod:`repro.runtime.wire`.
+    """
+
+    layer: str
+    sender: int
+    payload: Any
+    profile: Any = None
 
 
 class Transport:
@@ -34,6 +68,45 @@ class Transport:
     def begin_round(self, round_index: int) -> None:
         """Called by the engine at each round boundary."""
         self.round = round_index
+
+    # -- the exchange seam ----------------------------------------------------
+
+    def deliverable(self, ctx: "RoundContext", dst: int, layer: str = "") -> bool:
+        """Can ``ctx.node`` complete an exchange with ``dst`` on ``layer``?
+
+        The pre-exchange fault gate: layers call this *before* building a
+        buffer, so a dropped exchange draws nothing from the layer's RNG
+        stream — the invariant the digest gate depends on. The in-memory
+        transport delegates to the round context's fault plane (exactly the
+        historical ``ctx.exchange_ok(dst)`` check); decorators and wire
+        transports override it with loss/latency/plane checks of their own.
+        """
+        return ctx is None or ctx.exchange_ok(dst)
+
+    def exchange(
+        self, ctx: "RoundContext", dst: int, request: ExchangeRequest
+    ) -> Optional[Any]:
+        """Deliver ``request`` to ``dst`` and return its reply payload.
+
+        In-memory routing: a direct call on the partner's protocol instance,
+        as in PeerSim's cycle-driven mode — the passive side runs inside the
+        active side's step, with the *requester's* context. ``None`` means
+        the exchange failed after the ``deliverable`` gate passed (only
+        possible on real-network transports).
+        """
+        partner = ctx.network.node(dst)
+        return partner.protocol(request.layer).on_request(ctx, request)
+
+    def reachable(self, ctx: "RoundContext", dst: int) -> bool:
+        """Whether ``dst`` is on this node's side of any active partition.
+
+        The read-side twin of :meth:`deliverable`: harvest-style shortcuts
+        that inspect a peer's state directly (a simulator idiom for
+        piggybacked knowledge) must not leak state across a cut. No RNG is
+        drawn and nothing is accounted — reachability is a topology
+        question, not a delivery attempt.
+        """
+        return ctx is None or ctx.reachable(dst)
 
     # -- accounting -----------------------------------------------------------
 
@@ -125,3 +198,41 @@ class Transport:
         self._delayed.clear()
         self._delay_sum.clear()
         self.round = 0
+
+
+class TransportDecorator:
+    """Delegating base for stackable transport decorators.
+
+    Subclasses override :meth:`deliverable` and/or :meth:`exchange` to add
+    behaviour at the seam (fault injection in
+    :mod:`repro.faults.transports`, wire-codec round-trips in
+    :mod:`repro.runtime.loopback`); everything else — the accounting calls,
+    ``begin_round``, the query surface — resolves through ``__getattr__``
+    to the wrapped transport, so readers of ``deployment.transport`` see
+    one unified ledger no matter how many decorators are stacked.
+    """
+
+    def __init__(self, inner: Transport):
+        self.inner = inner
+
+    def __getattr__(self, name: str) -> Any:
+        # Only reached for attributes not defined on the decorator itself.
+        return getattr(self.inner, name)
+
+    def deliverable(self, ctx: "RoundContext", dst: int, layer: str = "") -> bool:
+        return self.inner.deliverable(ctx, dst, layer)
+
+    def exchange(
+        self, ctx: "RoundContext", dst: int, request: ExchangeRequest
+    ) -> Optional[Any]:
+        return self.inner.exchange(ctx, dst, request)
+
+    def reachable(self, ctx: "RoundContext", dst: int) -> bool:
+        return self.inner.reachable(ctx, dst)
+
+    def unwrap(self) -> Transport:
+        """The innermost real transport (follows nested decorators)."""
+        inner = self.inner
+        while isinstance(inner, TransportDecorator):
+            inner = inner.inner
+        return inner

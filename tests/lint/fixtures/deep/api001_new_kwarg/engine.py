@@ -1,0 +1,3 @@
+class Engine:
+    def run_round(self):
+        return None

@@ -1,0 +1,3 @@
+class ShardPlan:
+    n_nodes: int = 64
+    n_shards: int = 1

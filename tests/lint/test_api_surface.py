@@ -1,0 +1,114 @@
+"""API001: the pinned-config-surface rule of ``repro lint --deep``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import api_surface
+from repro.lint.api_surface import api_surface_check, pinned_fields
+from repro.lint.symbols import SymbolTable
+
+
+def table_for(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return SymbolTable.build(str(tmp_path), ())
+
+
+PLAN = ("conf/plan.py", "Plan")
+
+
+@pytest.fixture
+def pin_plan(monkeypatch):
+    monkeypatch.setattr(
+        api_surface, "PINNED_SURFACES", {PLAN: ("alpha", "beta")}
+    )
+
+
+def test_real_tree_is_clean():
+    """The shipped pins match the shipped dataclasses exactly."""
+    table = SymbolTable.build(None, ("repro",))
+    assert api_surface_check(table) == []
+
+
+def test_matching_surface_is_clean(tmp_path, pin_plan):
+    table = table_for(
+        tmp_path,
+        {"conf/plan.py": "class Plan:\n    alpha: int = 1\n    beta: str = 'x'\n"},
+    )
+    assert api_surface_check(table) == []
+
+
+def test_new_field_flagged(tmp_path, pin_plan):
+    table = table_for(
+        tmp_path,
+        {
+            "conf/plan.py": (
+                "class Plan:\n"
+                "    alpha: int = 1\n"
+                "    beta: str = 'x'\n"
+                "    gamma: float = 0.0\n"
+            )
+        },
+    )
+    (diag,) = api_surface_check(table)
+    assert diag.code == "API001" and diag.severity == "error"
+    assert "new config kwarg Plan.gamma" in diag.message
+    assert "RunnerConfig" in diag.message  # points at where knobs belong
+    assert diag.line == 4  # anchored at the offending field
+
+
+def test_removed_field_flagged(tmp_path, pin_plan):
+    table = table_for(
+        tmp_path, {"conf/plan.py": "class Plan:\n    alpha: int = 1\n"}
+    )
+    (diag,) = api_surface_check(table)
+    assert "Plan.beta was removed" in diag.message
+
+
+def test_missing_class_flagged(tmp_path, pin_plan):
+    table = table_for(tmp_path, {"conf/plan.py": "class Other:\n    x: int = 1\n"})
+    (diag,) = api_surface_check(table)
+    assert "no longer defined" in diag.message
+
+
+def test_missing_module_flagged(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        api_surface,
+        "PINNED_SURFACES",
+        {PLAN: ("alpha",), ("conf/extra.py", "Extra"): ("gamma",)},
+    )
+    table = table_for(tmp_path, {"conf/plan.py": "class Plan:\n    alpha: int = 1\n"})
+    (diag,) = api_surface_check(table)
+    assert "module is gone" in diag.message and "Extra" in diag.message
+
+
+def test_foreign_tree_without_pinned_modules_skipped(tmp_path, pin_plan):
+    """A tree containing none of the pinned modules is not the package."""
+    table = table_for(tmp_path, {"conf/other.py": "x = 1\n"})
+    assert api_surface_check(table) == []
+
+
+def test_private_and_constant_names_ignored(tmp_path, pin_plan):
+    table = table_for(
+        tmp_path,
+        {
+            "conf/plan.py": (
+                "class Plan:\n"
+                "    alpha: int = 1\n"
+                "    beta: str = 'x'\n"
+                "    _cache: dict = None\n"
+                "    LIMIT: int = 9\n"
+                "    plain = 'unannotated'\n"
+            )
+        },
+    )
+    assert api_surface_check(table) == []
+
+
+def test_pinned_fields_helper():
+    pins = pinned_fields(["RunnerConfig", "ShardPlan"])
+    assert pins["ShardPlan"] == ("n_nodes", "n_shards")
+    assert "kind" in pins["RunnerConfig"]

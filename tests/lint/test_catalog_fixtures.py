@@ -30,7 +30,7 @@ from repro.lint import CATALOG, deep_check, lint_python_source, lint_topo_file, 
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 
-_CODE_RE = re.compile(r"^(rpr|det|shd)(\d+)_")
+_CODE_RE = re.compile(r"^(rpr|det|shd|api)(\d+)_")
 
 
 def _code_of(name: str):

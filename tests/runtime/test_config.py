@@ -1,0 +1,97 @@
+"""RunnerConfig: validation, immutability, and legacy adaptation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.runtime import RuntimeConfig
+from repro.errors import ConfigurationError
+from repro.runtime.api import RunnerConfig
+from repro.scale.engine import ShardPlan
+from repro.sim.config import GossipParams, SimulationConfig, TransportCosts
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = RunnerConfig()
+        assert config.kind == "round" and config.n_nodes == 64
+
+    def test_frozen(self):
+        config = RunnerConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.n_nodes = 5  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "steam"},
+            {"n_nodes": 0},
+            {"loss_rate": 1.0},
+            {"loss_rate": -0.2},
+            {"max_rounds": -1},
+            {"n_shards": 0},
+            {"n_shards": 65},
+            {"mode": "threads"},
+            {"backend": "arrow"},
+            {"node_index": -1},
+            {"node_index": 64},
+            {"port": -1},
+            {"port": 70_000},
+            {"round_interval": 0.0},
+            {"ttl": 0},
+            {"ttl": 17},
+            {"fanout": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(**kwargs)
+
+    def test_net_knobs_accepted(self):
+        config = RunnerConfig(
+            kind="net",
+            n_nodes=8,
+            node_index=3,
+            rendezvous="127.0.0.1:9000",
+            round_interval=0.1,
+        )
+        assert config.node_index == 3
+
+
+class TestFromLegacy:
+    def test_gossip_params(self):
+        params = GossipParams(view_size=9)
+        config = RunnerConfig.from_legacy(params)
+        assert config.gossip is params and config.kind == "round"
+
+    def test_simulation_config(self):
+        legacy = SimulationConfig(master_seed=42, max_rounds=50)
+        config = RunnerConfig.from_legacy(legacy)
+        assert config.seed == 42 and config.max_rounds == 50
+
+    def test_runtime_config(self):
+        legacy = RuntimeConfig(loss_rate=0.1)
+        config = RunnerConfig.from_legacy(legacy)
+        assert config.loss_rate == pytest.approx(0.1)
+        assert config.gossip is legacy.peer_sampling
+
+    def test_shard_plan(self):
+        config = RunnerConfig.from_legacy(ShardPlan(n_nodes=128, n_shards=4))
+        assert config.kind == "sharded"
+        assert (config.n_nodes, config.n_shards) == (128, 4)
+
+    def test_overrides_win(self):
+        config = RunnerConfig.from_legacy(
+            SimulationConfig(master_seed=42), seed=7, kind="loopback"
+        )
+        assert config.seed == 7 and config.kind == "loopback"
+
+    def test_unknown_type_fails_loudly(self):
+        with pytest.raises(ConfigurationError, match="no legacy adapter"):
+            RunnerConfig.from_legacy(TransportCosts())
+
+    def test_overrides_still_validated(self):
+        with pytest.raises(ConfigurationError):
+            RunnerConfig.from_legacy(GossipParams(), n_nodes=0)

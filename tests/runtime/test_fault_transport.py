@@ -1,0 +1,126 @@
+"""Fault decorators: stacking semantics and legacy-path equivalence.
+
+The headline regression: driving a deployment's faults through
+:class:`~repro.faults.transports.FaultTransport` (with ``engine.faults``
+*off*) must produce byte-identical overlay digests and drop/delay
+accounting to the historical ``engine.faults`` plane — both paths draw
+from the same ``("linkfaults", layer, node)`` streams in the same order.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.layers import RUNTIME_LAYERS
+from repro.errors import ConfigurationError
+from repro.faults.plane import FaultPlane, LinkQuality
+from repro.faults.scenarios import standard_deployment
+from repro.faults.transports import FaultTransport, LatencyTransport, LossTransport
+from repro.perf.digest import overlay_digest
+from repro.sim.transport import Transport, TransportDecorator
+
+
+class TestDecoratorUnits:
+    def test_loss_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            LossTransport(Transport(), rate=1.0, rng=random.Random(1))
+        with pytest.raises(ConfigurationError):
+            LossTransport(Transport(), rate=-0.1, rng=random.Random(1))
+
+    def test_loss_drops_and_accounts(self):
+        inner = Transport()
+        transport = LossTransport(inner, rate=0.5, rng=random.Random(42))
+        outcomes = [transport.deliverable(None, dst=1, layer="x") for _ in range(200)]
+        dropped = outcomes.count(False)
+        assert 50 < dropped < 150  # memoryless coin at 0.5
+        assert inner.drop_reasons() == {"loss": dropped}
+
+    def test_zero_loss_draws_nothing(self):
+        class Exploding(random.Random):
+            def random(self):  # pragma: no cover - must not be called
+                raise AssertionError("rate=0 must not draw")
+
+        transport = LossTransport(Transport(), rate=0.0, rng=Exploding(1))
+        assert transport.deliverable(None, dst=1) is True
+
+    def test_latency_validated(self):
+        with pytest.raises(ConfigurationError):
+            LatencyTransport(Transport(), latency=-1.0)
+        with pytest.raises(ConfigurationError):
+            LatencyTransport(Transport(), latency=0.1, timeout_latency=0.0)
+
+    def test_latency_below_timeout_delays(self):
+        inner = Transport()
+        transport = LatencyTransport(inner, latency=0.4)
+        assert transport.deliverable(None, dst=1, layer="x") is True
+        assert inner.total_delayed("x") == 1
+        assert inner.mean_extra_latency("x") == pytest.approx(0.4)
+
+    def test_latency_at_timeout_drops(self):
+        inner = Transport()
+        transport = LatencyTransport(inner, latency=1.0)
+        assert transport.deliverable(None, dst=1, layer="x") is False
+        assert inner.drop_reasons() == {"timeout": 1}
+
+    def test_decorators_stack_and_unwrap(self):
+        inner = Transport()
+        stacked = LossTransport(
+            LatencyTransport(inner, latency=0.2), rate=0.0, rng=random.Random(1)
+        )
+        assert stacked.unwrap() is inner
+        assert isinstance(stacked.inner, TransportDecorator)
+        # accounting queries resolve through __getattr__ to the real ledger
+        stacked.record_message("x", 3)
+        assert inner.total_messages("x") == 1
+
+    def test_accounting_lands_on_shared_ledger(self):
+        inner = Transport()
+        outer = LatencyTransport(inner, latency=1.5)
+        outer.deliverable(None, dst=2, layer="uo1")
+        assert outer.total_dropped("uo1") == 1  # read through the decorator
+
+
+def run_fault_schedule(seed: int, use_decorator: bool):
+    """The mixed partition→links schedule, via either fault path."""
+    deployment = standard_deployment(32, seed)
+    deployment.run_until_converged(120)
+    if use_decorator:
+        plane = FaultPlane()
+        engine = deployment.engine
+        engine.transport = FaultTransport(
+            engine.transport, plane, engine.streams
+        )
+    else:
+        plane = deployment.install_faults()
+    ids = sorted(deployment.network.alive_ids())
+    half = len(ids) // 2
+    plane.set_partition(
+        {nid: (0 if i < half else 1) for i, nid in enumerate(ids)}
+    )
+    deployment.run(8)
+    plane.clear_partition()
+    plane.links.set_node(ids[0], LinkQuality(loss=0.5, latency=0.0))
+    plane.links.set_pair(ids[1], ids[2], LinkQuality(loss=0.0, latency=1.5))
+    plane.links.set_pair(ids[3], ids[4], LinkQuality(loss=0.0, latency=0.4))
+    deployment.run(8)
+    plane.links.clear()
+    deployment.run(8)
+    return {
+        "digest": overlay_digest(deployment.network, RUNTIME_LAYERS),
+        "drop_reasons": dict(deployment.transport.drop_reasons()),
+        "total_dropped": deployment.transport.total_dropped(),
+        "total_delayed": deployment.transport.total_delayed(),
+    }
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 7])
+def test_decorator_equivalent_to_engine_plane(seed):
+    legacy = run_fault_schedule(seed, use_decorator=False)
+    decorated = run_fault_schedule(seed, use_decorator=True)
+    assert decorated == legacy
+    # the schedule actually exercised every fault mode
+    assert set(legacy["drop_reasons"]) == {"loss", "partition", "timeout"}
+    assert legacy["total_delayed"] > 0

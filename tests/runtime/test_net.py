@@ -1,0 +1,120 @@
+"""UDP runtime: membership bookkeeping units plus a live in-process swarm."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.runtime.api import RunnerConfig, make_runner
+from repro.runtime.net import LIVENESS_WINDOW, NetDirectory, parse_rendezvous
+from repro.sim.node import Node
+
+
+class TestParseRendezvous:
+    def test_valid(self):
+        assert parse_rendezvous("127.0.0.1:9000") == ("127.0.0.1", 9000)
+
+    def test_ipv6_style_uses_last_colon(self):
+        assert parse_rendezvous("::1:9000") == ("::1", 9000)
+
+    @pytest.mark.parametrize(
+        "text", ["", "nohost", ":9000", "host:", "host:abc", "host:0", "host:70000"]
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_rendezvous(text)
+
+
+def make_directory():
+    facades = []
+
+    def make_facade(node_id: int) -> Node:
+        node = Node(node_id)
+        facades.append(node)
+        return node
+
+    return NetDirectory(Node(0), make_facade), facades
+
+
+class TestNetDirectory:
+    def test_add_peer_news_and_update(self):
+        directory, _ = make_directory()
+        assert directory.add_peer(1, "127.0.0.1", 9001) is True
+        assert directory.add_peer(1, "127.0.0.1", 9002) is False  # update, not news
+        assert directory.addr_of(1) == ("127.0.0.1", 9002)
+        assert directory.add_peer(0, "127.0.0.1", 9000) is False  # self is not a peer
+        assert directory.roster() == [(1, "127.0.0.1", 9002)]
+
+    def test_network_surface(self):
+        directory, facades = make_directory()
+        directory.add_peer(2, "127.0.0.1", 9002)
+        directory.add_peer(1, "127.0.0.1", 9001)
+        assert directory.node_ids() == [0, 1, 2]
+        assert directory.has_node(0) and directory.has_node(2)
+        assert not directory.has_node(9)
+        assert directory.size() == len(directory) == 3
+        assert directory.node(0) is directory.local
+        facade = directory.node(2)
+        assert facade.node_id == 2
+        assert directory.node(2) is facade  # cached, one facade per peer
+        assert facades == [facade]
+
+    def test_unknown_peer_is_an_error(self):
+        directory, _ = make_directory()
+        with pytest.raises(SimulationError, match="unknown swarm peer"):
+            directory.node(5)
+
+    def test_liveness_window(self):
+        directory, _ = make_directory()
+        directory.add_peer(1, "127.0.0.1", 9001)
+        assert directory.is_alive(1)
+        directory.round += LIVENESS_WINDOW
+        assert directory.is_alive(1)  # exactly at the window edge
+        directory.round += 1
+        assert not directory.is_alive(1)
+        assert directory.alive_ids() == [0]  # self is always alive
+        directory.touch(1)
+        assert directory.is_alive(1)
+        assert directory.alive_ids() == [0, 1]
+
+    def test_touch_unknown_peer_is_noop(self):
+        directory, _ = make_directory()
+        directory.touch(42)
+        assert directory.addr_of(42) is None
+
+
+@pytest.mark.slow
+def test_three_node_swarm_in_process():
+    """Three live UDP nodes on threads: full roster, ring-3 convergence."""
+    n, rounds = 3, 60
+    base = dict(kind="net", n_nodes=n, shape="ring", seed=11, round_interval=0.05)
+    runners = [make_runner(RunnerConfig(node_index=0, **base))]
+    try:
+        runners[0].start()
+        rendezvous = f"127.0.0.1:{runners[0].port}"
+        for i in range(1, n):
+            runners.append(
+                make_runner(RunnerConfig(node_index=i, rendezvous=rendezvous, **base))
+            )
+        threads = [
+            threading.Thread(target=r.run, args=(rounds,), daemon=True)
+            for r in runners
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=rounds * 0.05 + 15)
+        assert not any(thread.is_alive() for thread in threads)
+        for runner in runners:
+            assert sorted(runner.directory.node_ids()) == list(range(n))
+            assert runner.round > 0
+            stats = runner.wire_stats()
+            assert stats["malformed"] == 0
+        adjacency = {r.node_id: set(r.neighbors()) for r in runners}
+        assert runners[0].shape.converged(adjacency, n)
+    finally:
+        for runner in runners:
+            runner.close()
+            runner.close()  # idempotent

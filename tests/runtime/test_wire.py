@@ -1,0 +1,244 @@
+"""Wire-codec hardening: round-trip exactness and hostile-input behavior."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WireError
+from repro.gossip.descriptors import Descriptor, Provenance
+from repro.runtime import wire
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+
+def roundtrip(payload):
+    frame = wire.make_frame(wire.GOSSIP_REQ, src=3, msg_id="3:1", payload=payload)
+    return wire.decode(wire.encode(frame))["payload"]
+
+
+class TestValueRoundTrip:
+    def test_scalars(self):
+        for value in (None, True, False, 0, -7, 3.5, "text", ""):
+            assert roundtrip(value) == value
+
+    def test_tuple_survives_as_tuple(self):
+        value = (1, 2, (3, "x"))
+        out = roundtrip(value)
+        assert out == value
+        assert isinstance(out, tuple)
+        assert isinstance(out[2], tuple)
+
+    def test_list_stays_list(self):
+        out = roundtrip([1, (2, 3)])
+        assert isinstance(out, list)
+        assert isinstance(out[1], tuple)
+
+    def test_descriptor_bit_for_bit(self):
+        descriptor = Descriptor(
+            9, age=4, profile=(1.0, 2.0), provenance=Provenance(9, 3, 2)
+        )
+        out = roundtrip(descriptor)
+        assert isinstance(out, Descriptor)
+        assert out.node_id == 9 and out.age == 4
+        assert out.profile == (1.0, 2.0) and isinstance(out.profile, tuple)
+        assert out.provenance == Provenance(9, 3, 2)
+
+    def test_descriptor_without_provenance(self):
+        out = roundtrip(Descriptor(1, age=0, profile=None))
+        assert isinstance(out, Descriptor)
+        assert out.provenance is None
+
+    def test_non_string_key_map(self):
+        value = {(0, 1): "a", 7: "b"}
+        out = roundtrip(value)
+        assert out == value
+        assert set(map(type, out)) == {tuple, int}
+
+    def test_string_key_map_plain(self):
+        assert roundtrip({"a": [1], "b": (2,)}) == {"a": [1], "b": (2,)}
+
+    def test_descriptor_list_payload(self):
+        payload = [Descriptor(i, age=i, profile=(float(i),)) for i in range(5)]
+        out = roundtrip(payload)
+        assert [d.node_id for d in out] == list(range(5))
+
+    def test_unencodable_value_raises_on_send(self):
+        with pytest.raises(WireError):
+            roundtrip(object())
+
+    def test_unencodable_set_raises_on_send(self):
+        with pytest.raises(WireError):
+            roundtrip({1, 2})
+
+
+if HAVE_HYPOTHESIS:
+    payloads = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers(min_value=-(2**31), max_value=2**31)
+        | st.floats(allow_nan=False, allow_infinity=False)
+        | st.text(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.tuples(children, children)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4)
+        | st.builds(
+            Descriptor,
+            st.integers(min_value=0, max_value=10_000),
+            age=st.integers(min_value=0, max_value=64),
+            profile=st.tuples(st.floats(allow_nan=False, allow_infinity=False)),
+            provenance=st.none()
+            | st.builds(
+                Provenance,
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=0, max_value=32),
+            ),
+        ),
+        max_leaves=12,
+    )
+
+    @given(payloads)
+    @settings(max_examples=150, deadline=None)
+    def test_hypothesis_roundtrip(payload):
+        assert roundtrip(payload) == payload
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=150, deadline=None)
+    def test_hypothesis_hostile_bytes_never_crash(data):
+        try:
+            wire.decode(data)
+        except WireError:
+            pass  # the only allowed failure mode
+
+
+class TestHostileDecode:
+    def ok_frame(self, **overrides):
+        frame = {"v": wire.WIRE_VERSION, "t": wire.PING, "id": "1:1", "ttl": 0, "src": 1}
+        frame.update(overrides)
+        return json.dumps(frame).encode("utf-8")
+
+    def test_truncated(self):
+        with pytest.raises(WireError):
+            wire.decode(self.ok_frame()[:-4])
+
+    def test_not_utf8(self):
+        with pytest.raises(WireError):
+            wire.decode(b"\xff\xfe\x00")
+
+    def test_not_json(self):
+        with pytest.raises(WireError):
+            wire.decode(b"not json at all")
+
+    def test_not_an_object(self):
+        with pytest.raises(WireError):
+            wire.decode(b"[1, 2, 3]")
+
+    def test_version_skew(self):
+        with pytest.raises(WireError, match="version skew"):
+            wire.decode(self.ok_frame(v=wire.WIRE_VERSION + 1))
+
+    def test_missing_version(self):
+        frame = json.loads(self.ok_frame())
+        del frame["v"]
+        with pytest.raises(WireError, match="version skew"):
+            wire.decode(json.dumps(frame).encode("utf-8"))
+
+    def test_unknown_type(self):
+        with pytest.raises(WireError, match="unknown frame type"):
+            wire.decode(self.ok_frame(t="EVIL"))
+
+    def test_bad_msg_id(self):
+        for bad in ("", 7, None, "x" * 200):
+            with pytest.raises(WireError, match="message id"):
+                wire.decode(self.ok_frame(id=bad))
+
+    def test_ttl_out_of_range(self):
+        for bad in (-1, wire.MAX_TTL + 1, "4", True, None):
+            with pytest.raises(WireError, match="ttl"):
+                wire.decode(self.ok_frame(ttl=bad))
+
+    def test_bad_src(self):
+        for bad in (-1, "3", None, True):
+            with pytest.raises(WireError, match="source"):
+                wire.decode(self.ok_frame(src=bad))
+
+    def test_oversized_datagram(self):
+        with pytest.raises(WireError, match="exceeds"):
+            wire.decode(b" " * (wire.MAX_FRAME_BYTES + 1))
+
+    def test_oversized_frame_rejected_on_encode(self):
+        frame = wire.make_frame(
+            wire.GOSSIP_REQ, src=1, msg_id="1:1", payload="x" * wire.MAX_FRAME_BYTES
+        )
+        with pytest.raises(WireError, match="exceeds"):
+            wire.encode(frame)
+
+    def test_malformed_tag_payloads(self):
+        for tag_value in ({"__d": [1]}, {"__p": "x"}, {"__t": 3}, {"__m": [[1]]}):
+            hostile = self.ok_frame(payload=tag_value)
+            with pytest.raises(WireError):
+                wire.decode(hostile)
+
+    def test_non_bytes_input(self):
+        with pytest.raises(WireError):
+            wire.decode("a string")  # type: ignore[arg-type]
+
+
+class TestSeenSet:
+    def test_dedup(self):
+        seen = wire.SeenSet(capacity=8)
+        assert seen.add("a:1") is True
+        assert seen.add("a:1") is False
+
+    def test_bounded_under_flood(self):
+        seen = wire.SeenSet(capacity=64)
+        for i in range(10_000):
+            seen.add(f"flood:{i}")
+        assert len(seen) == 64
+
+    def test_fifo_eviction_bias(self):
+        seen = wire.SeenSet(capacity=2)
+        seen.add("old")
+        seen.add("mid")
+        seen.add("new")
+        assert "old" not in seen
+        assert "mid" in seen and "new" in seen
+        # an evicted id is treated as fresh again
+        assert seen.add("old") is True
+
+    def test_capacity_validated(self):
+        with pytest.raises(WireError):
+            wire.SeenSet(capacity=0)
+
+
+class TestMsgIdsAndRelay:
+    def test_msg_id_stream_deterministic(self):
+        a, b = wire.MsgIdSource(5), wire.MsgIdSource(5)
+        assert [a.next() for _ in range(3)] == [b.next() for _ in range(3)]
+        assert a.next() == "5:4"
+
+    def test_relay_decrements_ttl(self):
+        frame = wire.make_frame(wire.ANNOUNCE, src=1, msg_id="1:1", ttl=3)
+        relayed = wire.relay_frame(frame)
+        assert relayed["ttl"] == 2
+        assert frame["ttl"] == 3  # original untouched
+
+    def test_relay_stops_at_zero(self):
+        frame = wire.make_frame(wire.ANNOUNCE, src=1, msg_id="1:1", ttl=0)
+        assert wire.relay_frame(frame) is None
+
+    def test_flood_exhausts_in_max_ttl_hops(self):
+        frame = wire.make_frame(wire.ANNOUNCE, src=1, msg_id="1:1", ttl=wire.MAX_TTL)
+        hops = 0
+        while frame is not None:
+            frame = wire.relay_frame(frame)
+            hops += 1
+        assert hops == wire.MAX_TTL + 1
