@@ -68,7 +68,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.core.runtime import Runtime
@@ -223,6 +223,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             obs=args.obs is not None,
         )
         print(format_bench(report))
+        if args.check:
+            # Regression gate: compare against the committed trajectory at
+            # --output instead of rewriting it.
+            import json as _json
+
+            from repro.perf.bench import check_bench, format_check
+
+            try:
+                baseline = _json.loads(
+                    open(args.output, "r", encoding="utf-8").read()
+                )
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read baseline {args.output}: {exc}",
+                      file=sys.stderr)
+                return 2
+            regressions = check_bench(report, baseline, tolerance=args.tolerance)
+            print(format_check(regressions, tolerance=args.tolerance))
+            return 1 if regressions else 0
         written = write_bench(report, json_path=args.output)
         if report.obs is not None:
             obs = report.obs
@@ -436,14 +454,71 @@ def _instrumented_run(args: argparse.Namespace):
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import os as _os
+
     from repro.metrics.registry import MetricsRegistry
 
+    if _os.path.isdir(args.file):
+        return _report_swarm_dir(args.file)
+    if args.file.endswith(".jsonl"):
+        from repro.obs.export import read_jsonl
+
+        registry = MetricsRegistry.from_events(read_jsonl(args.file))
+        print(registry.render())
+        return 0
     deployment, report, collector = _instrumented_run(args)
     registry = MetricsRegistry.for_deployment(deployment, report, collector)
     if args.profile:
         registry.add_profile(collector)
     print(registry.render())
     return 0 if report.converged else 1
+
+
+def _report_swarm_dir(status_dir: str) -> int:
+    """``repro report <swarm-dir>``: the post-mortem cross-node view.
+
+    Merges every node's incremental JSONL stream into one chronological
+    event table, rebuilds the swarm-wide flow tracer and wire histograms
+    from the final status files, and renders through the same registry the
+    simulator reports use.
+    """
+    import pathlib as _pathlib
+
+    from repro.metrics.registry import MetricsRegistry
+    from repro.obs.collector import Collector
+    from repro.runtime.swarm import merge_node_events, merge_telemetry, read_statuses
+
+    directory = _pathlib.Path(status_dir)
+    statuses = read_statuses(directory)
+    events = merge_node_events(status_dir)
+    if not statuses and not events:
+        print(f"error: no swarm telemetry under {status_dir}", file=sys.stderr)
+        return 2
+    collector = Collector(gauge_every=0)
+    merge_telemetry(collector, statuses)
+    registry = MetricsRegistry.from_events(events) if events else MetricsRegistry()
+    flow = collector.flow
+    if flow is not None and flow.layers():
+        registry.add_flow(flow)
+    rtt_rows = [
+        (
+            layer or "-",
+            histogram.count,
+            f"{histogram.mean() * 1000:.2f}",
+            f"{histogram.percentile(0.95) * 1000:.2f}",
+            f"{histogram.vmax * 1000:.2f}",
+        )
+        for (name, layer), histogram in sorted(collector.histograms.items())
+        if name == "gossip_rtt" and histogram.count
+    ]
+    if rtt_rows:
+        registry.add_section(
+            "gossip rtt (wire spans)",
+            ("layer", "count", "mean ms", "p95 ms", "max ms"),
+            rtt_rows,
+        )
+    print(registry.render())
+    return 0
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -579,10 +654,15 @@ def _watch_swarm(args: argparse.Namespace) -> int:
     collector = Collector(gauge_every=1)
     monitor = HealthMonitor(collector, expected_layers=SWARM_LAYERS)
     title = f"repro watch --swarm {directory} ({shape}-{n_nodes})"
+    statuses: Dict[int, Dict[str, Any]] = {}
 
     def frame(round_index: int) -> str:
         return render_dashboard(
-            collector, monitor, round_index=round_index, title=title
+            collector,
+            monitor,
+            round_index=round_index,
+            title=title,
+            nodes=statuses,
         )
 
     observed_round = -1
@@ -663,6 +743,24 @@ def _cmd_swarm(args: argparse.Namespace) -> int:
             f"{wire.get('bytes_sent', 0)} B out / "
             f"{wire.get('bytes_received', 0)} B in"
         )
+    for layer, data in sorted((report.flow or {}).items()):
+        latency = data.get("latency") or {}
+        line = (
+            f"  flow {layer}: {data['deliveries']} deliveries over "
+            f"{data['flow_edges']} edge(s), {data['known_pairs']} pair(s)"
+        )
+        if latency:
+            line += (
+                f", latency mean {latency['mean']:.1f} / "
+                f"p95 {latency['p95']} round(s)"
+            )
+        print(line)
+    for layer, stats in sorted(report.rtt.items()):
+        print(
+            f"  rtt {layer}: {stats['count']} exchange(s), "
+            f"mean {stats['mean_seconds'] * 1000:.2f} ms, "
+            f"p95 {stats['p95_seconds'] * 1000:.2f} ms"
+        )
     for alert in report.alerts:
         print(f"  alert: {alert['rule']} ({alert['severity']}) {alert['evidence']}")
     written = []
@@ -673,6 +771,13 @@ def _cmd_swarm(args: argparse.Namespace) -> int:
 
         write_prometheus(args.prom, collector)
         written.append(args.prom)
+    if args.jsonl:
+        from repro.obs.export import write_jsonl
+        from repro.runtime.swarm import merge_node_events
+
+        events = merge_node_events(report.status_dir)
+        write_jsonl(args.jsonl, events)
+        written.append(f"{args.jsonl} ({len(events)} event(s))")
     for path in written:
         print(f"wrote {path}")
     print(f"status dir: {report.status_dir}")
@@ -817,6 +922,21 @@ def build_parser() -> argparse.ArgumentParser:
         "overhead) and write the telemetry stream to PATH (JSONL; a "
         "Prometheus snapshot lands at PATH.prom)",
     )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate (gossip target): compare the fresh run "
+        "against the committed trajectory at --output instead of "
+        "rewriting it; exit 1 when any cell's mean wall time regresses "
+        "past --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed per-cell wall-time regression fraction for --check "
+        "(default: 0.20)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     from repro.faults.scenarios import SCENARIOS
@@ -924,9 +1044,15 @@ def build_parser() -> argparse.ArgumentParser:
     heal.set_defaults(func=_cmd_heal)
 
     report = subparsers.add_parser(
-        "report", help="converge a topology and print the consolidated metrics"
+        "report",
+        help="converge a topology and print the consolidated metrics "
+        "(also accepts a swarm status dir or a .jsonl event stream)",
     )
-    report.add_argument("file")
+    report.add_argument(
+        "file",
+        help="a .topo file to converge, a swarm status directory to "
+        "post-mortem (merged node-*.jsonl + flow/RTT), or a .jsonl stream",
+    )
     report.add_argument("--nodes", type=int, default=None)
     report.add_argument("--seed", type=int, default=1)
     report.add_argument("--max-rounds", type=int, default=120)
@@ -1018,6 +1144,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a Prometheus-style snapshot of the supervisor telemetry",
+    )
+    swarm.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="merge every node's incremental node-*.jsonl stream into one "
+        "chronological event file at PATH",
     )
     swarm.add_argument(
         "--quiet", action="store_true", help="suppress the live progress line"

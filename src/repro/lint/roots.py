@@ -47,6 +47,10 @@ DEFAULT_ROOTS: Sequence[str] = (
     "runtime/net.py::NetRunner.run_round",
     "runtime/net.py::NetEndpoint.on_datagram",
     "runtime/swarm.py::_swarm_node",
+    # The per-node telemetry endpoint: the /metrics handler runs on the
+    # daemon HTTP thread and reads collector state only — anything else
+    # it could reach from there is a leak the taint pass must see.
+    "runtime/telemetry.py::_MetricsHandler.do_GET",
     "*::*.step",
     "*::*.before_round",
     "*::*.after_round",

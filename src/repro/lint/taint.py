@@ -66,6 +66,12 @@ CLOCK_SANCTIONED = (
     "obs/spans.py",
     "runtime/net.py",
     "runtime/swarm.py",
+    # The telemetry HTTP thread (stdlib http.server reads the clock for
+    # request logging/timeouts) and the Lamport clock module (purely
+    # logical, but lives with the runtime's clock discipline) are
+    # observation-side by construction: neither feeds protocol state.
+    "runtime/telemetry.py",
+    "runtime/lamport.py",
 )
 
 #: category → diagnostic code.

@@ -12,8 +12,9 @@ as ``repro bench --obs``.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import defaultdict
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.events import is_known
 from repro.obs.instrument import Instrument
@@ -22,6 +23,120 @@ from repro.sim.network import Network
 
 #: counter/gauge key: (metric name, layer label; "" = global).
 MetricKey = Tuple[str, str]
+
+#: Default bucket upper bounds: second-denominated round-trip times from
+#: sub-millisecond loopback to multi-second stalls (Prometheus ``le``
+#: semantics — each bound is inclusive, with an implicit +Inf bucket).
+RTT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Relay hop counts (bounded by MAX_TTL = 16 on the wire).
+HOP_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 8.0, 16.0)
+
+#: Per-metric bucket bounds; anything unlisted uses :data:`RTT_BUCKETS`.
+HISTOGRAM_BUCKETS: Dict[str, Tuple[float, ...]] = {
+    "gossip_rtt": RTT_BUCKETS,
+    "announce_hops": HOP_BUCKETS,
+}
+
+
+class Histogram:
+    """A fixed-bucket distribution (Prometheus histogram semantics).
+
+    ``record()`` is O(log buckets) with zero allocation; percentiles are
+    bucket-resolution approximations (the upper bound of the bucket the
+    requested rank falls in), which is exactly the fidelity a scraped
+    Prometheus histogram would give.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "total", "count", "vmax")
+
+    def __init__(self, bounds: Sequence[float] = RTT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        if not self.bounds or list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"bucket bounds must be non-empty and strictly increasing: "
+                f"{bounds}"
+            )
+        # One slot per bound plus the +Inf overflow bucket (non-cumulative).
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.vmax = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if value > self.vmax:
+            self.vmax = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile: the bound of the bucket holding the rank."""
+        if not self.count:
+            return 0.0
+        threshold = fraction * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= threshold and bucket_count:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.vmax  # +Inf bucket: best honest answer is the max
+        return self.vmax
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le_label, cumulative_count)`` pairs for text exposition."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            running += bucket_count
+            out.append((f"{bound:g}", running))
+        out.append(("+Inf", self.count))
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dump (status files, snapshots, cross-process merge)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.bucket_counts),
+            "sum": self.total,
+            "count": self.count,
+            "max": self.vmax,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        histogram = cls(data.get("bounds") or RTT_BUCKETS)
+        histogram.merge_dict(data)
+        return histogram
+
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Add another histogram's ``to_dict()`` dump into this one.
+
+        Bucket bounds must match — merging across processes only makes
+        sense when every node bucketed the same way (they do: bounds are
+        keyed by metric name).
+        """
+        bounds = tuple(float(b) for b in (data.get("bounds") or self.bounds))
+        if bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{bounds} != {self.bounds}"
+            )
+        counts = data.get("counts") or []
+        if len(counts) != len(self.bucket_counts):
+            raise ValueError(f"bucket count mismatch: {len(counts)}")
+        for index, bucket_count in enumerate(counts):
+            self.bucket_counts[index] += int(bucket_count)
+        self.total += float(data.get("sum") or 0.0)
+        self.count += int(data.get("count") or 0)
+        self.vmax = max(self.vmax, float(data.get("max") or 0.0))
 
 
 class Collector(Instrument):
@@ -57,6 +172,7 @@ class Collector(Instrument):
         # beats get()+store there.
         self.counters: Dict[MetricKey, int] = defaultdict(int)
         self.gauges: Dict[MetricKey, float] = {}
+        self.histograms: Dict[MetricKey, Histogram] = {}
         self.events: List[Any] = []
         self.unknown_kinds: Dict[str, int] = {}
         self.spans = SpanTimer(clock)
@@ -88,6 +204,14 @@ class Collector(Instrument):
 
     def gauge(self, name: str, value: float, layer: str = "") -> None:
         self.gauges[(name, layer)] = value
+
+    def histogram(self, name: str, value: float, layer: str = "") -> None:
+        key = (name, layer)
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = Histogram(HISTOGRAM_BUCKETS.get(name, RTT_BUCKETS))
+            self.histograms[key] = histogram
+        histogram.record(value)
 
     def span_begin(self, name: str) -> None:
         self.spans.begin(name)
@@ -173,6 +297,9 @@ class Collector(Instrument):
     def gauge_value(self, name: str, layer: str = "") -> Optional[float]:
         return self.gauges.get((name, layer))
 
+    def histogram_of(self, name: str, layer: str = "") -> Optional[Histogram]:
+        return self.histograms.get((name, layer))
+
     def layers(self) -> List[str]:
         """Every non-empty layer label seen in counters or gauges, sorted."""
         labels = {layer for _name, layer in self.counters}
@@ -199,6 +326,10 @@ class Collector(Instrument):
                     "mean_seconds": self.spans.mean(name),
                 }
                 for name in self.spans.names()
+            ],
+            "histograms": [
+                dict(name=name, layer=layer, **histogram.to_dict())
+                for (name, layer), histogram in sorted(self.histograms.items())
             ],
             "events": len(self.events),
             "unknown_event_kinds": dict(sorted(self.unknown_kinds.items())),

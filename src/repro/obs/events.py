@@ -19,6 +19,7 @@ EVENT_DEPLOY = "deploy"
 EVENT_NODE_CRASH = "node_crash"
 EVENT_NODE_LEAVE = "node_leave"
 EVENT_NODE_UP = "node_up"
+EVENT_NODE_ROUND = "node_round"
 EVENT_LAYER_CONVERGED = "layer_converged"
 
 # -- faults (mirrors repro.faults.plane.FaultEvent kinds) ---------------------
@@ -56,6 +57,7 @@ TAXONOMY: Dict[str, str] = {
     EVENT_NODE_CRASH: "a known-alive node was observed dead (still present)",
     EVENT_NODE_LEAVE: "a known-alive node left the network entirely",
     EVENT_NODE_UP: "a node appeared alive (join or revival)",
+    EVENT_NODE_ROUND: "one live swarm node finished a gossip round",
     EVENT_LAYER_CONVERGED: "a runtime layer's convergence predicate first held",
     EVENT_PARTITION: "the fault plane split the population into islands",
     EVENT_HEAL: "an active partition was healed",

@@ -112,6 +112,7 @@ def to_prometheus(collector: "Collector", prefix: str = "repro") -> str:
     """A Prometheus-style text snapshot of the collector's aggregates.
 
     Counters become ``<prefix>_<name>_total``, gauges ``<prefix>_<name>``,
+    histograms ``<prefix>_<name>_bucket{le=...}`` / ``_sum`` / ``_count``,
     spans ``<prefix>_span_seconds_total`` / ``<prefix>_span_count`` with a
     ``span`` label. Layer labels are attached where present.
     """
@@ -132,6 +133,25 @@ def to_prometheus(collector: "Collector", prefix: str = "repro") -> str:
         lines.append(f"# TYPE {metric} gauge")
         for layer, value in series:
             lines.append(f"{metric}{_labels(layer)} {value:g}")
+    by_histogram: dict = {}
+    for (name, layer), histogram in sorted(
+        getattr(collector, "histograms", {}).items()
+    ):
+        by_histogram.setdefault(name, []).append((layer, histogram))
+    for name, series in by_histogram.items():
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        for layer, histogram in series:
+            layer_label = (
+                f'layer="{_escape_label_value(layer)}",' if layer else ""
+            )
+            for le_label, cumulative in histogram.cumulative():
+                lines.append(
+                    f'{metric}_bucket{{{layer_label}le="{le_label}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f"{metric}_sum{_labels(layer)} {histogram.total:.6f}")
+            lines.append(f"{metric}_count{_labels(layer)} {histogram.count}")
     span_names = collector.spans.names()
     if span_names:
         total_metric = _metric_name(prefix, "span_seconds") + "_total"

@@ -106,7 +106,12 @@ class FlowTracer:
             if tag.origin == receiver:
                 continue  # own knowledge echoed back carries no information
             self.deliveries += 1
-            latency = round_index - tag.minted_round
+            # In-process runs share one round counter, so this is always
+            # >= 0. Live swarm nodes advance their counters independently;
+            # a tag minted at a faster peer's round 5 can arrive during the
+            # receiver's round 4. Clamp to zero so cross-node distributions
+            # stay well-defined (see docs/observability.md, "clock skew").
+            latency = max(0, round_index - tag.minted_round)
             latencies[latency] = latencies.get(latency, 0) + 1
             edge = (sender, receiver)
             edges[edge] = edges.get(edge, 0) + 1
@@ -119,6 +124,74 @@ class FlowTracer:
                     latency=latency,
                 )
         return out
+
+    # -- cross-process merge ---------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-safe dump of the raw tables (cross-process merge input).
+
+        Unlike :meth:`summary` this loses nothing: a supervisor absorbing
+        every node's state reconstructs the swarm-wide flow graph, latency
+        distributions, and critical paths exactly as if one tracer had
+        observed every delivery.
+        """
+        return {
+            "deliveries": self.deliveries,
+            "latencies": {
+                layer: sorted(histogram.items())
+                for layer, histogram in self.latencies.items()
+            },
+            "edges": {
+                layer: [
+                    [sender, receiver, count]
+                    for (sender, receiver), count in sorted(table.items())
+                ]
+                for layer, table in self.edges.items()
+            },
+            "first": {
+                layer: [
+                    [origin, receiver, d.round, d.hops, d.sender, d.latency]
+                    for (origin, receiver), d in sorted(table.items())
+                ]
+                for layer, table in self.first_delivery.items()
+            },
+        }
+
+    def absorb_state(self, state: Dict[str, object]) -> None:
+        """Merge a :meth:`to_state` dump (typically from another process).
+
+        Counts add; first deliveries keep the earliest ``(round, hops)``
+        record per (origin, receiver) pair. Tolerant of missing keys so
+        partially-written status files degrade to partial data, never a
+        crash.
+        """
+        for layer, pairs in (state.get("latencies") or {}).items():
+            histogram = self.latencies.setdefault(layer, {})
+            for latency, count in pairs:
+                latency = int(latency)
+                histogram[latency] = histogram.get(latency, 0) + int(count)
+        for layer, triples in (state.get("edges") or {}).items():
+            table = self.edges.setdefault(layer, {})
+            for sender, receiver, count in triples:
+                edge = (int(sender), int(receiver))
+                table[edge] = table.get(edge, 0) + int(count)
+        for layer, rows in (state.get("first") or {}).items():
+            table = self.first_delivery.setdefault(layer, {})
+            for origin, receiver, round_index, hops, sender, latency in rows:
+                pair = (int(origin), int(receiver))
+                record = Delivery(
+                    round=int(round_index),
+                    hops=int(hops),
+                    sender=int(sender),
+                    latency=int(latency),
+                )
+                existing = table.get(pair)
+                if existing is None or (record.round, record.hops) < (
+                    existing.round,
+                    existing.hops,
+                ):
+                    table[pair] = record
+        self.deliveries += int(state.get("deliveries") or 0)
 
     # -- queries ---------------------------------------------------------------
 
@@ -214,3 +287,21 @@ class FlowTracer:
                 "critical_path": None if path is None else path._asdict(),
             }
         return out
+
+
+def merge_flow_states(states) -> FlowTracer:
+    """One tracer absorbing every dump in ``states`` (falsy entries skipped).
+
+    The swarm supervisor's entry point: each node publishes
+    ``tracer.to_state()`` in its status file, and this reconstructs the
+    cross-node flow report.
+    """
+    merged = FlowTracer()
+    for state in states:
+        if not state:
+            continue
+        try:
+            merged.absorb_state(state)
+        except (AttributeError, KeyError, TypeError, ValueError):
+            continue  # one node's corrupt dump must not sink the swarm view
+    return merged

@@ -92,6 +92,10 @@ def attach_collector_to_engine(
     health rules) need oracle state an engine does not have; this variant
     wires only the sink, the round clock, and the sampled structural
     gauges — what perf workloads and hand-built simulations need.
+
+    Engines without an observer list (the sharded BSP engine, the UDP
+    runtime) still get the sink and the round clock; they report through
+    ``obs`` spans/gauges directly instead of per-round observer calls.
     """
     if collector is None:
         collector = Collector(gauge_every=gauge_every, flow=flow)
@@ -99,5 +103,7 @@ def attach_collector_to_engine(
         collector.flow = flow
     collector.bind_round_source(lambda: engine.round)
     engine.obs = collector
-    engine.add_observer(collector)
+    add_observer = getattr(engine, "add_observer", None)
+    if add_observer is not None:
+        add_observer(collector)
     return collector

@@ -13,6 +13,7 @@ method                    role
 ``emit``                  typed lifecycle events (:mod:`repro.obs.events`)
 ``count``                 monotonic per-layer counters (messages, churn)
 ``gauge``                 last-value per-layer gauges (degrees, occupancy)
+``histogram``             bucketed per-layer distributions (RTT, hop counts)
 ``span_begin``/``span_end``  wall-clock spans (round timing)
 ========================  =====================================================
 
@@ -79,6 +80,15 @@ class Instrument:
 
     def gauge(self, name: str, value: float, layer: str = "") -> None:
         """Set the last-value gauge ``name`` for ``layer``."""
+
+    def histogram(self, name: str, value: float, layer: str = "") -> None:
+        """Record ``value`` into the bucketed distribution ``name``.
+
+        Used for wire-level measurements whose *shape* matters — gossip
+        round-trip times, ANNOUNCE relay hop counts — where a counter
+        would lose the tail and a gauge the history. Bucket bounds are
+        chosen per metric name by the collector.
+        """
 
     def span_begin(self, name: str) -> None:
         """Open the wall-clock span ``name`` (collector-timed)."""

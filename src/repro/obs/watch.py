@@ -41,12 +41,19 @@ def render_dashboard(
     round_index: Optional[int] = None,
     title: str = "repro watch",
     heal: Optional["RemediationEngine"] = None,
+    nodes: Optional[Dict[int, Dict[str, Any]]] = None,
 ) -> str:
     """One frame of the live view: population, layers, flow, alerts.
 
     With ``heal`` (a remediation engine), a remediation panel follows the
     alerts: the loop's verdict and, per active incident, its escalation
     level, attempts at that level, and the next scheduled retry round.
+
+    With ``nodes`` (swarm status records keyed by node index, as read by
+    :func:`repro.runtime.swarm.read_statuses`), a per-node panel follows
+    the flow table: each live node's round, gossip RTT (mean/p95 over its
+    own histograms), wire bytes in/out, reply drops, relay hop count, and
+    Lamport clock — the ``repro watch --swarm`` view.
     """
     out: List[str] = []
     header = title
@@ -106,6 +113,33 @@ def render_dashboard(
         out.append(render_table(headers, rows, title="information flow"))
         out.append("")
 
+    if nodes:
+        headers = [
+            "node", "round", "peers", "rtt ms", "p95 ms",
+            "B out", "B in", "drops", "hops", "lamport",
+        ]
+        rows = []
+        for node in sorted(nodes):
+            record = nodes[node]
+            wire = record.get("wire") or {}
+            mean_ms, p95_ms = _node_rtt(record)
+            rows.append(
+                [
+                    node,
+                    record.get("round", 0),
+                    record.get("peers_known", "-"),
+                    _fmt(mean_ms, ".2f"),
+                    _fmt(p95_ms, ".2f"),
+                    wire.get("bytes_sent", 0),
+                    wire.get("bytes_received", 0),
+                    sum(((record.get("peer") or {}).get("drops") or {}).values()),
+                    _fmt(_node_hops(record), ".1f"),
+                    record.get("lamport", 0),
+                ]
+            )
+        out.append(render_table(headers, rows, title="swarm nodes"))
+        out.append("")
+
     if health is not None:
         active = health.active_alerts()
         if active:
@@ -151,6 +185,38 @@ def render_dashboard(
     return "\n".join(out).rstrip() + "\n"
 
 
+def _node_rtt(record: Dict[str, Any]) -> Tuple[Optional[float], Optional[float]]:
+    """(mean, p95) gossip RTT in milliseconds across one node's layers."""
+    from repro.obs.collector import Histogram
+
+    merged: Optional[Histogram] = None
+    for dump in (record.get("rtt") or {}).values():
+        try:
+            if merged is None:
+                merged = Histogram.from_dict(dump)
+            else:
+                merged.merge_dict(dump)
+        except (KeyError, TypeError, ValueError):
+            continue
+    if merged is None or not merged.count:
+        return None, None
+    return merged.mean() * 1000.0, merged.percentile(0.95) * 1000.0
+
+
+def _node_hops(record: Dict[str, Any]) -> Optional[float]:
+    """Mean ANNOUNCE relay hop count of one node, or ``None``."""
+    from repro.obs.collector import Histogram
+
+    dump = record.get("hops")
+    if not dump:
+        return None
+    try:
+        histogram = Histogram.from_dict(dump)
+    except (KeyError, TypeError, ValueError):
+        return None
+    return histogram.mean() if histogram.count else None
+
+
 def _render_path(path) -> str:
     chain = "->".join(str(node) for node in path.path)
     return f"{chain} (closed r{path.closed_round}, {path.hops} hops)"
@@ -168,13 +234,17 @@ def _render_evidence(evidence: Dict[str, Any]) -> str:
 
 # -- span profiling ------------------------------------------------------------
 
-#: The engine's span nesting: child span → enclosing span.
+#: The engine's span nesting: child span → enclosing span. The sharded
+#: engine's BSP phases (``shard:request`` / ``shard:barrier`` /
+#: ``shard:respond`` / ``shard:absorb``) nest directly under ``round``.
 _SPAN_PARENTS = {"steps": "round", "observe": "round", "act": "round"}
 
 
 def _parent_of(name: str) -> Optional[str]:
     if name.startswith("layer:"):
         return "steps"
+    if name.startswith("shard:"):
+        return "round"
     return _SPAN_PARENTS.get(name)
 
 

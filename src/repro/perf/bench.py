@@ -305,6 +305,63 @@ def format_bench(report: BenchReport) -> str:
     return render_table(headers, rows, title=title)
 
 
+def check_bench(
+    report: Any, baseline: Dict, tolerance: float = 0.20
+) -> List[Dict[str, Any]]:
+    """Per-cell wall-time regression check against a committed trajectory.
+
+    ``report`` is a fresh :class:`BenchReport` (or its ``to_dict`` form);
+    ``baseline`` is the parsed committed ``BENCH_gossip.json``. A cell
+    regresses when its mean wall time exceeds the baseline's by more than
+    ``tolerance`` (default 20 %). Cells absent from the baseline are new
+    work, not regressions, and are skipped; so are baseline cells with a
+    zero/missing mean (nothing meaningful to compare against). Returns the
+    regression records, empty when the gate passes.
+    """
+    current = report.to_dict() if hasattr(report, "to_dict") else report
+    baseline_cells = {
+        cell.get("name"): cell for cell in baseline.get("workloads", ())
+    }
+    regressions: List[Dict[str, Any]] = []
+    for cell in current.get("workloads", ()):
+        base = baseline_cells.get(cell.get("name"))
+        if base is None:
+            continue
+        base_mean = (base.get("wall_time_s") or {}).get("mean")
+        mean = (cell.get("wall_time_s") or {}).get("mean")
+        if not base_mean or mean is None:
+            continue
+        ratio = mean / base_mean
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                {
+                    "name": cell["name"],
+                    "baseline_s": base_mean,
+                    "current_s": mean,
+                    "ratio": round(ratio, 3),
+                    "tolerance": tolerance,
+                }
+            )
+    return regressions
+
+
+def format_check(
+    regressions: List[Dict[str, Any]], tolerance: float = 0.20
+) -> str:
+    """One line per regressed cell, or the all-clear line."""
+    if not regressions:
+        return f"bench check: OK (no cell regressed past {tolerance:.0%})"
+    lines = [
+        f"bench check: {len(regressions)} cell(s) regressed past {tolerance:.0%}"
+    ]
+    for entry in regressions:
+        lines.append(
+            f"  {entry['name']}: {entry['baseline_s']:.4f}s -> "
+            f"{entry['current_s']:.4f}s ({entry['ratio']:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
 def write_bench(
     report: BenchReport,
     json_path: str = "BENCH_gossip.json",

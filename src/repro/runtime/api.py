@@ -346,7 +346,7 @@ def make_runner(
         runner.deployment = deployment
         return runner
     if config.kind == "sharded":
-        return ShardRunner(
+        sharded = ShardRunner(
             config.workload,
             config.shape,
             config.n_nodes,
@@ -356,7 +356,13 @@ def make_runner(
             mode=config.mode,
             costs=config.costs,
         )
+        if obs is not None:
+            sharded.obs = obs
+        return sharded
     # config.kind == "net" — validated by RunnerConfig.
     from repro.runtime.net import NetRunner
 
-    return NetRunner(config)
+    net_runner = NetRunner(config)
+    if obs is not None:
+        net_runner.obs = obs
+    return net_runner

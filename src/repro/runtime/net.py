@@ -39,9 +39,13 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from collections import defaultdict
+
 from repro.errors import ConfigurationError, SimulationError, WireError
+from repro.gossip.descriptors import Descriptor
 from repro.runtime import wire
 from repro.runtime.api import OVERLAY_LAYER, PS_LAYER, RunnerConfig
+from repro.runtime.lamport import LamportClock
 from repro.sim.config import GossipParams
 from repro.sim.engine import RoundContext
 from repro.sim.node import Node
@@ -56,6 +60,13 @@ REPLY_TIMEOUT_FRACTION = 0.8
 
 #: Seconds between HELLO retries while waiting for the first roster.
 HELLO_RETRY_INTERVAL = 0.05
+
+#: Frame types that carry trace context when tracing is enabled — the
+#: information-bearing traffic (gossip exchanges and membership floods);
+#: liveness and bootstrap frames stay minimal.
+TRACED_FRAME_TYPES = frozenset(
+    (wire.GOSSIP_REQ, wire.GOSSIP_RESP, wire.ANNOUNCE)
+)
 
 
 def _now() -> float:
@@ -197,11 +208,13 @@ class NetDirectory:
 class _Pending:
     """One in-flight request awaiting its GOSSIP_RESP."""
 
-    __slots__ = ("event", "payload")
+    __slots__ = ("event", "payload", "started")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.payload: Any = None
+        #: Wall-clock send time, set only when tracing is on (RTT spans).
+        self.started: Optional[float] = None
 
 
 class _DatagramProtocol(asyncio.DatagramProtocol):
@@ -246,6 +259,15 @@ class NetEndpoint:
         self.bytes_received = 0
         self.malformed = 0
         self.duplicates = 0
+        # Per-peer accounting: bytes exchanged with each peer and dropped
+        # (timed-out) exchanges per destination. Always on, like the
+        # aggregate counters — plain int upserts per datagram.
+        self.peer_bytes_sent: Dict[int, int] = defaultdict(int)
+        self.peer_bytes_received: Dict[int, int] = defaultdict(int)
+        self.peer_drops: Dict[int, int] = defaultdict(int)
+        #: Cross-node event ordering — ticks on every send, observes every
+        #: received trace field. Purely logical; see runtime.lamport.
+        self.lamport = LamportClock()
         self.port = 0
 
     def next_id(self) -> str:
@@ -298,11 +320,36 @@ class NetEndpoint:
 
     # -- sending --------------------------------------------------------------
 
-    def send_frame(self, frame: Dict[str, Any], addr: Tuple[str, int]) -> None:
+    def _harvest_tags(self, frame: Dict[str, Any]) -> List[Any]:
+        """Provenance tags of the descriptors a frame's payload carries."""
+        payload = frame.get("payload")
+        if not isinstance(payload, list):
+            return []
+        tags = [
+            item.provenance
+            for item in payload
+            if isinstance(item, Descriptor) and item.provenance is not None
+        ]
+        return tags[: wire.MAX_TRACE_TAGS]
+
+    def send_frame(self, frame: Dict[str, Any], addr: Tuple[str, int]) -> int:
+        """Encode and send; returns the datagram size in bytes."""
+        clock = self.lamport.tick()
+        if (
+            self.runner.obs is not None
+            and frame["t"] in TRACED_FRAME_TYPES
+            and wire.TRACE_KEY not in frame
+        ):
+            # Tracing on: attach the trace context without mutating the
+            # caller's frame (relayed floods reuse the original dict).
+            frame = dict(frame)
+            frame[wire.TRACE_KEY] = wire.make_trace(
+                clock, self._harvest_tags(frame)
+            )
         data = wire.encode(frame)
         loop = self._loop
         if loop is None or not loop.is_running():
-            return
+            return 0
 
         def _send() -> None:
             if self._transport is not None:
@@ -311,28 +358,46 @@ class NetEndpoint:
         loop.call_soon_threadsafe(_send)
         self.datagrams_sent += 1
         self.bytes_sent += len(data)
+        return len(data)
 
     def send_to_peer(self, node_id: int, frame: Dict[str, Any]) -> bool:
         addr = self.directory.addr_of(node_id)
         if addr is None:
             return False
-        self.send_frame(frame, addr)
+        self.peer_bytes_sent[node_id] += self.send_frame(frame, addr)
         return True
 
     def request(
         self, dst: int, frame: Dict[str, Any], timeout: float
     ) -> Optional[Any]:
         """Send ``frame`` to ``dst`` and wait for its GOSSIP_RESP payload."""
+        obs = self.runner.obs
         pending = _Pending()
+        if obs is not None:
+            pending.started = _now()
         self._pending[frame["id"]] = pending
         try:
             if not self.send_to_peer(dst, frame):
                 return None
             if not pending.event.wait(timeout=timeout):
+                self.peer_drops[dst] += 1
+                if obs is not None:
+                    obs.count("exchange_timeouts", layer=self._frame_layer(frame))
                 return None
+            if obs is not None and pending.started is not None:
+                obs.histogram(
+                    "gossip_rtt",
+                    _now() - pending.started,
+                    layer=self._frame_layer(frame),
+                )
             return pending.payload
         finally:
             self._pending.pop(frame["id"], None)
+
+    @staticmethod
+    def _frame_layer(frame: Dict[str, Any]) -> str:
+        layer = frame.get("layer")
+        return layer if isinstance(layer, str) else ""
 
     # -- receiving (loop thread) ----------------------------------------------
 
@@ -345,10 +410,17 @@ class NetEndpoint:
             # Hostile or version-skewed input: counted, never fatal.
             self.malformed += 1
             return
+        self.peer_bytes_received[frame["src"]] += len(data)
         if not self.seen.add(frame["id"]):
             self.duplicates += 1
             return
         self.directory.touch(frame["src"])
+        trace = frame.get(wire.TRACE_KEY)
+        if trace is not None:
+            self.lamport.observe(trace["lc"])
+            obs = self.runner.obs
+            if obs is not None:
+                obs.count("trace_frames", layer=self._frame_layer(frame))
         if frame["t"] == wire.GOSSIP_REQ:
             # Passive exchanges contend on the step lock, and the active
             # step may be blocked right now waiting for *its* reply on this
@@ -409,6 +481,13 @@ class NetEndpoint:
         if not isinstance(node_id, int) or not isinstance(host, str):
             raise WireError("malformed ANNOUNCE")
         self.directory.add_peer(node_id, host, int(port))
+        obs = self.runner.obs
+        if obs is not None:
+            # How far this flood travelled: the swarm shares one config,
+            # so the TTL budget spent is the relay hop count.
+            hops = self.runner.config.ttl - frame["ttl"]
+            if 0 <= hops <= wire.MAX_TTL:
+                obs.histogram("announce_hops", hops)
         relayed = wire.relay_frame(frame)
         if relayed is not None:
             self._relay(relayed, exclude=node_id)
@@ -501,6 +580,14 @@ class NetEndpoint:
             "duplicates": self.duplicates,
         }
 
+    def peer_stats(self) -> Dict[str, Dict[int, int]]:
+        """Per-peer byte and drop counters (keys are peer node ids)."""
+        return {
+            "bytes_sent": dict(self.peer_bytes_sent),
+            "bytes_received": dict(self.peer_bytes_received),
+            "drops": dict(self.peer_drops),
+        }
+
 
 class NetTransport(TransportDecorator):
     """The transport seam over real datagrams.
@@ -587,6 +674,11 @@ class NetRunner:
         )
         self.round = 0
         self.on_round: Optional[Callable[["NetRunner", int], Optional[bool]]] = None
+        #: Optional telemetry sink (:class:`~repro.obs.instrument.Instrument`).
+        #: ``None`` disables all tracing: no trace field on the wire, no RTT
+        #: timing, no flow tags — the zero-interference discipline of the
+        #: in-process engines, applied to the live runtime.
+        self.obs: Optional[Any] = None
         self._closed = False
         self._started = False
 
@@ -624,6 +716,7 @@ class NetRunner:
             transport=self.transport,
             streams=self.streams,
             round=self.round,
+            obs=self.obs,
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -667,6 +760,9 @@ class NetRunner:
     def run_round(self) -> bool:
         """One active gossip round; returns ``True`` to request a stop."""
         self.start()
+        obs = self.obs
+        if obs is not None:
+            obs.span_begin("round")
         self.directory.round = self.round
         self.transport.begin_round(self.round)
         # Keep chasing the full roster until everyone is known.
@@ -693,6 +789,17 @@ class NetRunner:
                 ),
             )
         self.round += 1
+        if obs is not None:
+            # Cumulative wire-plane gauges: cheap int reads, refreshed per
+            # round so the /metrics endpoint tracks live traffic.
+            stats = self.endpoint.wire_stats()
+            obs.gauge("wire_bytes_sent", stats["bytes_sent"])
+            obs.gauge("wire_bytes_received", stats["bytes_received"])
+            obs.gauge("wire_datagrams_sent", stats["datagrams_sent"])
+            obs.gauge("wire_malformed", stats["malformed"])
+            obs.gauge("peers_known", len(self.directory.peers))
+            obs.gauge("lamport_clock", self.endpoint.lamport.read())
+            obs.span_end("round")
         stop = False
         if self.on_round is not None:
             stop = bool(self.on_round(self, self.round - 1))
@@ -727,6 +834,9 @@ class NetRunner:
 
     def wire_stats(self) -> Dict[str, int]:
         return self.endpoint.wire_stats()
+
+    def peer_stats(self) -> Dict[str, Dict[int, int]]:
+        return self.endpoint.peer_stats()
 
     def close(self) -> None:
         if self._closed:

@@ -124,6 +124,10 @@ def _swarm_node(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--status-dir", required=True)
     args = parser.parse_args(argv)
 
+    from repro.obs.collector import Collector
+    from repro.obs.flow import FlowTracer
+    from repro.runtime.telemetry import MetricsServer, TelemetryStream
+
     status_dir = pathlib.Path(args.status_dir)
     status_path = _status_path(status_dir, args.node_index)
     stop_flag = status_dir / STOP_FLAG
@@ -139,6 +143,15 @@ def _swarm_node(argv: Optional[List[str]] = None) -> int:
         max_rounds=args.max_rounds,
     )
     runner = make_runner(config)
+    # The swarm is the observed deployment: every node traces (flow tags,
+    # RTT histograms, Lamport clock), serves a local /metrics endpoint,
+    # and streams its events incrementally to node-<i>.jsonl.
+    collector = Collector(gauge_every=0, flow=FlowTracer())
+    collector.bind_round_source(lambda: runner.round)
+    runner.obs = collector
+    server = MetricsServer(collector)
+    server.start()
+    stream = TelemetryStream(str(status_dir / f"node-{args.node_index}.jsonl"))
 
     def publish(done: bool) -> None:
         _write_status(
@@ -151,19 +164,49 @@ def _swarm_node(argv: Optional[List[str]] = None) -> int:
                 "peers_known": len(runner.directory.peers),
                 "alive": runner.directory.alive_count(),
                 "wire": runner.wire_stats(),
+                "peer": runner.peer_stats(),
+                "metrics_port": server.port,
+                "lamport": runner.endpoint.lamport.read(),
+                "flow": collector.flow.to_state(),
+                "rtt": {
+                    layer: histogram.to_dict()
+                    for (name, layer), histogram in collector.histograms.items()
+                    if name == "gossip_rtt"
+                },
+                "hops": (
+                    hops.to_dict()
+                    if (hops := collector.histogram_of("announce_hops"))
+                    is not None
+                    else None
+                ),
                 "done": done,
             },
         )
 
-    def on_round(_runner: Any, _round_index: int) -> bool:
+    def on_round(_runner: Any, round_index: int) -> bool:
+        wire_stats = runner.wire_stats()
+        collector.emit(
+            "node_round",
+            node=runner.node_id,
+            round=round_index,
+            peers_known=len(runner.directory.peers),
+            neighbors=len(runner.neighbors()),
+            bytes_sent=wire_stats["bytes_sent"],
+            bytes_received=wire_stats["bytes_received"],
+            lamport=runner.endpoint.lamport.read(),
+        )
         publish(done=False)
+        stream.flush(collector)
         return stop_flag.exists()
 
     runner.on_round = on_round
+    collector.emit("node_up", node=args.node_index)
     try:
         runner.run(args.max_rounds)
         publish(done=True)
+        stream.flush(collector)
     finally:
+        server.close()
         runner.close()
     return 0
 
@@ -188,6 +231,12 @@ class SwarmReport:
     #: Final per-node status records (wire counters, neighbourhoods).
     nodes: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     status_dir: str = ""
+    #: Cross-node flow report: merged FlowTracer summary (per-layer
+    #: propagation latencies, flow-graph size, critical path), or ``None``
+    #: when no node published flow state.
+    flow: Optional[Dict[str, Any]] = None
+    #: Swarm-wide gossip RTT summary per layer (merged histograms).
+    rtt: Dict[str, Any] = field(default_factory=dict)
 
     def bandwidth(self) -> Dict[str, int]:
         """Swarm-wide datagram totals summed over the final statuses."""
@@ -215,11 +264,15 @@ class SwarmReport:
             "verdict": self.verdict,
             "alerts": list(self.alerts),
             "bandwidth": self.bandwidth(),
+            "flow": self.flow,
+            "rtt": dict(self.rtt),
             "nodes": {
                 str(node): {
                     "round": record.get("round", 0),
                     "neighbors": list(record.get("neighbors", ())),
                     "wire": dict(record.get("wire", {})),
+                    "metrics_port": record.get("metrics_port", 0),
+                    "lamport": record.get("lamport", 0),
                 }
                 for node, record in sorted(self.nodes.items())
             },
@@ -255,7 +308,51 @@ def feed_collector(
         )
         collector.gauge("out_degree_max", float(max(degrees)), layer="overlay")
     collector.gauge("swarm_nodes_reporting", float(len(statuses)))
+    merge_telemetry(collector, statuses)
     return converged
+
+
+def merge_telemetry(
+    collector: Any, statuses: Dict[int, Dict[str, Any]]
+) -> None:
+    """Merge per-node flow state and wire histograms into the collector.
+
+    Each node publishes its own :class:`~repro.obs.flow.FlowTracer` dump
+    and RTT/hop histograms; the supervisor rebuilds the swarm-wide view on
+    every poll (statuses are cumulative, so rebuild-from-scratch is the
+    merge that cannot double-count).
+    """
+    from repro.obs.collector import Histogram
+    from repro.obs.flow import merge_flow_states
+
+    flow_states = [record.get("flow") for record in statuses.values()]
+    if any(flow_states):
+        try:
+            collector.flow = merge_flow_states(flow_states)
+        except (KeyError, TypeError, ValueError):
+            pass  # a malformed dump degrades to no flow report, not a crash
+
+    def _merged_histograms(key: str) -> Dict[str, Histogram]:
+        merged: Dict[str, Histogram] = {}
+        for record in statuses.values():
+            data = record.get(key)
+            if key == "hops":
+                data = {"": data} if data else {}
+            for layer, dump in (data or {}).items():
+                try:
+                    existing = merged.get(layer)
+                    if existing is None:
+                        merged[layer] = Histogram.from_dict(dump)
+                    else:
+                        existing.merge_dict(dump)
+                except (AttributeError, KeyError, TypeError, ValueError):
+                    continue  # skip one node's bad dump, keep the rest
+        return merged
+
+    for layer, histogram in _merged_histograms("rtt").items():
+        collector.histograms[("gossip_rtt", layer)] = histogram
+    for layer, histogram in _merged_histograms("hops").items():
+        collector.histograms[("announce_hops", layer)] = histogram
 
 
 def run_swarm(
@@ -425,6 +522,16 @@ def run_swarm(
     # wind-down rounds, and "the swarm reached the target shape" is the
     # claim being made. (A final snapshot can still upgrade it.)
     converged = feed_collector(collector, statuses, shape_obj, n_nodes) or converged
+    rtt_summary = {
+        layer: {
+            "count": histogram.count,
+            "mean_seconds": histogram.mean(),
+            "p95_seconds": histogram.percentile(0.95),
+            "max_seconds": histogram.vmax,
+        }
+        for (name, layer), histogram in sorted(collector.histograms.items())
+        if name == "gossip_rtt" and histogram.count
+    }
     report = SwarmReport(
         n_nodes=n_nodes,
         shape=shape,
@@ -438,8 +545,26 @@ def run_swarm(
         alerts=[alert.to_dict() for alert in monitor.alerts],
         nodes=statuses,
         status_dir=str(directory),
+        flow=collector.flow.summary() if collector.flow is not None else None,
+        rtt=rtt_summary,
     )
     return report, collector
+
+
+def merge_node_events(status_dir: str) -> List[Any]:
+    """One merged event stream from every ``node-*.jsonl`` in a swarm dir.
+
+    Events are stable-sorted by round (ties keep node order), so the
+    merged stream reads like one chronological log of the whole swarm.
+    Consumed by ``repro report <swarm-dir>`` and the CI artifact upload.
+    """
+    from repro.obs.export import read_jsonl
+
+    events: List[Any] = []
+    for path in sorted(pathlib.Path(status_dir).glob("node-*.jsonl")):
+        events.extend(read_jsonl(str(path)))
+    events.sort(key=lambda event: event.round)
+    return events
 
 
 def write_swarm_bench(

@@ -23,6 +23,12 @@ Design rules, enforced by tests:
 - **Determinism.** Message ids are ``"<src>:<seq>"`` from a per-node
   monotonic counter (:class:`MsgIdSource`), not random UUIDs, so a
   seeded swarm emits a reproducible id stream.
+- **Optional trace context.** A frame may carry a ``tr`` field — a
+  Lamport logical clock plus provenance tags (:func:`make_trace`),
+  validated by :func:`check_trace` on decode. The field is strictly
+  additive: ``WIRE_VERSION`` stays 1, frames without it decode exactly
+  as before, and decoders that predate the field interoperate because
+  they never look for the key.
 """
 
 from __future__ import annotations
@@ -67,6 +73,52 @@ _TAG_DESCRIPTOR = "__d"
 _TAG_PROVENANCE = "__p"
 _TAG_MAP = "__m"
 _TAGS = (_TAG_TUPLE, _TAG_DESCRIPTOR, _TAG_PROVENANCE, _TAG_MAP)
+
+#: Optional trace-context field: a Lamport clock plus provenance tags.
+#: Version-tolerant by construction — WIRE_VERSION stays 1, decoders that
+#: predate the field simply never look for the key, and encoders attach it
+#: only when tracing is enabled (zero wire-format change otherwise).
+TRACE_KEY = "tr"
+#: Ceiling on provenance tags one trace field may carry; bounds hostile
+#: frames that try to smuggle unbounded tag lists past the size cap.
+MAX_TRACE_TAGS = 256
+
+
+def make_trace(clock: int, tags: Any = ()) -> Dict[str, Any]:
+    """A trace-context record ready to attach as the ``tr`` frame field.
+
+    ``clock`` is the sender's Lamport timestamp for the send event
+    (:class:`repro.runtime.lamport.LamportClock`); ``tags`` the
+    :class:`Provenance` records of any descriptors the frame carries.
+    """
+    return {"lc": int(clock), "tags": list(tags)}
+
+
+def check_trace(value: Any) -> Dict[str, Any]:
+    """Validate a decoded trace field; hostile shapes raise :class:`WireError`.
+
+    Unknown extra keys are tolerated (future encoders may add fields under
+    the same wire version); the known keys are strictly typed — a trace
+    field is observability data, but a malformed one is still hostile
+    input and must surface as a counted decode error, never a crash in
+    the receive loop.
+    """
+    if not isinstance(value, dict):
+        raise WireError(f"trace field must be a map, got {type(value).__name__!r}")
+    clock = value.get("lc")
+    if not isinstance(clock, int) or isinstance(clock, bool) or clock < 0:
+        raise WireError(f"bad trace clock {clock!r}")
+    tags = value.get("tags", [])
+    if not isinstance(tags, (list, tuple)):
+        raise WireError(f"trace tags must be a list, got {type(tags).__name__!r}")
+    if len(tags) > MAX_TRACE_TAGS:
+        raise WireError(f"trace carries {len(tags)} tags (max {MAX_TRACE_TAGS})")
+    for tag in tags:
+        if not isinstance(tag, Provenance):
+            raise WireError(
+                f"trace tag must be provenance, got {type(tag).__name__!r}"
+            )
+    return {"lc": clock, "tags": list(tags)}
 
 
 def pack_value(value: Any) -> Any:
@@ -211,6 +263,8 @@ def decode(data: bytes) -> Dict[str, Any]:
             frame[key] = value
         else:
             frame[key] = unpack_value(value)
+    if TRACE_KEY in frame:
+        frame[TRACE_KEY] = check_trace(frame[TRACE_KEY])
     return frame
 
 

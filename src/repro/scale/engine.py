@@ -49,7 +49,7 @@ from __future__ import annotations
 import heapq
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.gossip.descriptors import Descriptor
@@ -691,6 +691,11 @@ class ShardedEngine:
         self.messages = 0
         self.bytes = 0
         self.mode_used = mode
+        #: Optional observability sink (:class:`~repro.obs.instrument.Instrument`).
+        #: When set, :meth:`run_round` times each BSP phase as ``shard:*``
+        #: spans. Pure observation: the digest invariant holds with or
+        #: without a sink attached (pinned by tests/scale/test_spans.py).
+        self.obs: Optional[Any] = None
         if mode == "mp":
             try:
                 self._shards = _ProcessShards(self.spec)
@@ -705,23 +710,54 @@ class ShardedEngine:
     # -- rounds ------------------------------------------------------------------
 
     def run_round(self) -> None:
-        """One BSP round: both layers, three barriered phases each."""
+        """One BSP round: both layers, three barriered phases each.
+
+        With an ``obs`` sink attached, every phase is timed as a span:
+        ``shard:request`` / ``shard:respond`` / ``shard:absorb`` cover the
+        shard-side compute (including, in ``mp`` mode, the pipe round
+        trips), and ``shard:barrier`` covers the supervisor-side gather and
+        routing between phases — the time every shard's output must be in
+        hand before the next phase can start.
+        """
+        obs = self.obs
         shard_of = self.plan.shard_of
         n_shards = self.spec.n_shards
+        if obs is not None:
+            obs.span_begin("round")
         for layer in LAYERS:
+            if obs is not None:
+                obs.span_begin("shard:request")
             requests = self._shards.request(layer)
+            if obs is not None:
+                obs.span_end("shard:request")
+                obs.span_begin("shard:barrier")
             routed: List[List[Message]] = [[] for _ in range(n_shards)]
             for batch in requests:
                 for message in batch:
                     self._account(message)
                     routed[shard_of(message[1])].append(message)
+            if obs is not None:
+                obs.span_end("shard:barrier")
+                obs.span_begin("shard:respond")
             replies = self._shards.respond(layer, routed)
+            if obs is not None:
+                obs.span_end("shard:respond")
+                obs.span_begin("shard:barrier")
             returned: List[List[Message]] = [[] for _ in range(n_shards)]
             for batch in replies:
                 for message in batch:
                     self._account(message)
                     returned[shard_of(message[1])].append(message)
+            if obs is not None:
+                obs.span_end("shard:barrier")
+                obs.span_begin("shard:absorb")
             self._shards.absorb(layer, returned)
+            if obs is not None:
+                obs.span_end("shard:absorb")
+        if obs is not None:
+            obs.span_end("round")
+            obs.gauge("shard_messages", self.messages)
+            obs.gauge("shard_bytes", self.bytes)
         self.round += 1
 
     def _account(self, message: Message) -> None:

@@ -1,0 +1,101 @@
+"""Cross-process flow-tracer merge: to_state / absorb_state / merge_flow_states."""
+
+from __future__ import annotations
+
+import json
+
+from repro.gossip.descriptors import Descriptor, Provenance
+from repro.obs.flow import Delivery, FlowTracer, merge_flow_states
+
+
+def deliver(tracer, layer, round_index, receiver, sender, origin, minted=0, hops=0):
+    descriptor = Descriptor(
+        origin, age=0, profile=None, provenance=Provenance(origin, minted, hops)
+    )
+    tracer.on_received(layer, round_index, receiver, sender, [descriptor])
+
+
+class TestStateDump:
+    def test_state_is_json_safe_and_lossless(self):
+        tracer = FlowTracer()
+        deliver(tracer, "overlay", 3, receiver=1, sender=2, origin=5, minted=1)
+        deliver(tracer, "overlay", 4, receiver=1, sender=2, origin=5, minted=1)
+        state = json.loads(json.dumps(tracer.to_state()))
+        clone = FlowTracer()
+        clone.absorb_state(state)
+        assert clone.deliveries == tracer.deliveries == 2
+        assert clone.latency_stats("overlay") == tracer.latency_stats("overlay")
+        assert clone.flow_graph("overlay") == tracer.flow_graph("overlay")
+        assert clone.first_delivery == tracer.first_delivery
+
+    def test_absorb_tolerates_missing_keys(self):
+        tracer = FlowTracer()
+        tracer.absorb_state({})
+        tracer.absorb_state({"deliveries": 2})
+        assert tracer.deliveries == 2
+        assert tracer.layers() == []
+
+    def test_absorb_adds_counts(self):
+        a, b = FlowTracer(), FlowTracer()
+        deliver(a, "overlay", 2, receiver=1, sender=0, origin=3)
+        deliver(b, "overlay", 2, receiver=1, sender=0, origin=3)
+        a.absorb_state(b.to_state())
+        assert a.deliveries == 2
+        assert a.flow_graph("overlay")[(0, 1)] == 2
+        assert a.latency_stats("overlay")["count"] == 2
+
+    def test_first_delivery_keeps_earliest_round_then_hops(self):
+        a, b = FlowTracer(), FlowTracer()
+        deliver(a, "overlay", 9, receiver=1, sender=0, origin=3, hops=4)
+        deliver(b, "overlay", 2, receiver=1, sender=7, origin=3, hops=1)
+        a.absorb_state(b.to_state())
+        record = a.first_delivery["overlay"][(3, 1)]
+        assert record.round == 2 and record.sender == 7 and record.hops == 2
+
+
+class TestMergeFlowStates:
+    def test_supervisor_merge_reconstructs_swarm_view(self):
+        nodes = []
+        for node_id in range(3):
+            tracer = FlowTracer()
+            deliver(
+                tracer, "overlay", node_id + 1,
+                receiver=node_id, sender=(node_id + 1) % 3, origin=9,
+            )
+            nodes.append(tracer.to_state())
+        merged = merge_flow_states(nodes)
+        assert merged.deliveries == 3
+        assert len(merged.flow_graph("overlay")) == 3
+        assert merged.critical_path("overlay") is not None
+
+    def test_falsy_entries_skipped(self):
+        tracer = FlowTracer()
+        deliver(tracer, "overlay", 1, receiver=0, sender=1, origin=2)
+        merged = merge_flow_states([None, {}, tracer.to_state()])
+        assert merged.deliveries == 1
+
+
+class TestCrossNodeLatencyClamp:
+    def test_negative_skew_clamps_to_zero(self):
+        """A tag minted at a faster peer's round 5 arriving during the
+        receiver's round 3 must not record a negative propagation latency
+        (unsynchronized per-node round counters, see docs/observability.md)."""
+        tracer = FlowTracer()
+        deliver(tracer, "overlay", 3, receiver=1, sender=0, origin=7, minted=5)
+        stats = tracer.latency_stats("overlay")
+        assert stats["mean"] == 0.0
+        assert tracer.first_delivery["overlay"][(7, 1)].latency == 0
+
+    def test_in_process_latency_unchanged(self):
+        tracer = FlowTracer()
+        deliver(tracer, "overlay", 6, receiver=1, sender=0, origin=7, minted=2)
+        assert tracer.latency_stats("overlay")["mean"] == 4.0
+
+
+def test_delivery_record_shape():
+    assert Delivery(round=1, hops=2, sender=3, latency=1)._fields == (
+        "round",
+        "hops",
+        "sender",
+        "latency",
+    )

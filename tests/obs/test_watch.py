@@ -189,3 +189,63 @@ class TestProfile:
         assert "layer:a" in text
         assert "self %" in text
         assert "instrumented" in render_profile(Collector(gauge_every=0))
+
+
+class TestSwarmNodesPanel:
+    def node_record(self, node=0):
+        from repro.obs.collector import Histogram
+
+        rtt = Histogram()
+        rtt.record(0.004)
+        rtt.record(0.012)
+        hops = Histogram(bounds=(1.0, 2.0, 4.0))
+        hops.record(2)
+        return {
+            "node": node,
+            "round": 9,
+            "peers_known": 5,
+            "wire": {"bytes_sent": 1200, "bytes_received": 900},
+            "peer": {"drops": {"1": 2, "2": 1}},
+            "rtt": {"overlay": rtt.to_dict()},
+            "hops": hops.to_dict(),
+            "lamport": 41,
+        }
+
+    def test_panel_renders_per_node_telemetry(self):
+        collector = Collector(gauge_every=0)
+        frame = render_dashboard(collector, nodes={0: self.node_record()})
+        assert "swarm nodes" in frame
+        assert "rtt ms" in frame and "lamport" in frame
+        assert "1200" in frame and "900" in frame
+        assert "41" in frame
+        assert "8.00" in frame  # mean of 4ms and 12ms
+        # all three per-peer drops summed into one cell
+        lines = [line for line in frame.splitlines() if line.lstrip().startswith("0 ")]
+        assert any(" 3 " in line for line in lines)
+
+    def test_panel_tolerates_sparse_records(self):
+        collector = Collector(gauge_every=0)
+        frame = render_dashboard(collector, nodes={3: {"round": 1}})
+        assert "swarm nodes" in frame
+        assert "-" in frame  # missing rtt/hops render as dashes
+
+    def test_no_nodes_no_panel(self):
+        collector = Collector(gauge_every=0)
+        assert "swarm nodes" not in render_dashboard(collector)
+        assert "swarm nodes" not in render_dashboard(collector, nodes={})
+
+    def test_nodes_sorted_by_id(self):
+        collector = Collector(gauge_every=0)
+        frame = render_dashboard(
+            collector,
+            nodes={2: self.node_record(2), 0: self.node_record(0)},
+        )
+        lines = frame[frame.index("swarm nodes"):].splitlines()
+        node_rows = [
+            index
+            for index, line in enumerate(lines)
+            if line.split()[:1] in (["0"], ["2"])
+        ]
+        first, second = node_rows
+        assert lines[first].split()[0] == "0"
+        assert lines[second].split()[0] == "2"

@@ -1,0 +1,117 @@
+"""The bench regression gate: check_bench and the --check CLI path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.bench import check_bench, format_check
+
+
+def cell(name, mean, **extra):
+    return {"name": name, "wall_time_s": {"mean": mean, "min": mean, "max": mean},
+            **extra}
+
+
+def trajectory(*cells):
+    return {"schema": 1, "suite": "gossip", "workloads": list(cells)}
+
+
+class TestCheckBench:
+    def test_within_tolerance_passes(self):
+        baseline = trajectory(cell("ring-64", 1.0))
+        current = trajectory(cell("ring-64", 1.19))
+        assert check_bench(current, baseline, tolerance=0.20) == []
+
+    def test_regression_past_tolerance_flags(self):
+        baseline = trajectory(cell("ring-64", 1.0), cell("grid-64", 2.0))
+        current = trajectory(cell("ring-64", 1.5), cell("grid-64", 2.1))
+        regressions = check_bench(current, baseline, tolerance=0.20)
+        assert [entry["name"] for entry in regressions] == ["ring-64"]
+        assert regressions[0]["ratio"] == pytest.approx(1.5)
+
+    def test_speedup_never_flags(self):
+        baseline = trajectory(cell("ring-64", 2.0))
+        assert check_bench(trajectory(cell("ring-64", 0.5)), baseline) == []
+
+    def test_new_cell_is_not_a_regression(self):
+        baseline = trajectory(cell("ring-64", 1.0))
+        current = trajectory(cell("ring-64", 1.0), cell("torus-256", 9.9))
+        assert check_bench(current, baseline) == []
+
+    def test_zero_or_missing_baseline_mean_skipped(self):
+        baseline = trajectory(cell("ring-64", 0.0), {"name": "grid-64"})
+        current = trajectory(cell("ring-64", 5.0), cell("grid-64", 5.0))
+        assert check_bench(current, baseline) == []
+
+    def test_accepts_a_report_object(self):
+        class Report:
+            def to_dict(self):
+                return trajectory(cell("ring-64", 3.0))
+
+        baseline = trajectory(cell("ring-64", 1.0))
+        assert len(check_bench(Report(), baseline)) == 1
+
+    def test_format_check_lines(self):
+        assert "OK" in format_check([])
+        rendered = format_check(
+            check_bench(
+                trajectory(cell("ring-64", 2.0)), trajectory(cell("ring-64", 1.0))
+            )
+        )
+        assert "ring-64" in rendered and "2.00x" in rendered
+
+
+class TestCheckCli:
+    @pytest.fixture
+    def stub_bench(self, monkeypatch):
+        import repro.perf.bench as bench
+
+        state = {"current": trajectory(cell("ring-64", 1.0))}
+
+        class Report:
+            obs = None
+
+            def to_dict(self):
+                return state["current"]
+
+        monkeypatch.setattr(bench, "run_bench", lambda **kwargs: Report())
+        monkeypatch.setattr(bench, "format_bench", lambda report: "TABLE")
+        monkeypatch.setattr(
+            bench,
+            "write_bench",
+            lambda report, json_path: pytest.fail("--check must not rewrite"),
+        )
+        return state
+
+    def test_check_passes_against_identical_baseline(
+        self, stub_bench, tmp_path, capsys
+    ):
+        baseline = tmp_path / "BENCH_gossip.json"
+        baseline.write_text(json.dumps(stub_bench["current"]), encoding="utf-8")
+        assert main(["bench", "--check", "--output", str(baseline)]) == 0
+        assert "bench check: OK" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, stub_bench, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_gossip.json"
+        baseline.write_text(
+            json.dumps(trajectory(cell("ring-64", 0.5))), encoding="utf-8"
+        )
+        assert main(["bench", "--check", "--output", str(baseline)]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_check_honors_tolerance(self, stub_bench, tmp_path):
+        baseline = tmp_path / "BENCH_gossip.json"
+        baseline.write_text(
+            json.dumps(trajectory(cell("ring-64", 0.8))), encoding="utf-8"
+        )
+        assert main(
+            ["bench", "--check", "--output", str(baseline), "--tolerance", "0.5"]
+        ) == 0
+
+    def test_check_without_baseline_errors(self, stub_bench, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["bench", "--check", "--output", str(missing)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err

@@ -1,0 +1,108 @@
+"""Per-node telemetry plumbing: the /metrics endpoint and the JSONL stream."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.collector import Collector
+from repro.obs.export import read_jsonl
+from repro.runtime.telemetry import MetricsServer, TelemetryStream
+
+
+def make_collector() -> Collector:
+    collector = Collector(gauge_every=0)
+    collector.count("exchanges", 3, layer="overlay")
+    collector.gauge("peers_known", 7.0)
+    collector.histogram("gossip_rtt", 0.004, layer="overlay")
+    return collector
+
+
+class TestMetricsServer:
+    def test_serves_prometheus_snapshot(self):
+        with MetricsServer(make_collector()) as server:
+            assert server.port != 0
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.status == 200
+                assert "text/plain" in response.headers["Content-Type"]
+                body = response.read().decode("utf-8")
+        assert "repro_exchanges_total" in body
+        assert "repro_gossip_rtt_bucket" in body
+        assert 'layer="overlay"' in body
+
+    def test_query_string_is_ignored(self):
+        with MetricsServer(make_collector()) as server:
+            url = f"http://127.0.0.1:{server.port}/metrics?format=prom"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.status == 200
+
+    def test_other_paths_are_404(self):
+        with MetricsServer(make_collector()) as server:
+            url = f"http://127.0.0.1:{server.port}/other"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=5)
+            assert excinfo.value.code == 404
+
+    def test_scrape_reflects_live_collector_state(self):
+        collector = make_collector()
+        with MetricsServer(collector) as server:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            before = urllib.request.urlopen(url, timeout=5).read().decode()
+            collector.count("exchanges", 5, layer="overlay")
+            after = urllib.request.urlopen(url, timeout=5).read().decode()
+        assert before != after
+        assert "8" in after  # 3 + 5 increments visible mid-run
+
+    def test_port_zero_until_started(self):
+        server = MetricsServer(make_collector())
+        assert server.port == 0
+        try:
+            port = server.start()
+            assert port == server.port != 0
+            assert server.start() == port  # idempotent
+        finally:
+            server.close()
+
+    def test_close_is_idempotent(self):
+        server = MetricsServer(make_collector())
+        server.start()
+        server.close()
+        server.close()
+        assert server.port == 0
+
+
+class TestTelemetryStream:
+    def test_incremental_flush_appends_only_fresh_events(self, tmp_path):
+        collector = Collector(gauge_every=0)
+        path = tmp_path / "node-0.jsonl"
+        stream = TelemetryStream(str(path))
+        collector.emit("node_up", node=0)
+        assert stream.flush(collector) == 1
+        collector.emit("node_round", node=0, round=1)
+        collector.emit("node_round", node=0, round=2)
+        assert stream.flush(collector) == 2
+        assert stream.flush(collector) == 0  # nothing new
+        assert stream.written == 3
+        events = read_jsonl(str(path))
+        assert [event.kind for event in events] == [
+            "node_up",
+            "node_round",
+            "node_round",
+        ]
+
+    def test_no_file_until_first_event(self, tmp_path):
+        path = tmp_path / "node-1.jsonl"
+        stream = TelemetryStream(str(path))
+        assert stream.flush(Collector(gauge_every=0)) == 0
+        assert not path.exists()
+
+    def test_accepts_a_plain_event_list(self, tmp_path):
+        collector = Collector(gauge_every=0)
+        collector.emit("node_up", node=2)
+        path = tmp_path / "node-2.jsonl"
+        stream = TelemetryStream(str(path))
+        assert stream.flush(list(collector.events)) == 1
+        assert read_jsonl(str(path))[0].kind == "node_up"

@@ -192,6 +192,149 @@ class TestHostileDecode:
             wire.decode("a string")  # type: ignore[arg-type]
 
 
+class TestTraceField:
+    """Version-tolerant trace context: optional, validated, interoperable."""
+
+    def encode_with_trace(self, trace):
+        frame = wire.make_frame(wire.GOSSIP_REQ, src=2, msg_id="2:1", payload=[1])
+        frame[wire.TRACE_KEY] = trace
+        return wire.encode(frame)
+
+    def test_round_trip_with_trace(self):
+        tags = [Provenance(4, 7, 1), Provenance(9, 2, 0)]
+        data = self.encode_with_trace(wire.make_trace(31, tags))
+        out = wire.decode(data)
+        assert out[wire.TRACE_KEY] == {"lc": 31, "tags": tags}
+        assert all(isinstance(tag, Provenance) for tag in out[wire.TRACE_KEY]["tags"])
+
+    def test_round_trip_without_trace(self):
+        frame = wire.make_frame(wire.GOSSIP_REQ, src=2, msg_id="2:1", payload=[1])
+        out = wire.decode(wire.encode(frame))
+        assert wire.TRACE_KEY not in out
+
+    def test_traced_frame_decodes_on_trace_unaware_peer(self):
+        """A decoder that ignores the field still gets an intact frame.
+
+        The forward-compat contract: WIRE_VERSION stays 1, so a build
+        without the trace feature sees ``tr`` as just another extra key —
+        stripping it must leave a frame the same decoder accepts.
+        """
+        data = self.encode_with_trace(wire.make_trace(5))
+        frame = json.loads(data.decode("utf-8"))
+        del frame[wire.TRACE_KEY]
+        stripped = wire.decode(json.dumps(frame).encode("utf-8"))
+        assert stripped["payload"] == [1]
+        assert wire.TRACE_KEY not in stripped
+
+    def test_make_trace_normalizes(self):
+        trace = wire.make_trace(7)
+        assert trace == {"lc": 7, "tags": []}
+
+    def test_hostile_trace_shapes_raise(self):
+        for bad in ([1, 2], "trace", 7, True):
+            with pytest.raises(WireError, match="trace"):
+                wire.decode(self.encode_with_trace(bad))
+
+    def test_hostile_clock_raises(self):
+        for bad_clock in (None, "5", -1, True, 3.5):
+            with pytest.raises(WireError, match="trace clock"):
+                wire.decode(self.encode_with_trace({"lc": bad_clock, "tags": []}))
+
+    def test_missing_clock_raises(self):
+        with pytest.raises(WireError, match="trace clock"):
+            wire.decode(self.encode_with_trace({"tags": []}))
+
+    def test_hostile_tags_raise(self):
+        for bad_tags in ("tags", 7, {"a": 1}):
+            with pytest.raises(WireError, match="trace tags"):
+                wire.decode(self.encode_with_trace({"lc": 0, "tags": bad_tags}))
+
+    def test_non_provenance_tag_items_raise(self):
+        with pytest.raises(WireError, match="provenance"):
+            wire.decode(self.encode_with_trace({"lc": 0, "tags": [1, 2]}))
+
+    def test_tag_flood_rejected(self):
+        tags = [[0, 0, 0]] * (wire.MAX_TRACE_TAGS + 1)
+        # Hand-rolled JSON: encode() would pay the pack cost for a frame
+        # we only need on the hostile decode side.
+        frame = {
+            "v": wire.WIRE_VERSION,
+            "t": wire.PING,
+            "id": "1:1",
+            "ttl": 0,
+            "src": 1,
+            wire.TRACE_KEY: {
+                "lc": 0,
+                "tags": [{"__p": tag} for tag in tags],
+            },
+        }
+        with pytest.raises(WireError, match="tags"):
+            wire.decode(json.dumps(frame).encode("utf-8"))
+
+    def test_truncated_traced_frame_raises(self):
+        data = self.encode_with_trace(wire.make_trace(3, [Provenance(1, 1, 0)]))
+        for cut in (1, len(data) // 2, len(data) - 2):
+            with pytest.raises(WireError):
+                wire.decode(data[:cut])
+
+    def test_unknown_extra_trace_keys_tolerated(self):
+        out = wire.decode(
+            self.encode_with_trace({"lc": 9, "tags": [], "future": "field"})
+        )
+        assert out[wire.TRACE_KEY] == {"lc": 9, "tags": []}
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.lists(
+            st.builds(
+                Provenance,
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=0, max_value=32),
+            ),
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_hypothesis_trace_roundtrip(clock, tags):
+        frame = wire.make_frame(wire.GOSSIP_RESP, src=1, msg_id="1:1")
+        frame[wire.TRACE_KEY] = wire.make_trace(clock, tags)
+        out = wire.decode(wire.encode(frame))
+        assert out[wire.TRACE_KEY] == {"lc": clock, "tags": tags}
+
+    trace_shapes = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers(min_value=-10, max_value=2**33)
+        | st.floats(allow_nan=False, allow_infinity=False)
+        | st.text(max_size=10),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=6), children, max_size=4),
+        max_leaves=8,
+    )
+
+    @given(trace_shapes)
+    @settings(max_examples=150, deadline=None)
+    def test_hypothesis_hostile_trace_never_crashes(trace):
+        frame = {
+            "v": wire.WIRE_VERSION,
+            "t": wire.PING,
+            "id": "1:1",
+            "ttl": 0,
+            "src": 1,
+            wire.TRACE_KEY: trace,
+        }
+        try:
+            out = wire.decode(json.dumps(frame).encode("utf-8"))
+        except WireError:
+            return  # the only allowed failure mode
+        checked = out[wire.TRACE_KEY]
+        assert isinstance(checked["lc"], int) and checked["lc"] >= 0
+
+
 class TestSeenSet:
     def test_dedup(self):
         seen = wire.SeenSet(capacity=8)

@@ -1,0 +1,61 @@
+"""Sharded-engine phase spans: observable timing, invariant digests."""
+
+from __future__ import annotations
+
+from repro.obs.collector import Collector
+from repro.runtime.api import RunnerConfig, make_runner
+
+
+def build(obs=None, **overrides):
+    config = RunnerConfig(
+        kind="sharded",
+        workload="elementary",
+        shape="ring",
+        n_nodes=24,
+        seed=5,
+        n_shards=overrides.pop("n_shards", 3),
+        **overrides,
+    )
+    return make_runner(config, obs=obs)
+
+
+def test_phase_spans_recorded_per_round():
+    collector = Collector(gauge_every=0)
+    with build(obs=collector) as runner:
+        runner.run(4)
+        executed = runner.round
+    names = collector.spans.names()
+    for name in ("round", "shard:request", "shard:respond", "shard:absorb",
+                 "shard:barrier"):
+        assert name in names
+    # Two layers per round; the barrier closes twice per layer.
+    assert collector.spans.counts["round"] == executed
+    assert collector.spans.counts["shard:request"] == 2 * executed
+    assert collector.spans.counts["shard:barrier"] == 4 * executed
+
+
+def test_traffic_gauges_published():
+    collector = Collector(gauge_every=0)
+    with build(obs=collector) as runner:
+        runner.run(2)
+        assert collector.gauge_value("shard_messages") == runner.messages
+        assert collector.gauge_value("shard_bytes") == runner.bytes
+
+
+def test_digest_identical_with_and_without_obs():
+    """Phase spans are observation only — the digest invariant must hold."""
+    with build() as bare:
+        bare.run(6)
+        bare_digest = bare.digest()
+        bare_round = bare.round
+    collector = Collector(gauge_every=0)
+    with build(obs=collector) as observed:
+        observed.run(6)
+        assert observed.round == bare_round
+        assert observed.digest() == bare_digest
+    assert collector.spans.totals  # and the spans were really on
+
+
+def test_make_runner_leaves_obs_unset_by_default():
+    with build() as runner:
+        assert runner.obs is None
